@@ -1,0 +1,98 @@
+// Extension bench (paper §8 future work): kernel-based top-k mining [32]
+// on the parallel engine vs. exact full mining. The shape from [32] to
+// reproduce: the kernel pipeline finds the large quasi-cliques at a
+// fraction of the exact cost, at the price of completeness.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/datasets.h"
+#include "mining/kernel_expand.h"
+#include "mining/parallel_miner.h"
+
+int main() {
+  using namespace qcm;
+  using namespace qcm::bench;
+
+  Banner("Extension: Kernel-Based Top-k Mining (paper §8 / [32])");
+  Note("Phase 1 mines gamma'-kernels on the parallel engine (the "
+       "parallelization [32] leaves as future work); phase 2 greedily "
+       "expands kernels at gamma. Compared against exact mining at gamma.");
+
+  const DatasetSpec* spec = FindDataset("Hyves-like");
+  auto graph = BuildDataset(*spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  const double gamma = 0.85;        // target threshold (relaxed from 0.9)
+  const uint32_t tau = spec->tau_size;
+
+  // Exact mining at gamma.
+  EngineConfig exact_config = ClusterPreset();
+  exact_config.mining = spec->Mining();
+  exact_config.mining.gamma = gamma;
+  exact_config.tau_split = spec->tau_split;
+  exact_config.tau_time = spec->tau_time;
+  ParallelMiner exact(exact_config);
+  auto exact_result = exact.Run(*graph);
+  if (!exact_result.ok()) {
+    std::fprintf(stderr, "%s\n", exact_result.status().ToString().c_str());
+    return 1;
+  }
+  std::sort(exact_result->maximal.begin(), exact_result->maximal.end(),
+            [](const VertexSet& a, const VertexSet& b) {
+              return a.size() > b.size();
+            });
+
+  // Kernel pipeline.
+  KernelExpandOptions options;
+  options.gamma = gamma;
+  options.kernel_gamma = 0.95;
+  options.kernel_min_size = tau;
+  options.top_k = 10;
+  options.engine = ClusterPreset();
+  options.engine.tau_split = spec->tau_split;
+  options.engine.tau_time = spec->tau_time;
+  auto kernel_result = MineTopKQuasiCliques(*graph, options);
+  if (!kernel_result.ok()) {
+    std::fprintf(stderr, "%s\n", kernel_result.status().ToString().c_str());
+    return 1;
+  }
+
+  Table table({"Method", "Time", "Results", "Largest", "2nd", "3rd"});
+  auto size_at = [](const std::vector<VertexSet>& v, size_t i) {
+    return i < v.size() ? FmtCount(v[i].size()) : std::string("-");
+  };
+  table.AddRow({"exact parallel mining (gamma=" + FmtDouble(gamma, 2) + ")",
+                FmtSeconds(exact_result->report.wall_seconds),
+                FmtCount(exact_result->maximal.size()),
+                size_at(exact_result->maximal, 0),
+                size_at(exact_result->maximal, 1),
+                size_at(exact_result->maximal, 2)});
+  table.AddRow({"kernel top-k (gamma'=0.95 -> expand)",
+                FmtSeconds(kernel_result->kernel_seconds +
+                           kernel_result->expand_seconds),
+                FmtCount(kernel_result->top.size()),
+                size_at(kernel_result->top, 0),
+                size_at(kernel_result->top, 1),
+                size_at(kernel_result->top, 2)});
+  table.Print();
+  std::printf("\nKernel phase: %zu kernels in %.3f s; expansion: %.3f s\n",
+              kernel_result->kernels.size(), kernel_result->kernel_seconds,
+              kernel_result->expand_seconds);
+
+  // Head sizes should roughly match the exact miner's head.
+  if (!exact_result->maximal.empty() && !kernel_result->top.empty()) {
+    std::printf("Largest quasi-clique: exact %zu vs kernel-expansion %zu "
+                "vertices\n",
+                exact_result->maximal[0].size(),
+                kernel_result->top[0].size());
+  }
+  Note("\nShape to observe: the kernel pipeline reaches (near-)head-size "
+       "results in less time than exhaustive mining at gamma, trading away "
+       "completeness -- [32]'s trade, now parallel.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 1 (time of all tasks spawned by unpruned vertices on
+// YouTube): runs the miner with per-root task logging and prints the
+// distribution of per-root mining times -- the long-tailed histogram that
+// motivates big-task prioritization (a handful of roots consume most of
+// the total mining time).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/datasets.h"
+#include "mining/parallel_miner.h"
+
+int main() {
+  using namespace qcm;
+  using namespace qcm::bench;
+
+  Banner("Figure 1: Time of All Tasks Spawned by Unpruned Vertices "
+         "(YouTube)");
+  const DatasetSpec* spec = FindDataset("YouTube-like");
+  auto graph = BuildDataset(*spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  EngineConfig config = ClusterPreset();
+  config.mining = spec->Mining();
+  config.tau_split = spec->tau_split;
+  config.tau_time = spec->tau_time;
+  config.record_task_log = true;
+  ParallelMiner miner(config);
+  auto result = miner.Run(*graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<double> times;
+  double total = 0;
+  for (const RootTaskAgg& agg : result->report.root_tasks) {
+    times.push_back(agg.mining_seconds);
+    total += agg.mining_seconds;
+  }
+  std::sort(times.begin(), times.end(), std::greater<>());
+
+  std::printf("Spawned (unpruned) root tasks: %zu, total mining time %.3f s "
+              "(wall %.3f s)\n\n",
+              times.size(), total, result->report.wall_seconds);
+
+  // Log-scale histogram of per-root times.
+  Table hist({"per-root mining time", "# roots", "share of total time"});
+  const double buckets[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e9};
+  const char* labels[] = {"< 1 us",        "1 us - 10 us", "10 us - 100 us",
+                          "100 us - 1 ms", "1 ms - 10 ms", "10 ms - 100 ms",
+                          "100 ms - 1 s",  ">= 1 s"};
+  size_t bucket_count[8] = {0};
+  double bucket_time[8] = {0};
+  for (double t : times) {
+    int b = 0;
+    while (b < 7 && t >= buckets[b]) ++b;
+    ++bucket_count[b];
+    bucket_time[b] += t;
+  }
+  for (int b = 0; b < 8; ++b) {
+    if (bucket_count[b] == 0) continue;
+    hist.AddRow({labels[b], FmtCount(bucket_count[b]),
+                 FmtDouble(100.0 * bucket_time[b] / std::max(total, 1e-12),
+                           1) +
+                     " %"});
+  }
+  hist.Print();
+
+  // Concentration summary (the figure's long-tail message).
+  auto share_of_top = [&](size_t k) {
+    double s = 0;
+    for (size_t i = 0; i < std::min(k, times.size()); ++i) s += times[i];
+    return 100.0 * s / std::max(total, 1e-12);
+  };
+  std::printf("\nTop-1 root: %.1f %% of all mining time; top-10: %.1f %%; "
+              "top-100: %.1f %%\n",
+              share_of_top(1), share_of_top(10), share_of_top(100));
+  Note("\nPaper shape: a tiny fraction of roots dominates total time (the "
+       "most expensive YouTube root alone takes 361,334 s of 962 total "
+       "hours) -- the long tail above reproduces that concentration.");
+  return 0;
+}

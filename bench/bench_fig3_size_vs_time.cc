@@ -1,0 +1,121 @@
+// Reproduces Figure 3 (running time and subgraph size of some tasks on
+// YouTube): shows that tasks with comparable subgraph sizes can differ in
+// mining time by orders of magnitude, and quantifies how badly subgraph
+// features predict runtime -- the finding that kills size/feature-based
+// task decomposition and motivates the time-delayed strategy.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/datasets.h"
+#include "mining/parallel_miner.h"
+
+namespace {
+
+/// Pearson correlation between two series.
+double Correlation(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  const size_t n = x.size();
+  if (n < 2) return 0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+int main() {
+  using namespace qcm;
+  using namespace qcm::bench;
+
+  Banner("Figure 3: Running Time and Subgraph Size of Some Tasks (YouTube)");
+  const DatasetSpec* spec = FindDataset("YouTube-like");
+  auto graph = BuildDataset(*spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  EngineConfig config = ClusterPreset();
+  config.mining = spec->Mining();
+  config.tau_split = spec->tau_split;
+  config.tau_time = spec->tau_time;
+  config.record_task_log = true;
+  ParallelMiner miner(config);
+  auto result = miner.Run(*graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<RootTaskAgg> roots = result->report.root_tasks;
+  // Keep roots with non-trivial subgraphs, sorted by subgraph size.
+  roots.erase(std::remove_if(roots.begin(), roots.end(),
+                             [](const RootTaskAgg& r) {
+                               return r.subgraph_vertices < 3;
+                             }),
+              roots.end());
+  std::sort(roots.begin(), roots.end(),
+            [](const RootTaskAgg& a, const RootTaskAgg& b) {
+              return a.subgraph_vertices > b.subgraph_vertices;
+            });
+
+  Note("(a) Largest-subgraph tasks: comparable |V|, wildly different time");
+  Table table({"root", "Subgraph |V|", "Time (second)"});
+  const size_t show = std::min<size_t>(12, roots.size());
+  for (size_t i = 0; i < show; ++i) {
+    table.AddRow({FmtCount(roots[i].root),
+                  FmtCount(roots[i].subgraph_vertices),
+                  FmtDouble(roots[i].mining_seconds, 6)});
+  }
+  table.Print();
+
+  // Spread among comparable sizes: group by size bucket, report the
+  // max/min time ratio within the most populated bucket.
+  double worst_spread = 1;
+  for (size_t i = 0; i + 1 < roots.size(); ++i) {
+    // bucket = sizes within 25% of each other
+    double tmax = 0, tmin = 1e18;
+    for (size_t j = i;
+         j < roots.size() && roots[j].subgraph_vertices * 4 >=
+                                 roots[i].subgraph_vertices * 3;
+         ++j) {
+      tmax = std::max(tmax, roots[j].mining_seconds);
+      tmin = std::min(tmin, roots[j].mining_seconds);
+    }
+    if (tmin > 0 && tmax / tmin > worst_spread) worst_spread = tmax / tmin;
+  }
+  std::printf("\nLargest within-comparable-size time spread: %.0fx\n",
+              worst_spread);
+
+  // (b) Feature-vs-time correlations (the failed regression of §1).
+  std::vector<double> size_v, time_v;
+  for (const RootTaskAgg& r : roots) {
+    size_v.push_back(static_cast<double>(r.subgraph_vertices));
+    time_v.push_back(r.mining_seconds);
+  }
+  std::printf("\n(b) Can subgraph size predict task time? Pearson r(|V|, "
+              "time) = %.3f over %zu tasks\n",
+              Correlation(size_v, time_v), size_v.size());
+  Note("\nPaper shape: tasks of ~comparable |V| differ by orders of "
+       "magnitude (e.g. 15,743 vertices -> 5,161 s vs. 25,336 vertices -> "
+       "361,334 s vs. 13,518 -> 49,649 s), and no subgraph feature "
+       "predicts runtime -- hence time-delayed decomposition instead of "
+       "size thresholds or learned cost models.");
+  return 0;
+}

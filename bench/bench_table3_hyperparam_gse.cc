@@ -1,0 +1,79 @@
+// Reproduces Table 3 (effect of hyperparameters on CX_GSE10158): a
+// (tau_time x tau_split) grid printing (a) running time and (b) the number
+// of quasi-cliques mined. The paper's observations to reproduce:
+//   * result count grows as tau_time shrinks (subtasks lose the chance to
+//     prune non-maximal results, Alg. 10 lines 23-24);
+//   * time first rises with the extra checking, then falls again as
+//     decomposition buys concurrency.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/datasets.h"
+#include "mining/parallel_miner.h"
+
+int main() {
+  using namespace qcm;
+  using namespace qcm::bench;
+
+  Banner("Table 3: Effect of Hyperparameters on CX_GSE10158");
+  const DatasetSpec* spec = FindDataset("CX_GSE10158-like");
+  auto graph = BuildDataset(*spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // The paper sweeps tau_time in {20,10,5,1,0.1,0.01} s on jobs of ~16-126 s;
+  // our scaled job runs ~100x faster, so the grid scales accordingly.
+  std::vector<double> tau_times = {0.5, 0.1, 0.02, 0.005, 0.001, 0.0};
+  std::vector<uint32_t> tau_splits = {1000, 500, 200, 100, 50};
+  if (QuickMode()) {
+    tau_times = {0.1, 0.005, 0.0};
+    tau_splits = {500, 100};
+  }
+
+  std::vector<std::string> header = {"tau_time \\ tau_split"};
+  for (uint32_t s : tau_splits) header.push_back(FmtCount(s));
+  Table time_table(header);
+  Table count_table(header);
+  Table maximal_table(header);
+
+  for (double tau_time : tau_times) {
+    std::vector<std::string> time_row = {FmtDouble(tau_time, 3) + " s"};
+    std::vector<std::string> count_row = time_row;
+    std::vector<std::string> maximal_row = time_row;
+    for (uint32_t tau_split : tau_splits) {
+      EngineConfig config = ClusterPreset();
+      config.mining = spec->Mining();
+      config.tau_split = tau_split;
+      config.tau_time = tau_time;
+      ParallelMiner miner(config);
+      auto result = miner.Run(*graph);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      time_row.push_back(FmtSeconds(result->report.wall_seconds));
+      count_row.push_back(FmtCount(result->raw_candidates));
+      maximal_row.push_back(FmtCount(result->maximal.size()));
+    }
+    time_table.AddRow(std::move(time_row));
+    count_table.AddRow(std::move(count_row));
+    maximal_table.AddRow(std::move(maximal_row));
+  }
+
+  Note("(a) Running time");
+  time_table.Print();
+  Note("\n(b) Number of quasi-cliques mined (raw candidates; paper semantics"
+       " -- no non-maximal postprocessing)");
+  count_table.Print();
+  Note("\n(c) Maximal quasi-cliques after postprocessing (must be constant "
+       "across the whole grid)");
+  maximal_table.Print();
+  Note("\nPaper reference (CX_GSE10158): times 16.1 s at tau_time=20s/10s "
+       "rising to ~100-126 s at 1 s then falling to ~33 s at 0.01 s; counts "
+       "396 -> 3,183 as tau_time shrinks.");
+  return 0;
+}

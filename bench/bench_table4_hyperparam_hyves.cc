@@ -1,0 +1,67 @@
+// Reproduces Table 4 (effect of hyperparameters on Hyves): same grid as
+// Table 3 on the large social-network stand-in. The paper's observations:
+//   * decreasing tau_time is the major force bringing time down (hard
+//     cores benefit from decomposition concurrency);
+//   * decreasing tau_split also helps;
+//   * result counts stay nearly stable.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/datasets.h"
+#include "mining/parallel_miner.h"
+
+int main() {
+  using namespace qcm;
+  using namespace qcm::bench;
+
+  Banner("Table 4: Effect of Hyperparameters on Hyves");
+  const DatasetSpec* spec = FindDataset("Hyves-like");
+  auto graph = BuildDataset(*spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<double> tau_times = {0.5, 0.2, 0.05, 0.01, 0.005};
+  std::vector<uint32_t> tau_splits = {1000, 200, 50};
+  if (QuickMode()) {
+    tau_times = {0.1, 0.005};
+    tau_splits = {200, 50};
+  }
+
+  std::vector<std::string> header = {"tau_time \\ tau_split"};
+  for (uint32_t s : tau_splits) header.push_back(FmtCount(s));
+  Table time_table(header);
+  Table count_table(header);
+
+  for (double tau_time : tau_times) {
+    std::vector<std::string> time_row = {FmtDouble(tau_time, 3) + " s"};
+    std::vector<std::string> count_row = time_row;
+    for (uint32_t tau_split : tau_splits) {
+      EngineConfig config = ClusterPreset();
+      config.mining = spec->Mining();
+      config.tau_split = tau_split;
+      config.tau_time = tau_time;
+      ParallelMiner miner(config);
+      auto result = miner.Run(*graph);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      time_row.push_back(FmtSeconds(result->report.wall_seconds));
+      count_row.push_back(FmtCount(result->raw_candidates));
+    }
+    time_table.AddRow(std::move(time_row));
+    count_table.AddRow(std::move(count_row));
+  }
+
+  Note("(a) Running time");
+  time_table.Print();
+  Note("\n(b) Number of quasi-cliques mined (raw candidates)");
+  count_table.Print();
+  Note("\nPaper reference (Hyves): 552 s at (20s, 1000) falling to 130 s at "
+       "(0.01s, 50); counts stable near 3,810-3,850.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table 6 (mining vs. subgraph materialization on Hyves):
+// sweeps tau_time and reports job time, total mining time summed over all
+// tasks, total subgraph-materialization time (the cost of creating
+// decomposed subtasks, Alg. 10 lines 18-22), and their ratio. The paper's
+// claim to reproduce: even at the most aggressive tau_time the
+// materialization overhead stays a tiny fraction of mining (1/280 at
+// tau_time = 0.01 s in the paper).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/datasets.h"
+#include "mining/parallel_miner.h"
+
+int main() {
+  using namespace qcm;
+  using namespace qcm::bench;
+
+  Banner("Table 6: Mining vs. Subgraph Materialization on Hyves");
+  const DatasetSpec* spec = FindDataset("Hyves-like");
+  auto graph = BuildDataset(*spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<double> tau_times = {0.5, 0.2, 0.1, 0.05, 0.02, 0.01};
+  if (QuickMode()) tau_times = {0.1, 0.01};
+
+  Table table({"tau_time", "Job Time", "Total Task Mining Time",
+               "Total Subgraph Materialization Time",
+               "Mining : Materialization Ratio", "Subtasks"});
+  for (double tau_time : tau_times) {
+    EngineConfig config = ClusterPreset();
+    config.mining = spec->Mining();
+    config.tau_split = spec->tau_split;
+    config.tau_time = tau_time;
+    ParallelMiner miner(config);
+    auto result = miner.Run(*graph);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const EngineReport& r = result->report;
+    const double ratio =
+        r.total_materialize_seconds > 0
+            ? r.total_mining_seconds / r.total_materialize_seconds
+            : 0.0;
+    table.AddRow({FmtDouble(tau_time, 3) + " s",
+                  FmtSeconds(r.wall_seconds),
+                  FmtSeconds(r.total_mining_seconds),
+                  FmtSeconds(r.total_materialize_seconds),
+                  ratio > 0 ? FmtDouble(ratio, 1) : "n/a (no decomposition)",
+                  FmtCount(r.counters.tasks_completed)});
+  }
+  table.Print();
+  Note("\nPaper reference: ratio 884.6 at tau_time=50s falling to 280.7 at "
+       "0.01s -- materialization grows as tau_time shrinks but remains a "
+       "tiny fraction of mining. The same monotone shape (more subtasks, "
+       "smaller but still >1 ratio) must appear above. Absolute ratios are "
+       "smaller here because our scaled tasks are orders of magnitude "
+       "shorter than the paper's (seconds vs. hours), so a fixed tau_time "
+       "sits much closer to task granularity; pushing tau_time toward 0 "
+       "enters an over-decomposition regime the paper never tests (see "
+       "bench_ablation_decompose).");
+  return 0;
+}

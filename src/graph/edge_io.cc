@@ -1,0 +1,83 @@
+#include "graph/edge_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace qcm {
+
+StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
+  char line[512];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    uint64_t u = 0, v = 0;
+    if (std::sscanf(p, "%lu %lu", &u, &v) != 2) {
+      std::fclose(f);
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": malformed edge line");
+    }
+    raw_edges.emplace_back(u, v);
+  }
+  std::fclose(f);
+
+  // Compact ids by sorted rank.
+  std::vector<uint64_t> ids;
+  ids.reserve(raw_edges.size() * 2);
+  for (const auto& [u, v] : raw_edges) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() > static_cast<size_t>(UINT32_MAX)) {
+    return Status::OutOfRange(path + ": too many distinct vertex ids");
+  }
+  auto rank = [&ids](uint64_t x) {
+    return static_cast<VertexId>(
+        std::lower_bound(ids.begin(), ids.end(), x) - ids.begin());
+  };
+  std::vector<Edge> edges;
+  edges.reserve(raw_edges.size());
+  for (const auto& [u, v] : raw_edges) {
+    edges.emplace_back(rank(u), rank(v));
+  }
+  auto graph = Graph::FromEdges(static_cast<uint32_t>(ids.size()),
+                                std::move(edges));
+  QCM_RETURN_IF_ERROR(graph.status());
+  LoadedGraph out;
+  out.graph = std::move(graph).value();
+  out.original_ids = std::move(ids);
+  return out;
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing: " +
+                           std::strerror(errno));
+  }
+  std::fprintf(f, "# qcm edge list: %u vertices, %lu edges\n",
+               g.NumVertices(), static_cast<unsigned long>(g.NumEdges()));
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) std::fprintf(f, "%u %u\n", u, v);
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("error closing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace qcm

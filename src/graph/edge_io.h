@@ -1,0 +1,33 @@
+// SNAP-style edge-list text I/O ("# comment" lines; "u<ws>v" per edge).
+// Arbitrary external ids are compacted to dense VertexIds by rank; the
+// mapping can be recovered for reporting.
+
+#ifndef QCM_GRAPH_EDGE_IO_H_
+#define QCM_GRAPH_EDGE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace qcm {
+
+/// Result of loading an edge list: compact graph + dense-id -> original-id.
+struct LoadedGraph {
+  Graph graph;
+  std::vector<uint64_t> original_ids;  // indexed by VertexId
+};
+
+/// Loads a SNAP-format edge list. Lines starting with '#' or '%' are
+/// comments; each other line holds two whitespace-separated integer ids.
+/// Ids are compacted by sorted rank (deterministic).
+StatusOr<LoadedGraph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph as "u v" lines (dense ids), one undirected edge each,
+/// with a header comment.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace qcm
+
+#endif  // QCM_GRAPH_EDGE_IO_H_

@@ -1,0 +1,219 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace qcm {
+
+namespace {
+
+/// Packs an undirected edge into a 64-bit key for dedup sets.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+StatusOr<Graph> GenErdosRenyi(uint32_t n, uint64_t m, uint64_t seed) {
+  if (n < 2) return Status::InvalidArgument("GenErdosRenyi: need n >= 2");
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) {
+    return Status::InvalidArgument("GenErdosRenyi: m exceeds n*(n-1)/2");
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+StatusOr<Graph> GenBarabasiAlbert(uint32_t n, uint32_t attach,
+                                  uint64_t seed) {
+  if (attach == 0) return Status::InvalidArgument("GenBarabasiAlbert: attach=0");
+  if (n <= attach) {
+    return Status::InvalidArgument("GenBarabasiAlbert: need n > attach");
+  }
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  // Endpoint multiset: sampling a uniform element is sampling proportional
+  // to degree.
+  std::vector<VertexId> endpoints;
+  // Seed with a clique on attach+1 vertices.
+  const uint32_t seed_n = attach + 1;
+  for (VertexId u = 0; u < seed_n; ++u) {
+    for (VertexId v = u + 1; v < seed_n; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<uint64_t> picked;
+  for (VertexId v = seed_n; v < n; ++v) {
+    picked.clear();
+    uint32_t added = 0;
+    // Rejection-sample distinct targets; cap attempts to stay O(1) expected.
+    uint32_t attempts = 0;
+    while (added < attach && attempts < 32 * attach) {
+      ++attempts;
+      VertexId target = endpoints[rng.Uniform(endpoints.size())];
+      if (target == v) continue;
+      if (!picked.insert(EdgeKey(v, target)).second) continue;
+      edges.emplace_back(v, target);
+      ++added;
+    }
+    // Fallback: connect to arbitrary distinct earlier vertices.
+    for (VertexId t = 0; added < attach && t < v; ++t) {
+      if (picked.insert(EdgeKey(v, t)).second) {
+        edges.emplace_back(v, t);
+        ++added;
+      }
+    }
+    for (uint32_t i = 0; i < added; ++i) {
+      endpoints.push_back(v);
+    }
+    for (auto it = edges.end() - added; it != edges.end(); ++it) {
+      endpoints.push_back(it->second == v ? it->first : it->second);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+StatusOr<Graph> GenRMAT(uint32_t scale, uint64_t edges, double a, double b,
+                        double c, uint64_t seed) {
+  if (scale == 0 || scale > 30) {
+    return Status::InvalidArgument("GenRMAT: scale must be in [1, 30]");
+  }
+  const double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    return Status::InvalidArgument("GenRMAT: probabilities must be >= 0 and sum <= 1");
+  }
+  const uint32_t n = 1u << scale;
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(edges * 2);
+  std::vector<Edge> out;
+  out.reserve(edges);
+  // Duplicate collapse means we may fall short; bound total attempts.
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = edges * 8;
+  while (out.size() < edges && attempts < max_attempts) {
+    ++attempts;
+    uint32_t u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // quadrant (0,0)
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      out.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(n, std::move(out));
+}
+
+StatusOr<Graph> GenPlantedCommunities(
+    const PlantedConfig& config,
+    std::vector<std::vector<VertexId>>* communities) {
+  const uint32_t n = config.num_vertices;
+  if (n < 4) return Status::InvalidArgument("GenPlantedCommunities: n < 4");
+  if (config.community_min < 3 ||
+      config.community_max < config.community_min ||
+      config.community_max > n) {
+    return Status::InvalidArgument(
+        "GenPlantedCommunities: bad community size range");
+  }
+  if (config.intra_density <= 0.0 || config.intra_density > 1.0) {
+    return Status::InvalidArgument(
+        "GenPlantedCommunities: intra_density must be in (0, 1]");
+  }
+
+  // Background topology.
+  std::vector<Edge> edges;
+  {
+    StatusOr<Graph> bg =
+        config.background == BackgroundModel::kErdosRenyi
+            ? GenErdosRenyi(n, config.background_edges, config.seed)
+            : GenBarabasiAlbert(n, config.ba_attach, config.seed);
+    QCM_RETURN_IF_ERROR(bg.status());
+    const Graph& b = bg.value();
+    for (VertexId u = 0; u < b.NumVertices(); ++u) {
+      for (VertexId v : b.Neighbors(u)) {
+        if (u < v) edges.emplace_back(u, v);
+      }
+    }
+  }
+
+  Rng rng(config.seed ^ 0xC0FFEEULL);
+  std::vector<VertexId> prev_members;
+  if (communities != nullptr) communities->clear();
+  for (uint32_t ci = 0; ci < config.num_communities; ++ci) {
+    const uint32_t size =
+        config.community_min +
+        static_cast<uint32_t>(rng.Uniform(
+            config.community_max - config.community_min + 1));
+    std::vector<VertexId> members;
+    std::unordered_set<VertexId> member_set;
+    // Share a prefix with the previous community (overlapping modules).
+    uint32_t shared = static_cast<uint32_t>(config.overlap_fraction * size);
+    shared = std::min<uint32_t>(shared, static_cast<uint32_t>(prev_members.size()));
+    for (uint32_t i = 0; i < shared; ++i) {
+      members.push_back(prev_members[i]);
+      member_set.insert(prev_members[i]);
+    }
+    while (members.size() < size) {
+      VertexId v = static_cast<VertexId>(rng.Uniform(n));
+      if (member_set.insert(v).second) members.push_back(v);
+    }
+    for (uint32_t i = 0; i < members.size(); ++i) {
+      for (uint32_t j = i + 1; j < members.size(); ++j) {
+        if (rng.Bernoulli(config.intra_density)) {
+          edges.emplace_back(members[i], members[j]);
+        }
+      }
+    }
+    std::sort(members.begin(), members.end());
+    if (communities != nullptr) communities->push_back(members);
+    prev_members = std::move(members);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph PaperFigure4Graph() {
+  // Vertices a..i -> 0..8. Satisfies the facts stated in §3.1:
+  // Gamma(d) = {a, c, e, h, i}, Gamma(e) = {a, b, c, d}, B(e) = {f, g, h, i},
+  // and {a,b,c,d} / {a,b,c,d,e} are 0.6-quasi-cliques.
+  constexpr VertexId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6, h = 7,
+                     i = 8;
+  std::vector<Edge> edges = {
+      {a, b}, {a, c}, {a, d}, {a, e}, {b, c}, {b, e}, {c, d}, {c, e},
+      {d, e}, {d, h}, {d, i}, {b, f}, {c, g}, {f, g}, {g, h}, {h, i},
+  };
+  auto result = Graph::FromEdges(9, std::move(edges));
+  return std::move(result).value();
+}
+
+}  // namespace qcm

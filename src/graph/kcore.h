@@ -1,0 +1,32 @@
+// k-core decomposition via the O(n + m) bucket peeling algorithm of
+// Batagelj & Zaversnik (paper reference [13]).
+//
+// The size-threshold pruning (P2, Theorem 2) reduces the input graph to its
+// k-core with k = ceil(gamma * (tau_size - 1)) before any mining; the paper
+// reports this single preprocessing step as "a dominating factor to scale
+// beyond a small graph" (§4 T1).
+
+#ifndef QCM_GRAPH_KCORE_H_
+#define QCM_GRAPH_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qcm {
+
+/// Core number of every vertex (the largest k such that the vertex belongs
+/// to the k-core). O(n + m) time, O(n) extra space.
+std::vector<uint32_t> CoreDecomposition(const Graph& g);
+
+/// Membership mask of the k-core: out[v] != 0 iff v survives peeling with
+/// threshold k. Derived from CoreDecomposition.
+std::vector<uint8_t> KCoreMask(const Graph& g, uint32_t k);
+
+/// Number of vertices in the k-core.
+uint64_t KCoreSize(const Graph& g, uint32_t k);
+
+}  // namespace qcm
+
+#endif  // QCM_GRAPH_KCORE_H_

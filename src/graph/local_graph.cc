@@ -1,0 +1,237 @@
+#include "graph/local_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace qcm {
+
+LocalId LocalGraph::FindLocal(VertexId global) const {
+  auto it = std::lower_bound(vids_.begin(), vids_.end(), global);
+  if (it == vids_.end() || *it != global) return n();
+  return static_cast<LocalId>(it - vids_.begin());
+}
+
+bool LocalGraph::HasEdge(LocalId u, LocalId v) const {
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+LocalGraph LocalGraph::Induce(const std::vector<LocalId>& keep) const {
+  LocalGraph out;
+  const uint32_t old_n = n();
+  const uint32_t new_n = static_cast<uint32_t>(keep.size());
+  // old local id -> new local id (new_n = absent).
+  std::vector<LocalId> remap(old_n, new_n);
+  out.vids_.reserve(new_n);
+  for (uint32_t i = 0; i < new_n; ++i) {
+    remap[keep[i]] = i;
+    out.vids_.push_back(vids_[keep[i]]);
+  }
+  out.offsets_.assign(new_n + 1, 0);
+  // First pass: count surviving adjacency entries.
+  for (uint32_t i = 0; i < new_n; ++i) {
+    uint32_t count = 0;
+    for (LocalId w : Neighbors(keep[i])) {
+      if (remap[w] != new_n) ++count;
+    }
+    out.offsets_[i + 1] = out.offsets_[i] + count;
+  }
+  out.adj_.resize(out.offsets_[new_n]);
+  for (uint32_t i = 0; i < new_n; ++i) {
+    uint32_t pos = out.offsets_[i];
+    for (LocalId w : Neighbors(keep[i])) {
+      if (remap[w] != new_n) out.adj_[pos++] = remap[w];
+    }
+    // Source adjacency is sorted ascending and remap is monotone over kept
+    // ids, so the output range is already sorted.
+  }
+  return out;
+}
+
+LocalGraph LocalGraph::KCore(uint32_t k) const {
+  const uint32_t nn = n();
+  std::vector<uint32_t> degree(nn);
+  std::vector<uint8_t> alive(nn, 1);
+  std::deque<LocalId> queue;
+  for (LocalId v = 0; v < nn; ++v) {
+    degree[v] = Degree(v);
+    if (degree[v] < k) {
+      alive[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    LocalId v = queue.front();
+    queue.pop_front();
+    for (LocalId u : Neighbors(v)) {
+      if (alive[u] && --degree[u] < k) {
+        alive[u] = 0;
+        queue.push_back(u);
+      }
+    }
+  }
+  std::vector<LocalId> keep;
+  keep.reserve(nn);
+  for (LocalId v = 0; v < nn; ++v) {
+    if (alive[v]) keep.push_back(v);
+  }
+  if (keep.size() == nn) return *this;
+  return Induce(keep);
+}
+
+void LocalGraph::Encode(Encoder* enc) const {
+  enc->PutU32Vector(vids_);
+  enc->PutU32Vector(offsets_);
+  enc->PutU32Vector(adj_);
+}
+
+StatusOr<LocalGraph> LocalGraph::Decode(Decoder* dec) {
+  LocalGraph g;
+  QCM_RETURN_IF_ERROR(dec->GetU32Vector(&g.vids_));
+  QCM_RETURN_IF_ERROR(dec->GetU32Vector(&g.offsets_));
+  QCM_RETURN_IF_ERROR(dec->GetU32Vector(&g.adj_));
+  // Structural validation: decoded blobs come from disk spill files.
+  if (g.offsets_.size() != g.vids_.size() + 1 &&
+      !(g.vids_.empty() && g.offsets_.empty())) {
+    return Status::Corruption("LocalGraph: offsets/vids size mismatch");
+  }
+  if (!g.offsets_.empty()) {
+    if (g.offsets_.front() != 0 || g.offsets_.back() != g.adj_.size()) {
+      return Status::Corruption("LocalGraph: bad offset bounds");
+    }
+    for (size_t i = 1; i < g.offsets_.size(); ++i) {
+      if (g.offsets_[i] < g.offsets_[i - 1]) {
+        return Status::Corruption("LocalGraph: offsets not monotone");
+      }
+    }
+    for (LocalId t : g.adj_) {
+      if (t >= g.vids_.size()) {
+        return Status::Corruption("LocalGraph: adjacency target out of range");
+      }
+    }
+  } else if (!g.adj_.empty()) {
+    return Status::Corruption("LocalGraph: adjacency without vertices");
+  }
+  return g;
+}
+
+void LocalGraphBuilder::Stage(VertexId v, std::vector<VertexId> adj) {
+  Entry& e = entries_[v];
+  e.adj = std::move(adj);
+  e.alive = true;
+}
+
+bool LocalGraphBuilder::IsStaged(VertexId v) const {
+  auto it = entries_.find(v);
+  return it != entries_.end() && it->second.alive;
+}
+
+size_t LocalGraphBuilder::StagedCount() const {
+  size_t count = 0;
+  for (const auto& [vid, e] : entries_) {
+    if (e.alive) ++count;
+  }
+  return count;
+}
+
+size_t LocalGraphBuilder::AdjLength(VertexId v) const {
+  auto it = entries_.find(v);
+  if (it == entries_.end() || !it->second.alive) return 0;
+  return it->second.adj.size();
+}
+
+std::vector<VertexId> LocalGraphBuilder::PhantomTargets() const {
+  std::vector<VertexId> out;
+  for (const auto& [vid, e] : entries_) {
+    if (!e.alive) continue;
+    for (VertexId w : e.adj) {
+      auto it = entries_.find(w);
+      if (it == entries_.end() || !it->second.alive) out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void LocalGraphBuilder::PeelToKCore(uint32_t k) {
+  // Multi-pass fixpoint: drop adjacency entries that point at peeled staged
+  // vertices, then peel newly under-degree vertices. Entries pointing at
+  // never-staged ("phantom") vertices are retained and count toward the
+  // degree, exactly as Alg. 6 line 10 prescribes ("a destination w that is
+  // 2 hops from v stays untouched ... though w is counted for degree
+  // checking").
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [vid, e] : entries_) {
+      if (!e.alive) continue;
+      auto dead = [this](VertexId w) {
+        auto it = entries_.find(w);
+        return it != entries_.end() && !it->second.alive;
+      };
+      e.adj.erase(std::remove_if(e.adj.begin(), e.adj.end(), dead),
+                  e.adj.end());
+      if (e.adj.size() < k) {
+        e.alive = false;
+        changed = true;
+      }
+    }
+  }
+}
+
+LocalGraph LocalGraphBuilder::Build() const {
+  std::vector<VertexId> vids;
+  vids.reserve(entries_.size());
+  for (const auto& [vid, e] : entries_) {
+    if (e.alive) vids.push_back(vid);
+  }
+  std::sort(vids.begin(), vids.end());
+
+  auto local_of = [&vids](VertexId v) -> uint32_t {
+    auto it = std::lower_bound(vids.begin(), vids.end(), v);
+    if (it == vids.end() || *it != v) {
+      return static_cast<uint32_t>(vids.size());
+    }
+    return static_cast<uint32_t>(it - vids.begin());
+  };
+
+  const uint32_t n = static_cast<uint32_t>(vids.size());
+  // An edge survives iff either endpoint listed it and both are alive.
+  std::vector<std::pair<LocalId, LocalId>> edges;
+  for (const auto& [vid, e] : entries_) {
+    if (!e.alive) continue;
+    LocalId lu = local_of(vid);
+    for (VertexId w : e.adj) {
+      LocalId lw = local_of(w);
+      if (lw == n || lw == lu) continue;  // phantom/peeled or self-loop
+      edges.emplace_back(std::min(lu, lw), std::max(lu, lw));
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  LocalGraph g;
+  g.vids_ = std::move(vids);
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(edges.size() * 2);
+  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adj_[cursor[u]++] = v;
+    g.adj_[cursor[v]++] = u;
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
+  }
+  return g;
+}
+
+}  // namespace qcm

@@ -1,0 +1,142 @@
+// LocalGraph: the materialized subgraph a mining task works on (t.g in the
+// paper, §5-§6). Vertices carry *local* ids 0..n-1 that map to global
+// VertexIds through a strictly increasing table, so local-id order equals
+// global-id order and the set-enumeration discipline (Figure 5) can be
+// enforced on local ids directly.
+//
+// LocalGraphs are created three ways:
+//   * by the serial miner, as the 2-hop ego network of a spawned root;
+//   * by compute() iterations 1-2 of the parallel algorithm (Alg. 6-7),
+//     via LocalGraphBuilder;
+//   * by task decomposition (Alg. 8 line 19 / Alg. 10), via Induce() --
+//     whose cost is the "subgraph materialization time" measured in Table 6.
+//
+// They are serializable because tasks get spilled to disk and stolen across
+// simulated machines.
+
+#ifndef QCM_GRAPH_LOCAL_GRAPH_H_
+#define QCM_GRAPH_LOCAL_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace qcm {
+
+/// Local vertex index inside a LocalGraph.
+using LocalId = uint32_t;
+
+/// Compact CSR subgraph with a local->global id table.
+class LocalGraph {
+ public:
+  LocalGraph() = default;
+
+  /// Number of vertices in the subgraph.
+  uint32_t n() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  uint64_t NumEdges() const { return adj_.size() / 2; }
+
+  uint32_t Degree(LocalId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Sorted (ascending local id) neighbors of v.
+  std::span<const LocalId> Neighbors(LocalId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// Global id of local vertex v.
+  VertexId GlobalId(LocalId v) const { return vids_[v]; }
+
+  /// Full local->global table (strictly increasing).
+  const std::vector<VertexId>& GlobalIds() const { return vids_; }
+
+  /// Local id of a global vertex, or n() if absent. O(log n).
+  LocalId FindLocal(VertexId global) const;
+
+  /// True iff the local edge (u, v) exists. O(log deg).
+  bool HasEdge(LocalId u, LocalId v) const;
+
+  /// Subgraph induced on `keep` (sorted ascending local ids of *this*).
+  /// Global ids are preserved. This is the decomposition materialization
+  /// step whose cost Table 6 accounts separately from mining.
+  LocalGraph Induce(const std::vector<LocalId>& keep) const;
+
+  /// k-core of this subgraph (peels vertices of induced degree < k).
+  /// Global ids are preserved.
+  LocalGraph KCore(uint32_t k) const;
+
+  /// Approximate heap footprint in bytes (used for RAM accounting).
+  uint64_t MemoryBytes() const {
+    return vids_.size() * sizeof(VertexId) +
+           offsets_.size() * sizeof(uint32_t) + adj_.size() * sizeof(LocalId);
+  }
+
+  /// Binary serialization (task spill / steal).
+  void Encode(Encoder* enc) const;
+  static StatusOr<LocalGraph> Decode(Decoder* dec);
+
+  bool operator==(const LocalGraph& other) const = default;
+
+ private:
+  friend class LocalGraphBuilder;
+
+  std::vector<VertexId> vids_;     // strictly increasing
+  std::vector<uint32_t> offsets_;  // size n()+1
+  std::vector<LocalId> adj_;       // sorted within each range
+};
+
+/// Incremental builder used by compute() iterations: vertices are staged
+/// with global-id adjacency, peeled, and finally compiled into a LocalGraph.
+class LocalGraphBuilder {
+ public:
+  /// Stages a vertex with its (global-id) adjacency. The adjacency may
+  /// reference vertices that are never staged ("phantom" 2-hop endpoints in
+  /// Alg. 6); they count toward peeling degrees but are dropped at Build()
+  /// unless staged by then. Staging the same vertex twice overwrites.
+  void Stage(VertexId v, std::vector<VertexId> adj);
+
+  /// True iff v has been staged and not peeled.
+  bool IsStaged(VertexId v) const;
+
+  /// Number of staged (alive) vertices.
+  size_t StagedCount() const;
+
+  /// Current adjacency length of a staged vertex (phantoms included);
+  /// 0 if not staged.
+  size_t AdjLength(VertexId v) const;
+
+  /// Distinct adjacency targets of alive entries that are not themselves
+  /// staged-alive ("phantom" endpoints -- the 2-hop frontier Alg. 6 pulls
+  /// in its lines 12-15), ascending.
+  std::vector<VertexId> PhantomTargets() const;
+
+  /// Peels staged vertices whose current adjacency length is < k,
+  /// cascading removals (entries pointing at peeled vertices are erased;
+  /// phantom entries are never peeled). Mirrors "t.g <- k-core(t.g)" in
+  /// Alg. 6 line 10 / Alg. 7 line 9.
+  void PeelToKCore(uint32_t k);
+
+  /// Compiles the staged structure into a LocalGraph. Adjacency entries
+  /// whose target was never staged (or was peeled) are dropped; edges are
+  /// made symmetric (an edge is kept iff either endpoint listed it).
+  LocalGraph Build() const;
+
+ private:
+  struct Entry {
+    std::vector<VertexId> adj;
+    bool alive = true;
+  };
+
+  std::unordered_map<VertexId, Entry> entries_;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_GRAPH_LOCAL_GRAPH_H_

@@ -1,0 +1,376 @@
+#include "gthinker/engine.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/mem.h"
+#include "util/timer.h"
+
+namespace qcm {
+
+// ---------------------------------------------------------------------------
+// Worker: one simulated machine.
+// ---------------------------------------------------------------------------
+
+struct Engine::Worker {
+  int id = 0;
+  std::unique_ptr<DataService> data;
+  std::unique_ptr<SpillManager> small_spill;  // L_small
+  std::unique_ptr<SpillManager> big_spill;    // L_big
+  std::unique_ptr<GlobalQueue> global_queue;  // Q_global
+  std::atomic<size_t> spawn_cursor{0};
+
+  /// Pending big tasks = Q_global + L_big (the quantity the steal master
+  /// balances across machines).
+  uint64_t PendingBig() const {
+    return global_queue->ApproxSize() + big_spill->PendingTasks();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Comper: one mining thread; owns its local queue and implements the
+// ComputeContext the application UDFs run against.
+// ---------------------------------------------------------------------------
+
+class Engine::Comper : public ComputeContext {
+ public:
+  Comper(Engine* engine, Worker* worker, int machine, int thread)
+      : engine_(engine), worker_(worker) {
+    metrics_.machine = machine;
+    metrics_.thread = thread;
+  }
+
+  void Run() {
+    while (!engine_->done_.load()) {
+      TaskPtr task = PopBig();
+      if (task == nullptr) task = PopLocal();
+      if (task != nullptr) {
+        WallTimer busy;
+        ComputeStatus status = engine_->app_->Compute(*task, *this);
+        metrics_.busy_seconds += busy.Seconds();
+        ++metrics_.tasks_processed;
+        if (status == ComputeStatus::kRequeue) {
+          AddTask(std::move(task));
+        } else {
+          engine_->counters_.tasks_completed.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        engine_->pending_.fetch_sub(1);
+        continue;
+      }
+      // No work found anywhere: maybe everything is finished; otherwise
+      // nap briefly (other threads hold decomposable tasks).
+      WallTimer idle;
+      engine_->MaybeFinish();
+      if (!engine_->done_.load()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      metrics_.idle_seconds += idle.Seconds();
+    }
+  }
+
+  // ---- ComputeContext ----
+
+  AdjRef Fetch(VertexId v) override { return worker_->data->Fetch(v); }
+
+  uint32_t Degree(VertexId v) override { return worker_->data->Degree(v); }
+
+  void AddTask(TaskPtr task) override {
+    engine_->pending_.fetch_add(1);
+    if (task->SizeHint() > engine_->config_.tau_split) {
+      engine_->counters_.big_tasks.fetch_add(1, std::memory_order_relaxed);
+      worker_->global_queue->Push(std::move(task));
+    } else {
+      engine_->counters_.small_tasks.fetch_add(1, std::memory_order_relaxed);
+      PushLocal(std::move(task));
+    }
+  }
+
+  ResultSink& sink() override { return sink_; }
+  ThreadMetrics& metrics() override { return metrics_; }
+  const EngineConfig& config() const override { return engine_->config_; }
+
+  ThreadMetrics metrics_;
+  VectorSink sink_;
+
+ private:
+  void PushLocal(TaskPtr task) {
+    local_.push_back(std::move(task));
+    if (local_.size() > engine_->config_.local_queue_capacity) {
+      // Spill a batch of C tasks from the tail of the queue.
+      std::vector<std::string> blobs;
+      blobs.reserve(engine_->config_.batch_size);
+      while (blobs.size() < engine_->config_.batch_size &&
+             local_.size() > 1) {
+        Encoder enc;
+        local_.back()->Encode(&enc);
+        blobs.push_back(enc.Release());
+        local_.pop_back();
+      }
+      Status s = worker_->small_spill->SpillBatch(blobs);
+      QCM_CHECK(s.ok()) << "local queue spill failed: " << s.ToString();
+    }
+  }
+
+  TaskPtr PopBig() { return worker_->global_queue->TryPop(); }
+
+  TaskPtr PopLocal() {
+    if (local_.size() < engine_->config_.batch_size) RefillLocal();
+    if (local_.empty()) return nullptr;
+    TaskPtr t = std::move(local_.front());
+    local_.pop_front();
+    return t;
+  }
+
+  /// Refill priority (paper §5 "third change"): L_small first, then spawn
+  /// a batch of fresh tasks, stopping as soon as a spawned task is big.
+  void RefillLocal() {
+    auto blobs = worker_->small_spill->PopBatch();
+    QCM_CHECK(blobs.ok()) << "L_small refill failed: "
+                          << blobs.status().ToString();
+    if (!blobs->empty()) {
+      for (const std::string& blob : blobs.value()) {
+        Decoder dec(blob);
+        auto task = engine_->app_->DecodeTask(&dec);
+        QCM_CHECK(task.ok()) << "task decode from L_small failed: "
+                             << task.status().ToString();
+        local_.push_back(std::move(task).value());
+      }
+      return;
+    }
+    // Spawn from the machine's unspawned vertices.
+    const std::vector<VertexId>& owned =
+        engine_->table_->OwnedVertices(worker_->id);
+    engine_->active_spawners_.fetch_add(1);
+    size_t spawned_small = 0;
+    while (spawned_small < engine_->config_.batch_size) {
+      const size_t idx = worker_->spawn_cursor.fetch_add(1);
+      if (idx >= owned.size()) break;
+      TaskPtr task = engine_->app_->Spawn(owned[idx], *this);
+      if (task == nullptr) continue;
+      ++metrics_.tasks_spawned;
+      engine_->pending_.fetch_add(1);
+      if (task->SizeHint() > engine_->config_.tau_split) {
+        engine_->counters_.big_tasks.fetch_add(1, std::memory_order_relaxed);
+        worker_->global_queue->Push(std::move(task));
+        break;  // avoid generating many big tasks out of one refill
+      }
+      engine_->counters_.small_tasks.fetch_add(1, std::memory_order_relaxed);
+      local_.push_back(std::move(task));
+      ++spawned_small;
+    }
+    engine_->active_spawners_.fetch_sub(1);
+  }
+
+  Engine* engine_;
+  Worker* worker_;
+  std::deque<TaskPtr> local_;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const Graph* graph, EngineConfig config, App* app)
+    : graph_(graph), config_(std::move(config)), app_(app) {}
+
+Engine::~Engine() {
+  if (owns_spill_dir_ && !spill_dir_.empty()) {
+    ::rmdir(spill_dir_.c_str());
+  }
+}
+
+bool Engine::SpawnExhausted() const {
+  for (const auto& worker : workers_) {
+    if (worker->spawn_cursor.load() <
+        table_->OwnedVertices(worker->id).size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::MaybeFinish() {
+  // Order matters: a spawner increments active_spawners_ before claiming a
+  // cursor slot, so reading spawners==0 after cursors-exhausted guarantees
+  // no task materializes after our pending_ read.
+  if (!SpawnExhausted()) return;
+  if (active_spawners_.load() != 0) return;
+  if (pending_.load() != 0) return;
+  done_.store(true);
+}
+
+void Engine::StealLoop() {
+  const auto period = std::chrono::duration<double>(config_.steal_period_sec);
+  while (!done_.load()) {
+    std::this_thread::sleep_for(period);
+    if (!config_.enable_stealing || workers_.size() < 2) continue;
+
+    // Periodic balancing plan (paper: master collects per-machine pending
+    // big-task counts, computes the average, and moves at most one batch
+    // per machine per period toward the average).
+    const size_t n = workers_.size();
+    std::vector<uint64_t> counts(n);
+    uint64_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      counts[i] = workers_[i]->PendingBig();
+      total += counts[i];
+    }
+    const uint64_t avg = total / n;
+    for (size_t donor = 0; donor < n; ++donor) {
+      if (counts[donor] <= avg + 1) continue;
+      // Most starved receiver.
+      size_t receiver = donor;
+      for (size_t r = 0; r < n; ++r) {
+        if (counts[r] < counts[receiver]) receiver = r;
+      }
+      if (receiver == donor || counts[receiver] >= avg) continue;
+      const uint64_t want =
+          std::min<uint64_t>({counts[donor] - avg, avg - counts[receiver],
+                              config_.batch_size});
+      if (want == 0) continue;
+      std::vector<TaskPtr> tasks =
+          workers_[donor]->global_queue->StealBatch(want);
+      if (tasks.empty()) continue;
+
+      // Simulated network transfer: serialize, count bytes, deserialize.
+      std::vector<TaskPtr> received;
+      received.reserve(tasks.size());
+      uint64_t bytes = 0;
+      for (const TaskPtr& t : tasks) {
+        Encoder enc;
+        t->Encode(&enc);
+        bytes += enc.size();
+        Decoder dec(enc.buffer());
+        auto decoded = app_->DecodeTask(&dec);
+        QCM_CHECK(decoded.ok()) << "steal transfer decode failed: "
+                                << decoded.status().ToString();
+        received.push_back(std::move(decoded).value());
+      }
+      workers_[receiver]->global_queue->PushStolenFront(std::move(received));
+      counters_.steal_events.fetch_add(1, std::memory_order_relaxed);
+      counters_.stolen_tasks.fetch_add(tasks.size(),
+                                       std::memory_order_relaxed);
+      counters_.steal_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      counts[donor] -= tasks.size();
+      counts[receiver] += tasks.size();
+    }
+  }
+}
+
+StatusOr<EngineReport> Engine::Run() {
+  if (ran_) {
+    return Status::InvalidArgument("Engine::Run may only be called once");
+  }
+  ran_ = true;
+  QCM_RETURN_IF_ERROR(config_.Validate());
+
+  // Spill directory.
+  if (config_.spill_dir.empty()) {
+    char templ[] = "/tmp/qcm_spill_XXXXXX";
+    char* dir = ::mkdtemp(templ);
+    if (dir == nullptr) {
+      return Status::IOError("cannot create spill directory");
+    }
+    spill_dir_ = dir;
+    owns_spill_dir_ = true;
+  } else {
+    spill_dir_ = config_.spill_dir;
+    ::mkdir(spill_dir_.c_str(), 0755);
+  }
+
+  WallTimer wall;
+  table_ = std::make_unique<VertexTable>(graph_, config_.num_machines);
+  workers_.clear();
+  for (int m = 0; m < config_.num_machines; ++m) {
+    auto w = std::make_unique<Worker>();
+    w->id = m;
+    w->data = std::make_unique<DataService>(
+        table_.get(), m, config_.remote_cache_capacity, &counters_);
+    w->small_spill = std::make_unique<SpillManager>(
+        spill_dir_, "w" + std::to_string(m) + "_small", &counters_);
+    w->big_spill = std::make_unique<SpillManager>(
+        spill_dir_, "w" + std::to_string(m) + "_big", &counters_);
+    w->global_queue = std::make_unique<GlobalQueue>(
+        config_.global_queue_capacity, config_.batch_size,
+        w->big_spill.get(), app_, &counters_);
+    workers_.push_back(std::move(w));
+  }
+
+  std::vector<std::unique_ptr<Comper>> compers;
+  for (int m = 0; m < config_.num_machines; ++m) {
+    for (int t = 0; t < config_.threads_per_machine; ++t) {
+      compers.push_back(
+          std::make_unique<Comper>(this, workers_[m].get(), m, t));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(compers.size() + 1);
+  for (auto& comper : compers) {
+    threads.emplace_back([&comper] { comper->Run(); });
+  }
+  std::thread steal_thread([this] { StealLoop(); });
+  for (std::thread& t : threads) t.join();
+  steal_thread.join();
+
+  QCM_CHECK(pending_.load() == 0) << "engine finished with pending tasks";
+
+  // Aggregate the report.
+  EngineReport report;
+  report.wall_seconds = wall.Seconds();
+  report.counters = EngineCountersSnapshot::From(counters_);
+  report.peak_rss_bytes = PeakRssBytes();
+
+  std::unordered_map<VertexId, RootTaskAgg> root_aggs;
+  for (auto& comper : compers) {
+    ThreadMetrics& tm = comper->metrics_;
+    report.mining.Add(tm.mining_stats);
+    report.threads.push_back(ThreadSummary{
+        .machine = tm.machine,
+        .thread = tm.thread,
+        .busy_seconds = tm.busy_seconds,
+        .idle_seconds = tm.idle_seconds,
+        .mining_seconds = tm.mining_seconds,
+        .materialize_seconds = tm.materialize_seconds,
+        .tasks_processed = tm.tasks_processed,
+    });
+    report.total_busy_seconds += tm.busy_seconds;
+    report.total_idle_seconds += tm.idle_seconds;
+    report.total_mining_seconds += tm.mining_seconds;
+    report.total_materialize_seconds += tm.materialize_seconds;
+    report.total_build_seconds += tm.build_seconds;
+    for (auto& set : comper->sink_.results()) {
+      report.results.push_back(std::move(set));
+    }
+    for (const auto& [root, agg] : tm.root_agg) {
+      RootTaskAgg& merged = root_aggs[root];
+      merged.root = root;
+      merged.mining_seconds += agg.mining_seconds;
+      merged.tasks += agg.tasks;
+      if (agg.subgraph_vertices != 0) {
+        merged.subgraph_vertices = agg.subgraph_vertices;
+        merged.subgraph_edges = agg.subgraph_edges;
+      }
+    }
+  }
+  report.root_tasks.reserve(root_aggs.size());
+  for (auto& [root, agg] : root_aggs) {
+    report.root_tasks.push_back(agg);
+  }
+
+  // All spill files should have been consumed; clean up defensively.
+  for (auto& worker : workers_) {
+    worker->small_spill->RemoveAll();
+    worker->big_spill->RemoveAll();
+  }
+  return report;
+}
+
+}  // namespace qcm

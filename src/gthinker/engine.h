@@ -1,0 +1,75 @@
+// The reforged G-thinker engine (paper §5): an in-process simulation of a
+// cluster of machines, each running mining threads ("compers") over
+// thread-local small-task queues plus a machine-wide global big-task queue,
+// with disk spilling (L_small / L_big), prioritized big-task scheduling,
+// batched task spawning, and master-coordinated stealing of big tasks
+// between machines.
+//
+// Scheduling discipline per mining thread (the paper's reforged Alg. 3):
+//   1. Try to pop a big task from this machine's global queue (try-lock;
+//      refill from L_big when low).
+//   2. Otherwise pop from the thread's local queue; when low, refill from
+//      L_small, else spawn a fresh batch of tasks from the machine's
+//      unspawned vertices -- stopping early if a spawned task is big.
+//   3. Otherwise idle briefly and re-check for termination.
+
+#ifndef QCM_GTHINKER_ENGINE_H_
+#define QCM_GTHINKER_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gthinker/engine_config.h"
+#include "gthinker/metrics.h"
+#include "gthinker/spill.h"
+#include "gthinker/task.h"
+#include "gthinker/task_queue.h"
+#include "gthinker/vertex_table.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace qcm {
+
+class Engine {
+ public:
+  /// `graph` and `app` must outlive the engine.
+  Engine(const Graph* graph, EngineConfig config, App* app);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the job to completion and returns the merged report.
+  /// Run() may be called once per Engine instance.
+  StatusOr<EngineReport> Run();
+
+ private:
+  struct Worker;
+  class Comper;
+
+  void StealLoop();
+  void MaybeFinish();
+  bool SpawnExhausted() const;
+
+  const Graph* graph_;
+  EngineConfig config_;
+  App* app_;
+
+  std::unique_ptr<VertexTable> table_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  EngineCounters counters_;
+
+  std::string spill_dir_;
+  bool owns_spill_dir_ = false;
+
+  std::atomic<int64_t> pending_{0};
+  std::atomic<int> active_spawners_{0};
+  std::atomic<bool> done_{false};
+  bool ran_ = false;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_GTHINKER_ENGINE_H_

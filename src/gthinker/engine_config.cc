@@ -1,0 +1,44 @@
+#include "gthinker/engine_config.h"
+
+namespace qcm {
+
+const char* DecomposeModeName(DecomposeMode mode) {
+  switch (mode) {
+    case DecomposeMode::kNone:
+      return "none";
+    case DecomposeMode::kSizeThreshold:
+      return "size-threshold";
+    case DecomposeMode::kTimeDelayed:
+      return "time-delayed";
+  }
+  return "?";
+}
+
+Status EngineConfig::Validate() const {
+  if (num_machines < 1) {
+    return Status::InvalidArgument("num_machines must be >= 1");
+  }
+  if (threads_per_machine < 1) {
+    return Status::InvalidArgument("threads_per_machine must be >= 1");
+  }
+  if (batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (local_queue_capacity < batch_size) {
+    return Status::InvalidArgument(
+        "local_queue_capacity must be >= batch_size");
+  }
+  if (global_queue_capacity < batch_size) {
+    return Status::InvalidArgument(
+        "global_queue_capacity must be >= batch_size");
+  }
+  if (mode == DecomposeMode::kTimeDelayed && tau_time < 0) {
+    return Status::InvalidArgument("tau_time must be >= 0");
+  }
+  if (steal_period_sec <= 0) {
+    return Status::InvalidArgument("steal_period_sec must be > 0");
+  }
+  return mining.Validate();
+}
+
+}  // namespace qcm

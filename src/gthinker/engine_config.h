@@ -1,0 +1,83 @@
+// Configuration of the reforged G-thinker engine (paper §5-§6).
+//
+// The engine simulates a cluster in-process: `num_machines` Workers each own
+// a hash partition of the vertices, a global big-task queue, spill files and
+// `threads_per_machine` mining threads; a master thread rebalances big tasks
+// across workers ("task stealing"). See DESIGN.md §3 for the mapping between
+// the paper's distributed deployment and this simulation.
+
+#ifndef QCM_GTHINKER_ENGINE_CONFIG_H_
+#define QCM_GTHINKER_ENGINE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "quick/quasi_clique.h"
+#include "util/status.h"
+
+namespace qcm {
+
+/// How iteration-3 mining tasks are divided for concurrency (paper §6).
+enum class DecomposeMode {
+  /// Never decompose: each spawned root is mined to completion by one
+  /// thread (parallelism across roots only).
+  kNone,
+  /// Algorithm 8: split a task one level whenever |ext(S)| > tau_split,
+  /// recursively.
+  kSizeThreshold,
+  /// Algorithms 9-10: mine for tau_time seconds, then wrap the remaining
+  /// subtree nodes into new tasks (the paper's default and best strategy).
+  kTimeDelayed,
+};
+
+const char* DecomposeModeName(DecomposeMode mode);
+
+/// Engine knobs. Defaults follow the paper's common settings scaled to a
+/// single-host simulation.
+struct EngineConfig {
+  /// Simulated machines (the paper uses 16).
+  int num_machines = 1;
+  /// Mining threads per machine (the paper uses 32).
+  int threads_per_machine = 2;
+
+  /// tau_split: |ext(S)| above which a task is "big" and routed to the
+  /// machine-wide global queue instead of a thread-local queue.
+  uint32_t tau_split = 100;
+  /// tau_time: seconds of mining before time-delayed decomposition kicks in.
+  double tau_time = 0.01;
+  DecomposeMode mode = DecomposeMode::kTimeDelayed;
+
+  /// In-memory task capacity of each thread-local queue; overflow spills a
+  /// batch of tasks to disk (L_small).
+  size_t local_queue_capacity = 256;
+  /// Capacity of each machine's global queue; overflow spills to L_big.
+  size_t global_queue_capacity = 1024;
+  /// Batch size C for spilling, refilling, spawning and stealing.
+  size_t batch_size = 16;
+
+  /// Directory for spill files; empty = a fresh directory under the
+  /// system temp dir, removed after the run.
+  std::string spill_dir;
+
+  /// Master load-balancing period (the paper uses 1 s; scaled down to
+  /// match single-host task granularity).
+  double steal_period_sec = 0.02;
+  /// Balance big tasks across machines.
+  bool enable_stealing = true;
+
+  /// Remote-vertex cache entries per machine.
+  size_t remote_cache_capacity = 1 << 16;
+
+  /// Record per-root task aggregates (subgraph size, accumulated mining
+  /// time) for the figure-reproduction benches.
+  bool record_task_log = false;
+
+  /// Quasi-clique parameters and pruning toggles.
+  MiningOptions mining;
+
+  Status Validate() const;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_GTHINKER_ENGINE_CONFIG_H_

@@ -1,0 +1,39 @@
+#include "gthinker/metrics.h"
+
+#include <algorithm>
+
+namespace qcm {
+
+EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
+  EngineCountersSnapshot s;
+  s.big_tasks = c.big_tasks.load(std::memory_order_relaxed);
+  s.small_tasks = c.small_tasks.load(std::memory_order_relaxed);
+  s.spill_files = c.spill_files.load(std::memory_order_relaxed);
+  s.spilled_tasks = c.spilled_tasks.load(std::memory_order_relaxed);
+  s.spill_bytes_written =
+      c.spill_bytes_written.load(std::memory_order_relaxed);
+  s.spill_bytes_read = c.spill_bytes_read.load(std::memory_order_relaxed);
+  s.steal_events = c.steal_events.load(std::memory_order_relaxed);
+  s.stolen_tasks = c.stolen_tasks.load(std::memory_order_relaxed);
+  s.steal_bytes = c.steal_bytes.load(std::memory_order_relaxed);
+  s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
+  s.cache_evictions = c.cache_evictions.load(std::memory_order_relaxed);
+  s.remote_bytes = c.remote_bytes.load(std::memory_order_relaxed);
+  s.tasks_completed = c.tasks_completed.load(std::memory_order_relaxed);
+  return s;
+}
+
+double EngineReport::BusyImbalance() const {
+  if (threads.empty()) return 1.0;
+  double min_busy = threads[0].busy_seconds;
+  double max_busy = threads[0].busy_seconds;
+  for (const ThreadSummary& t : threads) {
+    min_busy = std::min(min_busy, t.busy_seconds);
+    max_busy = std::max(max_busy, t.busy_seconds);
+  }
+  if (min_busy <= 0.0) return max_busy > 0.0 ? 1e9 : 1.0;
+  return max_busy / min_busy;
+}
+
+}  // namespace qcm

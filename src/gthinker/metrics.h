@@ -1,0 +1,130 @@
+// Engine metrics: shared atomic counters, per-thread accumulators, and the
+// final run report. These feed every table and figure of the evaluation:
+// Table 2's RAM/disk columns, Table 5's load-balance evidence, Table 6's
+// mining vs. materialization split, and Figures 1-3's per-root task costs.
+
+#ifndef QCM_GTHINKER_METRICS_H_
+#define QCM_GTHINKER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "quick/mining_context.h"
+#include "quick/quasi_clique.h"
+
+namespace qcm {
+
+/// Per-root aggregate across all (sub)tasks of that root: the unit the
+/// paper's Figures 1-3 plot.
+struct RootTaskAgg {
+  VertexId root = 0;
+  uint32_t subgraph_vertices = 0;  // |V(t.g)| of the spawned task
+  uint64_t subgraph_edges = 0;
+  double mining_seconds = 0.0;  // summed over the root's subtasks
+  uint64_t tasks = 0;           // 1 + number of decomposed subtasks
+};
+
+/// Metrics owned by one mining thread (no synchronization; merged at end).
+struct ThreadMetrics {
+  int machine = 0;
+  int thread = 0;
+
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  /// Time inside RecursiveMine (the "actual mining" of Table 6).
+  double mining_seconds = 0.0;
+  /// Time materializing subtask subgraphs (Table 6's counterpart).
+  double materialize_seconds = 0.0;
+  /// Time building spawned tasks' 2-hop ego networks (iterations 1-2);
+  /// kept separate so Table 6's ratio reflects decomposition overhead only.
+  double build_seconds = 0.0;
+
+  uint64_t tasks_processed = 0;
+  uint64_t tasks_spawned = 0;
+  uint64_t subtasks_created = 0;
+
+  MiningStats mining_stats;
+  std::vector<VertexSet> results;
+
+  /// root -> aggregate; only filled when EngineConfig::record_task_log.
+  std::unordered_map<VertexId, RootTaskAgg> root_agg;
+};
+
+/// Cross-thread counters (atomics; relaxed ordering is sufficient --
+/// counters are read only after the engine quiesces).
+struct EngineCounters {
+  std::atomic<uint64_t> big_tasks{0};
+  std::atomic<uint64_t> small_tasks{0};
+  std::atomic<uint64_t> spill_files{0};
+  std::atomic<uint64_t> spilled_tasks{0};
+  std::atomic<uint64_t> spill_bytes_written{0};
+  std::atomic<uint64_t> spill_bytes_read{0};
+  std::atomic<uint64_t> steal_events{0};
+  std::atomic<uint64_t> stolen_tasks{0};
+  std::atomic<uint64_t> steal_bytes{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> cache_evictions{0};
+  std::atomic<uint64_t> remote_bytes{0};
+  std::atomic<uint64_t> tasks_completed{0};
+};
+
+/// Plain-value snapshot of EngineCounters for reports.
+struct EngineCountersSnapshot {
+  uint64_t big_tasks = 0;
+  uint64_t small_tasks = 0;
+  uint64_t spill_files = 0;
+  uint64_t spilled_tasks = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  uint64_t steal_events = 0;
+  uint64_t stolen_tasks = 0;
+  uint64_t steal_bytes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t remote_bytes = 0;
+  uint64_t tasks_completed = 0;
+
+  static EngineCountersSnapshot From(const EngineCounters& c);
+};
+
+/// Per-thread summary included in the report (load-balance evidence).
+struct ThreadSummary {
+  int machine = 0;
+  int thread = 0;
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double mining_seconds = 0.0;
+  double materialize_seconds = 0.0;
+  uint64_t tasks_processed = 0;
+};
+
+/// Final report of an engine run.
+struct EngineReport {
+  double wall_seconds = 0.0;
+  EngineCountersSnapshot counters;
+  MiningStats mining;
+  std::vector<ThreadSummary> threads;
+  /// Raw emitted candidates (postprocess with FilterMaximal).
+  std::vector<VertexSet> results;
+  /// Per-root task aggregates (record_task_log only), unordered.
+  std::vector<RootTaskAgg> root_tasks;
+
+  uint64_t peak_rss_bytes = 0;
+  double total_mining_seconds = 0.0;
+  double total_materialize_seconds = 0.0;
+  double total_build_seconds = 0.0;
+  double total_busy_seconds = 0.0;
+  double total_idle_seconds = 0.0;
+
+  /// Max/min per-thread busy time ratio; 1.0 = perfectly balanced.
+  double BusyImbalance() const;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_GTHINKER_METRICS_H_

@@ -1,0 +1,110 @@
+#include "gthinker/spill.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/serde.h"
+
+namespace qcm {
+
+SpillManager::SpillManager(std::string dir, std::string tag,
+                           EngineCounters* counters)
+    : dir_(std::move(dir)), tag_(std::move(tag)), counters_(counters) {}
+
+Status SpillManager::SpillBatch(const std::vector<std::string>& blobs) {
+  if (blobs.empty()) return Status::OK();
+  std::string payload;
+  for (const std::string& blob : blobs) {
+    AppendFramedBlob(blob, &payload);
+  }
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = dir_ + "/" + tag_ + "_" + std::to_string(seq_++) + ".spill";
+  }
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("spill: cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  if (std::fclose(f) != 0 || written != payload.size()) {
+    return Status::IOError("spill: short write to " + path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.push_back({path, blobs.size()});
+    pending_tasks_ += blobs.size();
+  }
+  if (counters_ != nullptr) {
+    counters_->spill_files.fetch_add(1, std::memory_order_relaxed);
+    counters_->spilled_tasks.fetch_add(blobs.size(),
+                                       std::memory_order_relaxed);
+    counters_->spill_bytes_written.fetch_add(payload.size(),
+                                             std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> SpillManager::PopBatch() {
+  FileEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.empty()) return std::vector<std::string>{};
+    entry = files_.back();
+    files_.pop_back();
+    pending_tasks_ -= entry.task_count;
+  }
+  FILE* f = std::fopen(entry.path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("spill: cannot open " + entry.path + ": " +
+                           std::strerror(errno));
+  }
+  std::string payload;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    payload.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(entry.path.c_str());
+
+  std::vector<std::string> blobs;
+  blobs.reserve(entry.task_count);
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    std::string blob;
+    QCM_RETURN_IF_ERROR(ReadFramedBlob(payload, &pos, &blob));
+    blobs.push_back(std::move(blob));
+  }
+  if (blobs.size() != entry.task_count) {
+    return Status::Corruption("spill: task count mismatch in " + entry.path);
+  }
+  if (counters_ != nullptr) {
+    counters_->spill_bytes_read.fetch_add(payload.size(),
+                                          std::memory_order_relaxed);
+  }
+  return blobs;
+}
+
+size_t SpillManager::FileCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+uint64_t SpillManager::PendingTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_tasks_;
+}
+
+void SpillManager::RemoveAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const FileEntry& e : files_) {
+    std::remove(e.path.c_str());
+  }
+  files_.clear();
+  pending_tasks_ = 0;
+}
+
+}  // namespace qcm

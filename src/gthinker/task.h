@@ -1,0 +1,102 @@
+// The engine's task and application abstractions -- the G-thinker
+// programming model (paper §5): a user writes an application by
+// implementing two UDFs, task spawning and task computation, plus a task
+// codec so the engine can spill tasks to disk and move ("steal") them
+// between machines.
+
+#ifndef QCM_GTHINKER_TASK_H_
+#define QCM_GTHINKER_TASK_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "gthinker/engine_config.h"
+#include "gthinker/metrics.h"
+#include "graph/graph.h"
+#include "quick/quasi_clique.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace qcm {
+
+/// A unit of work. Concrete tasks belong to the application; the engine
+/// sees only the root (for per-root accounting), a size hint (big/small
+/// classification against tau_split) and the codec.
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  /// The spawning vertex; quasi-cliques found by this task have this as
+  /// their smallest member.
+  virtual VertexId root() const = 0;
+
+  /// Size proxy compared against tau_split: |ext(S)| once known, the
+  /// spawning degree before that.
+  virtual uint64_t SizeHint() const = 0;
+
+  /// Serializes the task (spill files, steal transfers).
+  virtual void Encode(Encoder* enc) const = 0;
+};
+
+using TaskPtr = std::unique_ptr<Task>;
+
+/// Adjacency handle returned by vertex fetches. `pin` keeps a cached remote
+/// copy alive while the span is in use; it is null for machine-local reads.
+struct AdjRef {
+  std::span<const VertexId> adj;
+  std::shared_ptr<const std::vector<VertexId>> pin;
+};
+
+/// Everything a UDF may touch while running on a mining thread.
+class ComputeContext {
+ public:
+  virtual ~ComputeContext() = default;
+
+  /// Pulls the adjacency list of v (local table or remote cache; remote
+  /// misses count transferred bytes -- the paper's vertex pulling).
+  virtual AdjRef Fetch(VertexId v) = 0;
+
+  /// Degree of v (vertex metadata, no adjacency transfer).
+  virtual uint32_t Degree(VertexId v) = 0;
+
+  /// Adds a newly created (sub)task to the system: big tasks go to this
+  /// machine's global queue, small ones to this thread's local queue.
+  virtual void AddTask(TaskPtr task) = 0;
+
+  /// Per-thread result collector.
+  virtual ResultSink& sink() = 0;
+
+  /// Per-thread metrics (mining vs. materialization attribution).
+  virtual ThreadMetrics& metrics() = 0;
+
+  virtual const EngineConfig& config() const = 0;
+};
+
+/// Result of one compute round.
+enum class ComputeStatus {
+  /// Task finished; delete it.
+  kDone,
+  /// Task must be scheduled again (re-enqueued by size classification).
+  kRequeue,
+};
+
+/// A G-thinker application: the two UDFs plus the task codec.
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// UDF task_spawn(v): returns the task for v, or null if v spawns
+  /// nothing (e.g. degree below the k-core threshold).
+  virtual TaskPtr Spawn(VertexId v, ComputeContext& ctx) = 0;
+
+  /// UDF compute(t, frontier): one processing round of t.
+  virtual ComputeStatus Compute(Task& task, ComputeContext& ctx) = 0;
+
+  /// Decodes a task previously written by Task::Encode.
+  virtual StatusOr<TaskPtr> DecodeTask(Decoder* dec) const = 0;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_GTHINKER_TASK_H_

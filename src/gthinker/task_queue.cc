@@ -1,0 +1,89 @@
+#include "gthinker/task_queue.h"
+
+#include "util/logging.h"
+
+namespace qcm {
+
+GlobalQueue::GlobalQueue(size_t capacity, size_t batch, SpillManager* spill,
+                         const App* app, EngineCounters* counters)
+    : capacity_(capacity),
+      batch_(batch),
+      spill_(spill),
+      app_(app),
+      counters_(counters) {}
+
+void GlobalQueue::SpillTailLocked() {
+  std::vector<std::string> blobs;
+  blobs.reserve(batch_);
+  while (blobs.size() < batch_ && q_.size() > 1) {
+    Encoder enc;
+    q_.back()->Encode(&enc);
+    blobs.push_back(enc.Release());
+    q_.pop_back();
+  }
+  size_.store(q_.size(), std::memory_order_relaxed);
+  Status s = spill_->SpillBatch(blobs);
+  if (!s.ok()) {
+    // Spill failure is not recoverable mid-run (the tasks are gone from
+    // memory otherwise); surface loudly.
+    QCM_CHECK(s.ok()) << "global queue spill failed: " << s.ToString();
+  }
+}
+
+void GlobalQueue::RefillLocked() {
+  auto blobs = spill_->PopBatch();
+  QCM_CHECK(blobs.ok()) << "L_big refill failed: "
+                        << blobs.status().ToString();
+  for (const std::string& blob : blobs.value()) {
+    Decoder dec(blob);
+    auto task = app_->DecodeTask(&dec);
+    QCM_CHECK(task.ok()) << "task decode from L_big failed: "
+                         << task.status().ToString();
+    q_.push_back(std::move(task).value());
+  }
+  size_.store(q_.size(), std::memory_order_relaxed);
+}
+
+void GlobalQueue::Push(TaskPtr task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  q_.push_back(std::move(task));
+  if (q_.size() > capacity_) {
+    SpillTailLocked();
+  } else {
+    size_.store(q_.size(), std::memory_order_relaxed);
+  }
+}
+
+TaskPtr GlobalQueue::TryPop() {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return nullptr;  // Case (I): fall back to local
+  if (q_.size() < batch_) {
+    RefillLocked();
+  }
+  if (q_.empty()) return nullptr;  // Case (II)
+  TaskPtr t = std::move(q_.front());
+  q_.pop_front();
+  size_.store(q_.size(), std::memory_order_relaxed);
+  return t;
+}
+
+std::vector<TaskPtr> GlobalQueue::StealBatch(size_t max_tasks) {
+  std::vector<TaskPtr> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (out.size() < max_tasks && !q_.empty()) {
+    out.push_back(std::move(q_.back()));
+    q_.pop_back();
+  }
+  size_.store(q_.size(), std::memory_order_relaxed);
+  return out;
+}
+
+void GlobalQueue::PushStolenFront(std::vector<TaskPtr> tasks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+    q_.push_front(std::move(*it));
+  }
+  size_.store(q_.size(), std::memory_order_relaxed);
+}
+
+}  // namespace qcm

@@ -1,0 +1,75 @@
+#include "gthinker/vertex_table.h"
+
+namespace qcm {
+
+VertexTable::VertexTable(const Graph* graph, int num_machines)
+    : graph_(graph), num_machines_(num_machines), owned_(num_machines) {
+  for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+    owned_[Owner(v)].push_back(v);
+  }
+}
+
+RemoteCache::RemoteCache(size_t capacity_entries, EngineCounters* counters)
+    : capacity_per_shard_(capacity_entries / kShards + 1),
+      counters_(counters) {}
+
+std::shared_ptr<const std::vector<VertexId>> RemoteCache::Get(
+    VertexId v, const VertexTable& table) {
+  Shard& shard = shards_[v % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(v);
+    if (it != shard.map.end()) {
+      if (counters_ != nullptr) {
+        counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second;
+    }
+  }
+  // Miss: "transfer" the adjacency list from the owner (a copy).
+  auto adj = table.Adjacency(v);
+  auto copy = std::make_shared<const std::vector<VertexId>>(adj.begin(),
+                                                            adj.end());
+  if (counters_ != nullptr) {
+    counters_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    counters_->remote_bytes.fetch_add(copy->size() * sizeof(VertexId),
+                                      std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.emplace(v, copy);
+  if (inserted) {
+    shard.fifo.push_back(v);
+    while (shard.fifo.size() > capacity_per_shard_) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+      if (counters_ != nullptr) {
+        counters_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return it->second;
+}
+
+size_t RemoteCache::ApproxSize() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+DataService::DataService(const VertexTable* table, int machine,
+                         size_t cache_capacity, EngineCounters* counters)
+    : table_(table), machine_(machine), cache_(cache_capacity, counters) {}
+
+AdjRef DataService::Fetch(VertexId v) {
+  if (table_->Owner(v) == machine_) {
+    return AdjRef{table_->Adjacency(v), nullptr};
+  }
+  auto pinned = cache_.Get(v, *table_);
+  return AdjRef{std::span<const VertexId>(pinned->data(), pinned->size()),
+                std::move(pinned)};
+}
+
+}  // namespace qcm

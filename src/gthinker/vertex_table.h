@@ -1,0 +1,100 @@
+// The distributed graph store of the simulation (paper §5, Figure 8):
+//   * VertexTable -- the graph hash-partitioned across machines; each
+//     machine's "local vertex table" is the set of vertices it owns.
+//   * RemoteCache -- per-machine bounded cache of adjacency lists fetched
+//     from other machines; misses copy the list (modeling the network
+//     transfer) and count transferred bytes.
+//   * DataService -- the per-machine facade tasks fetch through.
+
+#ifndef QCM_GTHINKER_VERTEX_TABLE_H_
+#define QCM_GTHINKER_VERTEX_TABLE_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gthinker/metrics.h"
+#include "gthinker/task.h"
+#include "graph/graph.h"
+
+namespace qcm {
+
+/// Hash partitioning of an immutable graph across simulated machines.
+class VertexTable {
+ public:
+  VertexTable(const Graph* graph, int num_machines);
+
+  int Owner(VertexId v) const {
+    return static_cast<int>(v % static_cast<uint32_t>(num_machines_));
+  }
+
+  std::span<const VertexId> Adjacency(VertexId v) const {
+    return graph_->Neighbors(v);
+  }
+
+  uint32_t Degree(VertexId v) const { return graph_->Degree(v); }
+
+  uint32_t NumVertices() const { return graph_->NumVertices(); }
+
+  /// Vertices owned by `machine`, ascending.
+  const std::vector<VertexId>& OwnedVertices(int machine) const {
+    return owned_[machine];
+  }
+
+ private:
+  const Graph* graph_;
+  int num_machines_;
+  std::vector<std::vector<VertexId>> owned_;
+};
+
+/// Sharded, bounded, FIFO-evicting cache of remote adjacency lists.
+class RemoteCache {
+ public:
+  RemoteCache(size_t capacity_entries, EngineCounters* counters);
+
+  /// Returns the cached copy of v's adjacency, fetching (copying) it from
+  /// the owner's table on a miss.
+  std::shared_ptr<const std::vector<VertexId>> Get(VertexId v,
+                                                   const VertexTable& table);
+
+  size_t ApproxSize() const;
+
+ private:
+  static constexpr int kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<VertexId, std::shared_ptr<const std::vector<VertexId>>>
+        map;
+    std::deque<VertexId> fifo;  // insertion order for eviction
+  };
+
+  size_t capacity_per_shard_;
+  EngineCounters* counters_;
+  Shard shards_[kShards];
+};
+
+/// Per-machine data access facade.
+class DataService : public std::enable_shared_from_this<DataService> {
+ public:
+  DataService(const VertexTable* table, int machine, size_t cache_capacity,
+              EngineCounters* counters);
+
+  /// The paper's vertex pull: local vertices resolve to the local table,
+  /// remote ones go through the cache.
+  AdjRef Fetch(VertexId v);
+
+  uint32_t Degree(VertexId v) const { return table_->Degree(v); }
+
+  const VertexTable& table() const { return *table_; }
+
+ private:
+  const VertexTable* table_;
+  int machine_;
+  RemoteCache cache_;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_GTHINKER_VERTEX_TABLE_H_

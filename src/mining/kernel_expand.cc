@@ -1,0 +1,164 @@
+#include "mining/kernel_expand.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mining/parallel_miner.h"
+#include "util/timer.h"
+
+namespace qcm {
+
+Status KernelExpandOptions::Validate() const {
+  if (kernel_gamma <= gamma) {
+    return Status::InvalidArgument(
+        "kernel_gamma must exceed gamma (kernels are denser)");
+  }
+  if (kernel_gamma > 1.0 || gamma < 0.5) {
+    return Status::InvalidArgument(
+        "thresholds must satisfy 0.5 <= gamma < kernel_gamma <= 1");
+  }
+  if (kernel_min_size < 2) {
+    return Status::InvalidArgument("kernel_min_size must be >= 2");
+  }
+  if (top_k == 0) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+  return Status::OK();
+}
+
+VertexSet ExpandKernel(const Graph& g, const VertexSet& seed,
+                       const Gamma& gamma) {
+  // Members + their degree into the current set.
+  std::unordered_set<VertexId> members(seed.begin(), seed.end());
+  std::unordered_map<VertexId, uint32_t> inside_degree;  // member -> deg
+  auto deg_into = [&](VertexId v) {
+    uint32_t d = 0;
+    for (VertexId u : g.Neighbors(v)) d += members.count(u);
+    return d;
+  };
+  for (VertexId v : seed) inside_degree[v] = deg_into(v);
+
+  // Candidate pool: vertices adjacent to the set (diameter-2 superset not
+  // needed for a greedy heuristic; adjacency keeps it cheap and exact
+  // validity is re-checked for every addition).
+  std::unordered_map<VertexId, uint32_t> candidates;  // v -> deg into set
+  auto add_candidates_of = [&](VertexId v) {
+    for (VertexId u : g.Neighbors(v)) {
+      if (members.count(u) != 0) continue;
+      auto [it, inserted] = candidates.emplace(u, 0);
+      if (inserted) it->second = deg_into(u);
+    }
+  };
+  for (VertexId v : seed) add_candidates_of(v);
+
+  while (!candidates.empty()) {
+    // Best candidate: highest degree into the set, ties to smaller id
+    // (deterministic).
+    VertexId best = 0;
+    uint32_t best_deg = 0;
+    bool have = false;
+    for (const auto& [v, d] : candidates) {
+      if (!have || d > best_deg || (d == best_deg && v < best)) {
+        best = v;
+        best_deg = d;
+        have = true;
+      }
+    }
+    // Admissibility: every member of S ∪ {best} must keep degree >=
+    // ceil(gamma * |S|) (sizes grow by one).
+    const int64_t need = gamma.CeilMul(static_cast<int64_t>(members.size()));
+    bool ok = best_deg >= static_cast<uint64_t>(need);
+    if (ok) {
+      // Every existing member must still meet the (grown) bound: members
+      // adjacent to `best` gain +1 degree, the rest keep theirs.
+      std::unordered_set<VertexId> best_nbrs(g.Neighbors(best).begin(),
+                                             g.Neighbors(best).end());
+      for (const auto& [v, d] : inside_degree) {
+        const uint32_t new_d = d + (best_nbrs.count(v) != 0 ? 1 : 0);
+        if (static_cast<int64_t>(new_d) < need) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      candidates.erase(best);
+      continue;
+    }
+    // Commit the addition.
+    members.insert(best);
+    inside_degree[best] = best_deg;
+    for (VertexId u : g.Neighbors(best)) {
+      auto it = inside_degree.find(u);
+      if (it != inside_degree.end()) ++it->second;
+      auto cit = candidates.find(u);
+      if (cit != candidates.end()) ++cit->second;
+    }
+    candidates.erase(best);
+    add_candidates_of(best);
+    // Candidates rejected at a smaller size may become admissible later;
+    // they are still in the pool unless erased above, and erased ones
+    // rejoin through add_candidates_of if adjacent to new members. To keep
+    // the heuristic simple (and matching [32]'s greedy growth), erased
+    // candidates are not resurrected unless re-discovered.
+  }
+
+  VertexSet out(members.begin(), members.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<KernelExpandResult> MineTopKQuasiCliques(
+    const Graph& g, const KernelExpandOptions& options) {
+  QCM_RETURN_IF_ERROR(options.Validate());
+  auto gamma_or = Gamma::Create(options.gamma);
+  QCM_RETURN_IF_ERROR(gamma_or.status());
+  const Gamma& gamma = gamma_or.value();
+
+  KernelExpandResult result;
+
+  // ---- Phase 1: parallel kernel mining at gamma' (QuickM-style: the
+  // kernels themselves need not be maximal at gamma; we still filter for
+  // deduplication). ----
+  WallTimer kernel_timer;
+  EngineConfig config = options.engine;
+  config.mining.gamma = options.kernel_gamma;
+  config.mining.min_size = options.kernel_min_size;
+  ParallelMiner miner(config);
+  auto mined = miner.Run(g);
+  QCM_RETURN_IF_ERROR(mined.status());
+  result.kernels = std::move(mined->maximal);
+  result.kernel_seconds = kernel_timer.Seconds();
+
+  // Largest kernels first; expand a bounded number of them.
+  std::sort(result.kernels.begin(), result.kernels.end(),
+            [](const VertexSet& a, const VertexSet& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+
+  // ---- Phase 2: greedy expansion at gamma. ----
+  WallTimer expand_timer;
+  const size_t expand_count =
+      std::min(result.kernels.size(), options.top_k * 4);
+  std::vector<VertexSet> grown;
+  grown.reserve(expand_count);
+  for (size_t i = 0; i < expand_count; ++i) {
+    grown.push_back(ExpandKernel(g, result.kernels[i], gamma));
+  }
+  // Deduplicate, keep the largest top_k.
+  std::sort(grown.begin(), grown.end());
+  grown.erase(std::unique(grown.begin(), grown.end()), grown.end());
+  std::sort(grown.begin(), grown.end(),
+            [](const VertexSet& a, const VertexSet& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  if (grown.size() > options.top_k) grown.resize(options.top_k);
+  result.top = std::move(grown);
+  result.expand_seconds = expand_timer.Seconds();
+  return result;
+}
+
+}  // namespace qcm

@@ -1,0 +1,187 @@
+#include "mining/qc_app.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "quick/mining_context.h"
+#include "quick/recursive_mine.h"
+#include "util/timer.h"
+
+namespace qcm {
+
+QCApp::QCApp(const EngineConfig& config)
+    : config_(config), k_(config.mining.MinDegreeK()) {}
+
+TaskPtr QCApp::Spawn(VertexId v, ComputeContext& ctx) {
+  // Alg. 4: only spawn when deg(v) >= k (Theorem 2).
+  const uint32_t degree = ctx.Degree(v);
+  if (degree < k_) return nullptr;
+  return QCTask::MakeSpawn(v, degree);
+}
+
+StatusOr<TaskPtr> QCApp::DecodeTask(Decoder* dec) const {
+  return QCTask::Decode(dec);
+}
+
+ComputeStatus QCApp::Compute(Task& task, ComputeContext& ctx) {
+  auto& t = static_cast<QCTask&>(task);
+  if (t.iteration() == 1) {
+    WallTimer build;
+    const bool alive = BuildEgoGraph(t, ctx);
+    ctx.metrics().build_seconds += build.Seconds();
+    if (!alive) return ComputeStatus::kDone;
+    // Iteration 2 pulls nothing further, so iteration 3 runs right away
+    // (paper: "t will not be suspended but rather run the third iteration
+    // immediately").
+  }
+  MineTask(t, ctx);
+  return ComputeStatus::kDone;
+}
+
+bool QCApp::BuildEgoGraph(QCTask& t, ComputeContext& ctx) {
+  const VertexId root = t.root();
+
+  // ---- Iteration 1 (Alg. 6) ----
+  AdjRef root_adj = ctx.Fetch(root);
+  // Pull only ids larger than the root (set-enumeration discipline); split
+  // the frontier into V1 (degree >= k) and V2 (pruned by Theorem 2).
+  std::vector<VertexId> v1;
+  std::unordered_set<VertexId> v2;
+  std::unordered_set<VertexId> one_hop;  // t.N = frontier ∪ {root}
+  one_hop.insert(root);
+  for (VertexId u : root_adj.adj) {
+    if (u <= root) continue;
+    one_hop.insert(u);
+    if (ctx.Degree(u) >= k_) {
+      v1.push_back(u);
+    } else {
+      v2.insert(u);
+    }
+  }
+  if (v1.empty()) return false;
+
+  LocalGraphBuilder builder;
+  // Root's adjacency inside t.g is exactly V1 (entries must be >= root and
+  // not in V2).
+  builder.Stage(root, v1);
+  std::vector<VertexId> adj;
+  for (VertexId u : v1) {
+    AdjRef au = ctx.Fetch(u);
+    adj.clear();
+    for (VertexId w : au.adj) {
+      if (w >= root && v2.count(w) == 0) adj.push_back(w);
+    }
+    builder.Stage(u, adj);
+  }
+  builder.PeelToKCore(k_);
+  if (!builder.IsStaged(root)) return false;
+
+  // ---- Iteration 2 (Alg. 7) ----
+  // Pull the 2-hop frontier: adjacency targets not yet staged and not
+  // within one hop.
+  std::vector<VertexId> second_hop;
+  for (VertexId w : builder.PhantomTargets()) {
+    if (one_hop.count(w) == 0) second_hop.push_back(w);
+  }
+  // B = N ∪ pulled second hop: entries outside B would be 3 hops from the
+  // root and cannot share a diameter-2 quasi-clique with it (Theorem 1).
+  std::unordered_set<VertexId> b(one_hop.begin(), one_hop.end());
+  for (VertexId w : second_hop) b.insert(w);
+  for (VertexId w : second_hop) {
+    if (ctx.Degree(w) < k_) continue;
+    AdjRef aw = ctx.Fetch(w);
+    adj.clear();
+    for (VertexId x : aw.adj) {
+      if (x >= root && b.count(x) != 0) adj.push_back(x);
+    }
+    builder.Stage(w, adj);
+  }
+  builder.PeelToKCore(k_);
+  if (!builder.IsStaged(root)) return false;
+
+  LocalGraph g = builder.Build();
+  if (g.n() < config_.mining.min_size) return false;
+
+  // End of Alg. 7: t.S <- {v}, t.ext(S) <- V(g) - v.
+  std::vector<VertexId> ext;
+  ext.reserve(g.n() - 1);
+  for (LocalId l = 0; l < g.n(); ++l) {
+    if (g.GlobalId(l) != root) ext.push_back(g.GlobalId(l));
+  }
+  if (config_.record_task_log) {
+    RootTaskAgg& agg = ctx.metrics().root_agg[root];
+    agg.root = root;
+    agg.subgraph_vertices = g.n();
+    agg.subgraph_edges = g.NumEdges();
+  }
+  t.PromoteToMining({root}, std::move(ext), std::move(g));
+  return true;
+}
+
+void QCApp::MineTask(QCTask& t, ComputeContext& ctx) {
+  const LocalGraph& g = t.g();
+
+  // Re-localize <S, ext(S)> (subtasks arrive with global ids).
+  std::vector<LocalId> s_local, ext_local;
+  s_local.reserve(t.s().size());
+  for (VertexId vid : t.s()) s_local.push_back(g.FindLocal(vid));
+  ext_local.reserve(t.ext().size());
+  for (VertexId vid : t.ext()) ext_local.push_back(g.FindLocal(vid));
+
+  MiningContext mctx(&g, config_.mining, &ctx.sink());
+
+  // Decomposition policy (paper §6).
+  const bool decompose =
+      (config_.mode == DecomposeMode::kTimeDelayed) ||
+      (config_.mode == DecomposeMode::kSizeThreshold &&
+       t.ext().size() > config_.tau_split);
+  if (decompose) {
+    // tau_time seconds of real mining first (Alg. 10); for the pure
+    // size-threshold strategy (Alg. 8) the deadline is immediate, which
+    // turns every branch of the first level into a subtask.
+    const double deadline =
+        config_.mode == DecomposeMode::kTimeDelayed ? config_.tau_time : 0.0;
+    mctx.ArmTimeout(deadline, [&](const std::vector<LocalId>& s_child,
+                                  const std::vector<LocalId>& ext_child) {
+      // Materialize the subtask's subgraph (the decomposition overhead
+      // measured by Table 6) and hand it to the engine.
+      ScopedAccumulator mat(&ctx.metrics().materialize_seconds);
+      std::vector<LocalId> keep;
+      keep.reserve(s_child.size() + ext_child.size());
+      keep.insert(keep.end(), s_child.begin(), s_child.end());
+      keep.insert(keep.end(), ext_child.begin(), ext_child.end());
+      std::sort(keep.begin(), keep.end());
+      LocalGraph sub = g.Induce(keep);
+      std::vector<VertexId> s_global, ext_global;
+      s_global.reserve(s_child.size());
+      for (LocalId l : s_child) s_global.push_back(g.GlobalId(l));
+      ext_global.reserve(ext_child.size());
+      for (LocalId l : ext_child) ext_global.push_back(g.GlobalId(l));
+      std::sort(s_global.begin(), s_global.end());
+      std::sort(ext_global.begin(), ext_global.end());
+      ctx.AddTask(QCTask::MakeSubtask(t.root(), std::move(s_global),
+                                      std::move(ext_global),
+                                      std::move(sub)));
+      ++ctx.metrics().subtasks_created;
+    });
+  }
+
+  WallTimer mine;
+  const double mat_before = ctx.metrics().materialize_seconds;
+  RecursiveMine(mctx, std::move(s_local), std::move(ext_local));
+  // Attribute time spent materializing subtasks to materialization, not
+  // mining (Table 6 separates the two).
+  const double mine_seconds =
+      mine.Seconds() - (ctx.metrics().materialize_seconds - mat_before);
+  ctx.metrics().mining_seconds += mine_seconds;
+  ctx.metrics().mining_stats.Add(mctx.stats);
+
+  if (config_.record_task_log) {
+    RootTaskAgg& agg = ctx.metrics().root_agg[t.root()];
+    agg.root = t.root();
+    agg.mining_seconds += mine_seconds;
+    ++agg.tasks;
+  }
+}
+
+}  // namespace qcm

@@ -1,0 +1,39 @@
+// The quasi-clique G-thinker application: the two UDFs of paper §6.
+//   * Spawn (Alg. 4): one task per vertex with degree >= k.
+//   * Compute (Alg. 5): iterations 1-2 build the root's 2-hop ego network
+//     with k-core shrinking (Alg. 6-7); iteration 3 mines it (Alg. 8-10),
+//     decomposing into subtasks according to the configured mode.
+
+#ifndef QCM_MINING_QC_APP_H_
+#define QCM_MINING_QC_APP_H_
+
+#include "gthinker/task.h"
+#include "mining/qc_task.h"
+
+namespace qcm {
+
+class QCApp : public App {
+ public:
+  /// `config` is the engine configuration this app will run under (used
+  /// for mining options, decomposition mode and thresholds).
+  explicit QCApp(const EngineConfig& config);
+
+  TaskPtr Spawn(VertexId v, ComputeContext& ctx) override;
+  ComputeStatus Compute(Task& task, ComputeContext& ctx) override;
+  StatusOr<TaskPtr> DecodeTask(Decoder* dec) const override;
+
+ private:
+  /// Iterations 1-2 (Alg. 6-7): returns false if the task dies (root
+  /// peeled). On success the task is promoted to iteration 3.
+  bool BuildEgoGraph(QCTask& t, ComputeContext& ctx);
+
+  /// Iteration 3 (Alg. 8/9/10): mines t.g, decomposing per `mode_`.
+  void MineTask(QCTask& t, ComputeContext& ctx);
+
+  EngineConfig config_;
+  uint32_t k_;  // ceil(gamma * (tau_size - 1))
+};
+
+}  // namespace qcm
+
+#endif  // QCM_MINING_QC_APP_H_

@@ -1,0 +1,58 @@
+// The quasi-clique mining task (paper §6). Two task shapes exist on queues:
+//   * iteration 1 -- a freshly spawned task carrying only its root; its
+//     compute round builds the root's 2-hop ego network (Alg. 6-7) and then
+//     mines it (iteration 3 logic) in the same round, because with the
+//     simulation's synchronous vertex fetch there is no pull latency to
+//     suspend on (DESIGN.md §3).
+//   * iteration 3 -- a decomposed subtask carrying <S, ext(S)> (global ids)
+//     and its materialized subgraph t.g (Alg. 8 line 19 / Alg. 10).
+// Both shapes serialize losslessly for spilling and stealing.
+
+#ifndef QCM_MINING_QC_TASK_H_
+#define QCM_MINING_QC_TASK_H_
+
+#include <vector>
+
+#include "graph/local_graph.h"
+#include "gthinker/task.h"
+
+namespace qcm {
+
+class QCTask : public Task {
+ public:
+  QCTask() = default;
+
+  /// Fresh spawn (Alg. 4): iteration 1, size hint = spawn degree proxy.
+  static TaskPtr MakeSpawn(VertexId root, uint64_t size_hint);
+
+  /// Decomposed subtask: iteration 3 with materialized state.
+  static TaskPtr MakeSubtask(VertexId root, std::vector<VertexId> s,
+                             std::vector<VertexId> ext, LocalGraph g);
+
+  VertexId root() const override { return root_; }
+  uint64_t SizeHint() const override { return size_hint_; }
+  void Encode(Encoder* enc) const override;
+  static StatusOr<TaskPtr> Decode(Decoder* dec);
+
+  uint8_t iteration() const { return iteration_; }
+  const std::vector<VertexId>& s() const { return s_; }
+  const std::vector<VertexId>& ext() const { return ext_; }
+  const LocalGraph& g() const { return g_; }
+
+  /// Promotes a freshly built spawn task to mining state (end of Alg. 7:
+  /// t.S <- {v}, t.ext(S) <- V(g) - v, iteration <- 3).
+  void PromoteToMining(std::vector<VertexId> s, std::vector<VertexId> ext,
+                       LocalGraph g);
+
+ private:
+  VertexId root_ = 0;
+  uint8_t iteration_ = 1;
+  uint64_t size_hint_ = 0;
+  std::vector<VertexId> s_;
+  std::vector<VertexId> ext_;
+  LocalGraph g_;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_MINING_QC_TASK_H_

@@ -1,0 +1,44 @@
+// Upper bound U_S (P4, Eqs. 1-4) and lower bound L_S (P5, Eqs. 6-8) on the
+// number of ext(S) vertices that can extend S into a valid quasi-clique,
+// plus the Type-II outcomes their computation can trigger (paper §3.2 and
+// §4 T3).
+
+#ifndef QCM_QUICK_BOUNDS_H_
+#define QCM_QUICK_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quick/mining_context.h"
+
+namespace qcm {
+
+/// What the bound computation concluded.
+enum class BoundOutcome {
+  /// Bounds are valid; continue with the pruning rules.
+  kOk,
+  /// Extensions of S are pruned but G(S) itself must still be examined
+  /// (Eq. (4) infeasible, or U_S^min <= 0 -- "for U_S's case, we still need
+  /// to examine G(S)").
+  kPruneExtCheckS,
+  /// S and all extensions are pruned with no examination (Eq. (7)/(8)
+  /// infeasible -- t = 0 included -- or U_S < L_S with L_S >= 1).
+  kPruneAll,
+};
+
+/// Computed bounds. When a rule family is disabled via MiningOptions, its
+/// bound degenerates to the no-constraint value (U = |ext|, L = 0).
+struct Bounds {
+  BoundOutcome outcome = BoundOutcome::kOk;
+  int64_t upper = 0;  // U_S
+  int64_t lower = 0;  // L_S
+};
+
+/// Computes U_S and L_S. REQUIRES: ds()/dext() freshly computed for every
+/// member of S and ext (see ComputeDegrees). S must be non-empty.
+Bounds ComputeBounds(MiningContext& ctx, const std::vector<LocalId>& s,
+                     const std::vector<LocalId>& ext);
+
+}  // namespace qcm
+
+#endif  // QCM_QUICK_BOUNDS_H_

@@ -1,0 +1,77 @@
+#include "quick/cover_vertex.h"
+
+#include <algorithm>
+
+namespace qcm {
+
+std::vector<LocalId> FindBestCoverSet(MiningContext& ctx,
+                                      const std::vector<LocalId>& s,
+                                      const std::vector<LocalId>& ext) {
+  if (!ctx.opts().use_cover_vertex || ext.empty() || s.empty()) return {};
+  const LocalGraph& g = ctx.g();
+  const int64_t thresh = ctx.CeilGamma(static_cast<int64_t>(s.size()));
+
+  // Precompute dS for all members of S and ext while the S-membership mark
+  // is pristine (mark array 1 is reused later for neighbor intersections).
+  const uint32_t s_tag = ctx.NewMark();
+  for (LocalId v : s) ctx.Mark(v, s_tag);
+  auto ds_of = [&](LocalId x) {
+    int64_t d = 0;
+    for (LocalId w : g.Neighbors(x)) {
+      if (ctx.Marked(w, s_tag)) ++d;
+    }
+    return d;
+  };
+  std::vector<int64_t> ds_s(s.size());
+  for (size_t i = 0; i < s.size(); ++i) ds_s[i] = ds_of(s[i]);
+  std::vector<int64_t> ds_ext(ext.size());
+  for (size_t i = 0; i < ext.size(); ++i) ds_ext[i] = ds_of(ext[i]);
+
+  std::vector<LocalId> best;
+  std::vector<LocalId> cover;
+  std::vector<LocalId> filtered;
+  for (size_t ui = 0; ui < ext.size(); ++ui) {
+    const LocalId u = ext[ui];
+    if (ds_ext[ui] < thresh) continue;
+
+    // Mark Gamma(u).
+    const uint32_t u_tag = ctx.NewMark2();
+    for (LocalId w : g.Neighbors(u)) ctx.Mark2(w, u_tag);
+
+    // All v in S not adjacent to u must satisfy dS(v) >= thresh.
+    bool ok = true;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (!ctx.Marked2(s[i], u_tag) && ds_s[i] < thresh) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    // Candidate cover starts as Gamma_ext(u) = ext ∩ Gamma(u). If it is
+    // already no bigger than the best cover, u cannot win (the paper's
+    // early-skip in Alg. 2 line 2 commentary).
+    cover.clear();
+    for (LocalId w : ext) {
+      if (w != u && ctx.Marked2(w, u_tag)) cover.push_back(w);
+    }
+    if (cover.size() <= best.size()) continue;
+
+    // Intersect with Gamma(v) of every non-neighbor v in S (Eq. 9).
+    for (LocalId v : s) {
+      if (ctx.Marked2(v, u_tag)) continue;  // v adjacent to u
+      const uint32_t v_tag = ctx.NewMark();
+      for (LocalId w : g.Neighbors(v)) ctx.Mark(w, v_tag);
+      filtered.clear();
+      for (LocalId w : cover) {
+        if (ctx.Marked(w, v_tag)) filtered.push_back(w);
+      }
+      cover.swap(filtered);
+      if (cover.size() <= best.size()) break;
+    }
+    if (cover.size() > best.size()) best = cover;
+  }
+  return best;
+}
+
+}  // namespace qcm

@@ -1,0 +1,19 @@
+#include "quick/gamma.h"
+
+#include <cmath>
+#include <string>
+
+namespace qcm {
+
+StatusOr<Gamma> Gamma::Create(double gamma) {
+  if (!(gamma > 0.0) || gamma > 1.0) {
+    return Status::InvalidArgument("gamma must be in (0, 1], got " +
+                                   std::to_string(gamma));
+  }
+  int64_t num = static_cast<int64_t>(std::llround(gamma * kDen));
+  if (num <= 0) num = 1;
+  if (num > kDen) num = kDen;
+  return Gamma(num);
+}
+
+}  // namespace qcm

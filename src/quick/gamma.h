@@ -1,0 +1,51 @@
+// Exact arithmetic for the degree threshold gamma.
+//
+// Every pruning rule in the paper compares integer degrees against
+// ceil(gamma * x) for some integer x. Evaluating that with doubles is
+// hazardous: e.g. 0.9 * 10 evaluates to 9.000000000000002, whose ceil is 10,
+// silently tightening the threshold and losing results. We therefore store
+// gamma as an exact rational num/10^6 (six decimal digits cover every value
+// used in the paper and benchmarks) and do the ceil/floor in 64-bit integer
+// arithmetic.
+
+#ifndef QCM_QUICK_GAMMA_H_
+#define QCM_QUICK_GAMMA_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace qcm {
+
+/// Exact rational representation of the quasi-clique degree threshold.
+class Gamma {
+ public:
+  /// Validates gamma in (0, 1] and rounds it to 6 decimal digits.
+  static StatusOr<Gamma> Create(double gamma);
+
+  /// ceil(gamma * x) for x >= 0, computed exactly.
+  int64_t CeilMul(int64_t x) const {
+    return (num_ * x + kDen - 1) / kDen;
+  }
+
+  /// floor(x / gamma) for x >= 0, computed exactly (used by the upper
+  /// bound U_S^min, Eq. (3) of the paper).
+  int64_t FloorDiv(int64_t x) const { return x * kDen / num_; }
+
+  /// The threshold as a double (for reporting only).
+  double value() const {
+    return static_cast<double>(num_) / static_cast<double>(kDen);
+  }
+
+  bool operator==(const Gamma&) const = default;
+
+ private:
+  explicit Gamma(int64_t num) : num_(num) {}
+
+  static constexpr int64_t kDen = 1000000;
+  int64_t num_ = kDen;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_QUICK_GAMMA_H_

@@ -1,0 +1,55 @@
+#include "quick/maximality_filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace qcm {
+
+std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets) {
+  // Exact dedup first.
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  // Process larger sets first: any strict superset of a candidate is
+  // already kept by the time the candidate is considered.
+  std::stable_sort(sets.begin(), sets.end(),
+                   [](const VertexSet& a, const VertexSet& b) {
+                     return a.size() > b.size();
+                   });
+
+  std::vector<VertexSet> kept;
+  // Inverted index: vertex -> indices of kept sets containing it.
+  std::unordered_map<VertexId, std::vector<size_t>> index;
+  for (VertexSet& s : sets) {
+    if (s.empty()) continue;
+    // Probe via the member contained in the fewest kept sets.
+    VertexId probe = s[0];
+    size_t probe_count = SIZE_MAX;
+    for (VertexId v : s) {
+      auto it = index.find(v);
+      const size_t c = it == index.end() ? 0 : it->second.size();
+      if (c < probe_count) {
+        probe_count = c;
+        probe = v;
+      }
+    }
+    bool subsumed = false;
+    if (probe_count > 0) {
+      for (size_t idx : index[probe]) {
+        const VertexSet& t = kept[idx];
+        if (t.size() > s.size() &&
+            std::includes(t.begin(), t.end(), s.begin(), s.end())) {
+          subsumed = true;
+          break;
+        }
+      }
+    }
+    if (subsumed) continue;
+    const size_t idx = kept.size();
+    kept.push_back(std::move(s));
+    for (VertexId v : kept.back()) index[v].push_back(idx);
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace qcm

@@ -1,0 +1,23 @@
+// Maximality postprocessing (paper §3.1): the set-enumeration tasks cannot
+// see results found under other roots, so the union of all emitted
+// candidates may contain duplicates and non-maximal sets. This filter
+// removes both, leaving exactly the maximal quasi-cliques -- correct
+// because the miner is guaranteed to emit every *maximal* one.
+
+#ifndef QCM_QUICK_MAXIMALITY_FILTER_H_
+#define QCM_QUICK_MAXIMALITY_FILTER_H_
+
+#include <vector>
+
+#include "quick/quasi_clique.h"
+
+namespace qcm {
+
+/// Removes duplicates and sets that are strict subsets of another set.
+/// Input sets must be sorted ascending (the sink contract). Output is
+/// sorted lexicographically for determinism.
+std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets);
+
+}  // namespace qcm
+
+#endif  // QCM_QUICK_MAXIMALITY_FILTER_H_

@@ -1,0 +1,113 @@
+#include "quick/mining_context.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qcm {
+
+void MiningStats::Add(const MiningStats& other) {
+  nodes_explored += other.nodes_explored;
+  bounding_iterations += other.bounding_iterations;
+  emitted += other.emitted;
+  type1_degree_pruned += other.type1_degree_pruned;
+  type1_upper_pruned += other.type1_upper_pruned;
+  type1_lower_pruned += other.type1_lower_pruned;
+  type2_prunes += other.type2_prunes;
+  bound_fail_prunes += other.bound_fail_prunes;
+  critical_moves += other.critical_moves;
+  cover_skipped += other.cover_skipped;
+  lookahead_hits += other.lookahead_hits;
+  diameter_filtered += other.diameter_filtered;
+  size_prunes += other.size_prunes;
+  subtasks_spawned += other.subtasks_spawned;
+}
+
+MiningContext::MiningContext(const LocalGraph* graph,
+                             const MiningOptions& options, ResultSink* sink)
+    : graph_(graph),
+      options_(options),
+      gamma_(*Gamma::Create(options.gamma)),
+      sink_(sink),
+      state_(graph->n(), static_cast<uint8_t>(VState::kOut)),
+      ds_(graph->n(), 0),
+      dext_(graph->n(), 0),
+      mark1_(graph->n(), 0),
+      mark2_(graph->n(), 0) {
+  QCM_CHECK(options.Validate().ok()) << options.Validate().ToString();
+}
+
+void MiningContext::ArmTimeout(double tau_time_seconds, SubtaskSink sink) {
+  deadline_micros_ =
+      NowMicros() + static_cast<int64_t>(tau_time_seconds * 1e6);
+  subtask_sink_ = std::move(sink);
+}
+
+bool MiningContext::IsQuasiCliqueUnion(std::span<const LocalId> a,
+                                       std::span<const LocalId> b) {
+  const size_t size = a.size() + b.size();
+  if (size == 0) return false;
+  if (size == 1) return true;
+  const uint32_t tag = NewMark2();
+  for (LocalId v : a) Mark2(v, tag);
+  for (LocalId v : b) Mark2(v, tag);
+  const int64_t need = CeilGamma(static_cast<int64_t>(size) - 1);
+  auto degree_ok = [&](LocalId v) {
+    int64_t deg = 0;
+    for (LocalId u : graph_->Neighbors(v)) {
+      if (Marked2(u, tag)) ++deg;
+    }
+    return deg >= need;
+  };
+  for (LocalId v : a) {
+    if (!degree_ok(v)) return false;
+  }
+  for (LocalId v : b) {
+    if (!degree_ok(v)) return false;
+  }
+  // gamma >= 0.5 (enforced by MiningOptions::Validate) makes the minimum
+  // induced degree >= (|S|-1)/2, which implies connectivity: two
+  // non-adjacent members must share a neighbor inside S by pigeonhole.
+  return true;
+}
+
+bool MiningContext::CheckAndEmit(std::span<const LocalId> s) {
+  if (s.size() < options_.min_size) return false;
+  if (!IsQuasiClique(s)) return false;
+  EmitVerified(s);
+  return true;
+}
+
+void MiningContext::EmitVerified(std::span<const LocalId> s) {
+  VertexSet out;
+  out.reserve(s.size());
+  for (LocalId v : s) out.push_back(graph_->GlobalId(v));
+  std::sort(out.begin(), out.end());
+  ++stats.emitted;
+  sink_->Emit(std::move(out));
+}
+
+void ComputeDegrees(MiningContext& ctx, const std::vector<LocalId>& s,
+                    const std::vector<LocalId>& ext) {
+  const LocalGraph& g = ctx.g();
+  auto& state = ctx.state();
+  auto& ds = ctx.ds();
+  auto& dext = ctx.dext();
+  auto count = [&](LocalId x) {
+    uint32_t in_s = 0, in_ext = 0;
+    for (LocalId w : g.Neighbors(x)) {
+      VState st = static_cast<VState>(state[w]);
+      if (st == VState::kInS) {
+        ++in_s;
+      } else if (st == VState::kInExt) {
+        ++in_ext;
+      }
+    }
+    ds[x] = in_s;
+    dext[x] = in_ext;
+  };
+  for (LocalId v : s) count(v);
+  for (LocalId u : ext) count(u);
+}
+
+}  // namespace qcm

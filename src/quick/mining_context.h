@@ -1,0 +1,146 @@
+// MiningContext: per-task state shared by the pruning machinery --
+// the task's LocalGraph, options, scratch arrays (degree buffers, vertex
+// state flags, epoch marks), statistics counters, the result sink, and the
+// time-delayed decomposition hook (deadline + subtask sink).
+//
+// One context is created per mining task (its scratch is sized to the
+// task's subgraph); it is not thread-safe and not shared across tasks.
+
+#ifndef QCM_QUICK_MINING_CONTEXT_H_
+#define QCM_QUICK_MINING_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/local_graph.h"
+#include "quick/gamma.h"
+#include "quick/quasi_clique.h"
+#include "util/timer.h"
+
+namespace qcm {
+
+/// Membership state of a local vertex during iterative bounding.
+enum class VState : uint8_t {
+  kOut = 0,
+  kInS = 1,
+  kInExt = 2,
+};
+
+/// Work and pruning counters (merged across tasks/threads for reports).
+struct MiningStats {
+  uint64_t nodes_explored = 0;       // recursive_mine invocations
+  uint64_t bounding_iterations = 0;  // Alg. 1 loop iterations
+  uint64_t emitted = 0;              // candidate quasi-cliques emitted
+
+  uint64_t type1_degree_pruned = 0;  // Theorem 3
+  uint64_t type1_upper_pruned = 0;   // Theorem 5
+  uint64_t type1_lower_pruned = 0;   // Theorem 7
+  uint64_t type2_prunes = 0;         // Theorems 4/6/8 subtree prunes
+  uint64_t bound_fail_prunes = 0;    // Eq. (4)/(7)/(8) infeasible or U < L
+  uint64_t critical_moves = 0;       // Theorem 9 expansions
+  uint64_t cover_skipped = 0;        // vertices skipped via CS(u) (P7)
+  uint64_t lookahead_hits = 0;       // Alg. 2 lines 8-10
+  uint64_t diameter_filtered = 0;    // ext(S') candidates cut by B(v) (P1)
+  uint64_t size_prunes = 0;          // Alg. 2 line 6
+  uint64_t subtasks_spawned = 0;     // time-delayed decomposition wraps
+
+  void Add(const MiningStats& other);
+};
+
+/// Signature of the time-delayed decomposition hook: receives <S', ext(S')>
+/// in *local ids* of the context's graph and wraps them into a new task
+/// (Alg. 10 lines 19-22).
+using SubtaskSink = std::function<void(const std::vector<LocalId>& s,
+                                       const std::vector<LocalId>& ext)>;
+
+class MiningContext {
+ public:
+  /// `graph` and `sink` must outlive the context.
+  /// REQUIRES: options.Validate().ok() and gamma successfully created,
+  /// enforced by the callers that construct contexts (miners/engine).
+  MiningContext(const LocalGraph* graph, const MiningOptions& options,
+                ResultSink* sink);
+
+  const LocalGraph& g() const { return *graph_; }
+  const MiningOptions& opts() const { return options_; }
+  const Gamma& gamma() const { return gamma_; }
+
+  /// ceil(gamma * x), exact.
+  int64_t CeilGamma(int64_t x) const { return gamma_.CeilMul(x); }
+
+  // ---- time-delayed decomposition hook (Alg. 9-10) ----
+
+  /// Arms the timeout: tasks may mine for `tau_time_seconds` before the
+  /// remaining workload is wrapped into subtasks through `sink`.
+  void ArmTimeout(double tau_time_seconds, SubtaskSink sink);
+
+  /// True iff a timeout is armed and has expired.
+  bool TimedOut() const {
+    return deadline_micros_ >= 0 && NowMicros() > deadline_micros_;
+  }
+  const SubtaskSink& subtask_sink() const { return subtask_sink_; }
+
+  // ---- candidate emission ----
+
+  /// If |s| >= tau_size and G(s) is a gamma-quasi-clique, emits the global
+  /// id set and returns true.
+  bool CheckAndEmit(std::span<const LocalId> s);
+
+  /// Emits without checking (caller already verified validity).
+  void EmitVerified(std::span<const LocalId> s);
+
+  /// Validity of G(A ∪ B) by Definition 1 (degree condition only; gamma >=
+  /// 0.5 implies connectivity). A and B must be disjoint.
+  bool IsQuasiCliqueUnion(std::span<const LocalId> a,
+                          std::span<const LocalId> b);
+
+  bool IsQuasiClique(std::span<const LocalId> s) {
+    return IsQuasiCliqueUnion(s, {});
+  }
+
+  // ---- scratch shared by the pruning machinery ----
+  // state_/ds_/dext_ are owned by IterativeBounding while it runs; the
+  // helpers outside it (cover vertex, two-hop filter, validity checks) use
+  // only the epoch marks.
+
+  std::vector<uint8_t>& state() { return state_; }
+  std::vector<uint32_t>& ds() { return ds_; }
+  std::vector<uint32_t>& dext() { return dext_; }
+
+  /// Starts a fresh epoch on mark array 1 and returns its tag.
+  uint32_t NewMark() { return ++epoch1_; }
+  void Mark(LocalId v, uint32_t tag) { mark1_[v] = tag; }
+  bool Marked(LocalId v, uint32_t tag) const { return mark1_[v] == tag; }
+
+  /// Second, independent mark array (for nested set operations).
+  uint32_t NewMark2() { return ++epoch2_; }
+  void Mark2(LocalId v, uint32_t tag) { mark2_[v] = tag; }
+  bool Marked2(LocalId v, uint32_t tag) const { return mark2_[v] == tag; }
+
+  MiningStats stats;
+
+ private:
+  const LocalGraph* graph_;
+  MiningOptions options_;
+  Gamma gamma_;
+  ResultSink* sink_;
+
+  int64_t deadline_micros_ = -1;
+  SubtaskSink subtask_sink_;
+
+  std::vector<uint8_t> state_;
+  std::vector<uint32_t> ds_, dext_;
+  std::vector<uint32_t> mark1_, mark2_;
+  uint32_t epoch1_ = 0, epoch2_ = 0;
+};
+
+/// Recomputes ds/dext for every vertex of S and ext. REQUIRES: state() set
+/// to kInS / kInExt for exactly the members of S / ext.
+void ComputeDegrees(MiningContext& ctx, const std::vector<LocalId>& s,
+                    const std::vector<LocalId>& ext);
+
+}  // namespace qcm
+
+#endif  // QCM_QUICK_MINING_CONTEXT_H_

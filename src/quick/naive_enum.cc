@@ -1,0 +1,87 @@
+#include "quick/naive_enum.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace qcm {
+
+StatusOr<std::vector<VertexSet>> NaiveMaximalQuasiCliques(const Graph& g,
+                                                          double gamma,
+                                                          uint32_t min_size) {
+  const uint32_t n = g.NumVertices();
+  if (n > 24) {
+    return Status::InvalidArgument(
+        "NaiveMaximalQuasiCliques: graph too large for exhaustive search");
+  }
+  auto gamma_or = Gamma::Create(gamma);
+  QCM_RETURN_IF_ERROR(gamma_or.status());
+  const Gamma& gq = gamma_or.value();
+
+  // Bitmask adjacency.
+  std::vector<uint32_t> adj(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.Neighbors(v)) adj[v] |= 1u << u;
+  }
+
+  auto connected = [&](uint32_t mask) {
+    const uint32_t start = mask & (~mask + 1);  // lowest set bit
+    uint32_t reached = start;
+    uint32_t frontier = start;
+    while (frontier != 0) {
+      uint32_t next = 0;
+      uint32_t f = frontier;
+      while (f != 0) {
+        const int v = std::countr_zero(f);
+        f &= f - 1;
+        next |= adj[v] & mask & ~reached;
+      }
+      reached |= next;
+      frontier = next;
+    }
+    return reached == mask;
+  };
+
+  std::vector<uint32_t> valid;  // all valid quasi-cliques as bitmasks
+  const uint32_t limit = n == 32 ? 0 : (1u << n);
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    const int size = std::popcount(mask);
+    if (size < static_cast<int>(min_size)) continue;
+    const int64_t need = gq.CeilMul(size - 1);
+    bool ok = true;
+    uint32_t m = mask;
+    while (m != 0) {
+      const int v = std::countr_zero(m);
+      m &= m - 1;
+      if (std::popcount(adj[v] & mask) < need) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && connected(mask)) valid.push_back(mask);
+  }
+
+  // Keep the maximal ones: not a strict subset of any other valid set.
+  std::vector<VertexSet> out;
+  for (uint32_t s : valid) {
+    bool maximal = true;
+    for (uint32_t t : valid) {
+      if (t != s && (s & t) == s) {
+        maximal = false;
+        break;
+      }
+    }
+    if (!maximal) continue;
+    VertexSet set;
+    uint32_t m = s;
+    while (m != 0) {
+      const int v = std::countr_zero(m);
+      m &= m - 1;
+      set.push_back(static_cast<VertexId>(v));
+    }
+    out.push_back(std::move(set));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace qcm

@@ -1,0 +1,25 @@
+// Exhaustive enumeration oracle for tiny graphs: checks every vertex subset
+// against Definition 1 (including connectivity, so it is valid for any
+// gamma in (0, 1]) and keeps exactly the maximal sets. Exponential -- used
+// only by tests and micro-examples, capped at 24 vertices.
+
+#ifndef QCM_QUICK_NAIVE_ENUM_H_
+#define QCM_QUICK_NAIVE_ENUM_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "quick/quasi_clique.h"
+#include "util/status.h"
+
+namespace qcm {
+
+/// All maximal gamma-quasi-cliques of g with at least min_size vertices,
+/// sorted lexicographically. InvalidArgument if g has more than 24 vertices.
+StatusOr<std::vector<VertexSet>> NaiveMaximalQuasiCliques(const Graph& g,
+                                                          double gamma,
+                                                          uint32_t min_size);
+
+}  // namespace qcm
+
+#endif  // QCM_QUICK_NAIVE_ENUM_H_

@@ -1,0 +1,59 @@
+#include "quick/quasi_clique.h"
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+namespace qcm {
+
+Status MiningOptions::Validate() const {
+  if (gamma < 0.5 || gamma > 1.0) {
+    return Status::InvalidArgument(
+        "gamma must be in [0.5, 1] (diameter-2 regime, Theorem 1), got " +
+        std::to_string(gamma));
+  }
+  if (min_size < 2) {
+    return Status::InvalidArgument("min_size (tau_size) must be >= 2, got " +
+                                   std::to_string(min_size));
+  }
+  return Status::OK();
+}
+
+uint32_t MiningOptions::MinDegreeK() const {
+  auto g = Gamma::Create(gamma);
+  if (!g.ok()) return 0;
+  return static_cast<uint32_t>(g->CeilMul(static_cast<int64_t>(min_size) - 1));
+}
+
+bool IsQuasiCliqueGlobal(const Graph& g, const VertexSet& s,
+                         const Gamma& gamma) {
+  if (s.empty()) return false;
+  if (s.size() == 1) return s[0] < g.NumVertices();
+  std::unordered_set<VertexId> members(s.begin(), s.end());
+  if (members.size() != s.size()) return false;  // duplicates
+  const int64_t need = gamma.CeilMul(static_cast<int64_t>(s.size()) - 1);
+  for (VertexId v : s) {
+    if (v >= g.NumVertices()) return false;
+    int64_t deg = 0;
+    for (VertexId u : g.Neighbors(v)) {
+      if (members.count(u) != 0) ++deg;
+    }
+    if (deg < need) return false;
+  }
+  // Connectivity (Definition 1). Redundant for gamma >= 0.5 but kept so the
+  // oracle is valid for any gamma.
+  std::unordered_set<VertexId> seen{s[0]};
+  std::deque<VertexId> queue{s[0]};
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : g.Neighbors(v)) {
+      if (members.count(u) != 0 && seen.insert(u).second) {
+        queue.push_back(u);
+      }
+    }
+  }
+  return seen.size() == s.size();
+}
+
+}  // namespace qcm

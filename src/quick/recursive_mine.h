@@ -1,0 +1,37 @@
+// Algorithm 2 (recursive_mine) and its time-delayed variant (Algorithm 10).
+//
+// The two algorithms share all structure; Algorithm 10 differs only in the
+// branch taken when the task's mining deadline has passed: instead of
+// recursing into <S', ext(S')>, the pair is wrapped into a new task through
+// the context's SubtaskSink, and G(S') is examined immediately because the
+// current task loses track of the subtask's findings (Alg. 10 lines 18-24).
+// Arming MiningContext::ArmTimeout therefore *is* the time-delayed strategy;
+// without it this function is exactly Algorithm 2.
+
+#ifndef QCM_QUICK_RECURSIVE_MINE_H_
+#define QCM_QUICK_RECURSIVE_MINE_H_
+
+#include <vector>
+
+#include "quick/mining_context.h"
+
+namespace qcm {
+
+/// Mines all valid quasi-cliques Q ⊇ S with Q ⊆ S ∪ ext (set-enumeration
+/// subtree T_S). Returns true iff some valid Q ⊋ S was found and emitted.
+/// Candidates are emitted through ctx's sink; non-maximal candidates are
+/// possible and removed by postprocessing (maximality_filter.h).
+///
+/// REQUIRES: s non-empty and disjoint from ext; all ids local to ctx.g().
+bool RecursiveMine(MiningContext& ctx, std::vector<LocalId> s,
+                   std::vector<LocalId> ext);
+
+/// Diameter-based candidate filter (P1 / Alg. 2 line 12): keeps the members
+/// of `candidates` within 2 hops of v in ctx.g(), preserving order.
+std::vector<LocalId> TwoHopFilter(MiningContext& ctx,
+                                  std::span<const LocalId> candidates,
+                                  LocalId v);
+
+}  // namespace qcm
+
+#endif  // QCM_QUICK_RECURSIVE_MINE_H_

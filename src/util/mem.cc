@@ -1,0 +1,48 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace qcm {
+
+namespace {
+uint64_t ReadStatusField(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, " %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+}  // namespace
+
+uint64_t PeakRssBytes() {
+  // Some sandboxed kernels do not expose VmHWM; fall back to the current
+  // RSS so callers always get a usable lower bound on the peak.
+  uint64_t hwm = ReadStatusField("VmHWM:");
+  return hwm != 0 ? hwm : CurrentRssBytes();
+}
+
+uint64_t CurrentRssBytes() { return ReadStatusField("VmRSS:"); }
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace qcm

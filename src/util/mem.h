@@ -1,0 +1,24 @@
+// Process memory accounting: peak RSS as reported by the kernel, used for
+// the "RAM" column of Table 2 and the scalability tables.
+
+#ifndef QCM_UTIL_MEM_H_
+#define QCM_UTIL_MEM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qcm {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 if unavailable.
+uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS). Returns 0 if unavailable.
+uint64_t CurrentRssBytes();
+
+/// Human-readable byte count, e.g. "3.1 GB", "12.0 MB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace qcm
+
+#endif  // QCM_UTIL_MEM_H_

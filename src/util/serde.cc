@@ -1,0 +1,51 @@
+#include "util/serde.h"
+
+namespace qcm {
+
+namespace {
+constexpr uint32_t kBlobMagic = 0x51434d42;  // "QCMB"
+}
+
+uint64_t Fingerprint(const char* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void AppendFramedBlob(const std::string& payload, std::string* out) {
+  Encoder enc;
+  enc.PutU32(kBlobMagic);
+  enc.PutU64(payload.size());
+  enc.PutU64(Fingerprint(payload));
+  out->append(enc.buffer());
+  out->append(payload);
+}
+
+Status ReadFramedBlob(const std::string& buf, size_t* pos,
+                      std::string* payload) {
+  Decoder dec(buf.data() + *pos, buf.size() - *pos);
+  uint32_t magic = 0;
+  uint64_t len = 0;
+  uint64_t fp = 0;
+  QCM_RETURN_IF_ERROR(dec.GetU32(&magic));
+  if (magic != kBlobMagic) {
+    return Status::Corruption("framed blob: bad magic");
+  }
+  QCM_RETURN_IF_ERROR(dec.GetU64(&len));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&fp));
+  if (len > dec.Remaining()) {
+    return Status::Corruption("framed blob: truncated payload");
+  }
+  size_t header = sizeof(uint32_t) + 2 * sizeof(uint64_t);
+  payload->assign(buf.data() + *pos + header, len);
+  if (Fingerprint(*payload) != fp) {
+    return Status::Corruption("framed blob: checksum mismatch");
+  }
+  *pos += header + len;
+  return Status::OK();
+}
+
+}  // namespace qcm

@@ -1,0 +1,138 @@
+// Status / StatusOr: exception-free error handling for library code paths.
+// Modeled after the RocksDB / Abseil idiom: functions that can fail return a
+// Status (or StatusOr<T>) instead of throwing, so mining hot loops never
+// unwind.
+
+#ifndef QCM_UTIL_STATUS_H_
+#define QCM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qcm {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kAborted,
+  kInternal,
+};
+
+/// Lightweight result type carrying a code and a human-readable message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy when OK
+/// (no message allocation).
+class Status {
+ public:
+  Status() = default;
+
+  /// Returns an OK status (no error).
+  static Status OK() { return Status(); }
+  /// Caller passed an argument outside the documented domain.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// A requested entity (vertex, file, dataset) does not exist.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Filesystem / IO failure (spill files, graph loading).
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Persisted bytes failed validation during decode.
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  /// Numeric or index value outside the representable range.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Operation stopped before completion (e.g. engine shutdown).
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// Invariant violation inside the library itself.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Access to value() requires ok().
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: success.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define QCM_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::qcm::Status _qcm_status = (expr);    \
+    if (!_qcm_status.ok()) {               \
+      return _qcm_status;                  \
+    }                                      \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define QCM_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto _qcm_sor_##__LINE__ = (expr);               \
+  if (!_qcm_sor_##__LINE__.ok()) {                 \
+    return _qcm_sor_##__LINE__.status();           \
+  }                                                \
+  lhs = std::move(_qcm_sor_##__LINE__).value()
+
+}  // namespace qcm
+
+#endif  // QCM_UTIL_STATUS_H_

@@ -1,0 +1,63 @@
+// Wall-clock timing utilities used by the engine (time-delayed task
+// decomposition, per-task mining/materialization accounting) and the
+// benchmark harness.
+
+#ifndef QCM_UTIL_TIMER_H_
+#define QCM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qcm {
+
+/// Monotonic wall-clock timer with microsecond resolution.
+class WallTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer at the current instant.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t Micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double (seconds) on destruction.
+/// Used to attribute time to mining vs. subgraph materialization (Table 6).
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double* sink) : sink_(sink) {}
+  ~ScopedAccumulator() { *sink_ += timer_.Seconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+/// Returns a monotonic timestamp in microseconds (for cheap deadline checks).
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace qcm
+
+#endif  // QCM_UTIL_TIMER_H_

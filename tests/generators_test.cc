@@ -1,0 +1,158 @@
+// Unit tests for the synthetic graph generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "quick/quasi_clique.h"
+
+namespace qcm {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  auto g = GenErdosRenyi(100, 500, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 100u);
+  EXPECT_EQ(g->NumEdges(), 500u);
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  auto a = GenErdosRenyi(50, 100, 7);
+  auto b = GenErdosRenyi(50, 100, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (VertexId v = 0; v < 50; ++v) {
+    auto na = a->Neighbors(v);
+    auto nb = b->Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsOverfullGraph) {
+  auto g = GenErdosRenyi(4, 7, 1);  // max is 6
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ErdosRenyiTest, RejectsTinyN) {
+  EXPECT_FALSE(GenErdosRenyi(1, 0, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, SizeAndConnectivity) {
+  auto g = GenBarabasiAlbert(500, 3, 2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 500u);
+  // Every vertex beyond the seed clique attaches >= 1 edge.
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    EXPECT_GE(g->Degree(v), 1u);
+  }
+  // Power-law-ish: max degree far above average.
+  GraphStats s = ComputeGraphStats(*g);
+  EXPECT_GT(s.max_degree, 3 * s.avg_degree);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArgs) {
+  EXPECT_FALSE(GenBarabasiAlbert(10, 0, 1).ok());
+  EXPECT_FALSE(GenBarabasiAlbert(3, 3, 1).ok());
+}
+
+TEST(RmatTest, ProducesSkewedGraph) {
+  auto g = GenRMAT(10, 4000, 0.57, 0.19, 0.19, 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 1024u);
+  EXPECT_GT(g->NumEdges(), 3000u);
+  GraphStats s = ComputeGraphStats(*g);
+  EXPECT_GT(s.max_degree, 2 * s.avg_degree);
+}
+
+TEST(RmatTest, RejectsBadProbabilities) {
+  EXPECT_FALSE(GenRMAT(8, 100, 0.6, 0.3, 0.2, 1).ok());  // sums > 1
+  EXPECT_FALSE(GenRMAT(0, 100, 0.25, 0.25, 0.25, 1).ok());
+}
+
+TEST(PlantedTest, CommunitiesAreQuasiCliques) {
+  PlantedConfig config;
+  config.num_vertices = 400;
+  config.background = BackgroundModel::kErdosRenyi;
+  config.background_edges = 800;
+  config.num_communities = 5;
+  config.community_min = 12;
+  config.community_max = 16;
+  config.intra_density = 1.0;  // plant full cliques
+  config.seed = 11;
+  std::vector<std::vector<VertexId>> communities;
+  auto g = GenPlantedCommunities(config, &communities);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(communities.size(), 5u);
+  auto gamma = std::move(Gamma::Create(0.9)).value();
+  for (const auto& c : communities) {
+    EXPECT_GE(c.size(), 12u);
+    EXPECT_LE(c.size(), 16u);
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+    // A planted clique certainly passes any gamma.
+    EXPECT_TRUE(IsQuasiCliqueGlobal(*g, c, gamma));
+  }
+}
+
+TEST(PlantedTest, OverlapSharesMembers) {
+  PlantedConfig config;
+  config.num_vertices = 300;
+  config.num_communities = 4;
+  config.community_min = 10;
+  config.community_max = 10;
+  config.intra_density = 1.0;
+  config.overlap_fraction = 0.5;
+  config.seed = 5;
+  std::vector<std::vector<VertexId>> communities;
+  auto g = GenPlantedCommunities(config, &communities);
+  ASSERT_TRUE(g.ok());
+  for (size_t i = 1; i < communities.size(); ++i) {
+    std::unordered_set<VertexId> prev(communities[i - 1].begin(),
+                                      communities[i - 1].end());
+    size_t shared = 0;
+    for (VertexId v : communities[i]) shared += prev.count(v);
+    EXPECT_GE(shared, 3u) << "community " << i;
+  }
+}
+
+TEST(PlantedTest, RejectsBadConfig) {
+  PlantedConfig config;
+  config.num_vertices = 100;
+  config.community_min = 2;  // too small
+  EXPECT_FALSE(GenPlantedCommunities(config).ok());
+  config.community_min = 10;
+  config.community_max = 5;  // inverted
+  EXPECT_FALSE(GenPlantedCommunities(config).ok());
+  config.community_max = 200;  // bigger than graph
+  EXPECT_FALSE(GenPlantedCommunities(config).ok());
+}
+
+TEST(Figure4Test, MatchesPaperFacts) {
+  Graph g = PaperFigure4Graph();
+  EXPECT_EQ(g.NumVertices(), 9u);
+  constexpr VertexId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, gg = 6, h = 7,
+                     i = 8;
+  // Gamma(d) = {a, c, e, h, i}.
+  auto nd = g.Neighbors(d);
+  EXPECT_EQ((std::vector<VertexId>(nd.begin(), nd.end())),
+            (std::vector<VertexId>{a, c, e, h, i}));
+  // Gamma(e) = {a, b, c, d}.
+  auto ne = g.Neighbors(e);
+  EXPECT_EQ((std::vector<VertexId>(ne.begin(), ne.end())),
+            (std::vector<VertexId>{a, b, c, d}));
+  // {a,b,c,d} and {a,b,c,d,e} are 0.6-quasi-cliques.
+  auto gamma = std::move(Gamma::Create(0.6)).value();
+  EXPECT_TRUE(IsQuasiCliqueGlobal(g, {a, b, c, d}, gamma));
+  EXPECT_TRUE(IsQuasiCliqueGlobal(g, {a, b, c, d, e}, gamma));
+  // B(e) = {f, g, h, i}: all vertices are within 2 hops of e.
+  (void)f;
+  (void)gg;
+  (void)h;
+  (void)i;
+}
+
+}  // namespace
+}  // namespace qcm

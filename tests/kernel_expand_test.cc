@@ -1,0 +1,161 @@
+// Tests for the kernel-expansion extension (paper §8 future work / [32]):
+// expanded sets must be valid locally-maximal gamma-quasi-cliques
+// containing their kernels; the two-phase pipeline must recover planted
+// structure and respect top-k semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "mining/kernel_expand.h"
+#include "quick/naive_enum.h"
+
+namespace qcm {
+namespace {
+
+TEST(KernelExpandOptionsTest, Validation) {
+  KernelExpandOptions o;
+  o.gamma = 0.8;
+  o.kernel_gamma = 0.95;
+  o.engine.mining.min_size = 5;  // engine mining opts are overwritten
+  EXPECT_TRUE(o.Validate().ok());
+  o.kernel_gamma = 0.8;  // must exceed gamma
+  EXPECT_FALSE(o.Validate().ok());
+  o.kernel_gamma = 0.95;
+  o.gamma = 0.4;
+  EXPECT_FALSE(o.Validate().ok());
+  o.gamma = 0.8;
+  o.top_k = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(ExpandKernelTest, GrowsCliqueSeedToWholeQuasiClique) {
+  // 6-clique 0..5 plus vertex 6 adjacent to 0..4 (5 of 6): at gamma=0.8,
+  // {0..6} is valid (6 needs ceil(0.8*6)=5 ✓, members adjacent to 6 have
+  // 6 ✓, vertex 5 has 5 ✓). Expansion from the clique must absorb 6.
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < 6; ++i) {
+    for (uint32_t j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  }
+  for (uint32_t i = 0; i < 5; ++i) edges.emplace_back(i, 6);
+  auto g = std::move(Graph::FromEdges(7, std::move(edges))).value();
+  auto gamma = std::move(Gamma::Create(0.8)).value();
+  VertexSet grown = ExpandKernel(g, {0, 1, 2, 3, 4, 5}, gamma);
+  EXPECT_EQ(grown, (VertexSet{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(IsQuasiCliqueGlobal(g, grown, gamma));
+}
+
+TEST(ExpandKernelTest, StopsWhenNothingAdmissible) {
+  // Triangle + pendant: gamma=1 forbids any growth.
+  auto g = std::move(Graph::FromEdges(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}}))
+               .value();
+  auto gamma = std::move(Gamma::Create(1.0)).value();
+  VertexSet grown = ExpandKernel(g, {0, 1, 2}, gamma);
+  EXPECT_EQ(grown, (VertexSet{0, 1, 2}));
+}
+
+TEST(ExpandKernelTest, ResultAlwaysValidAndLocallyMaximal) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto g = std::move(GenErdosRenyi(40, 300, seed)).value();
+    auto gamma = std::move(Gamma::Create(0.7)).value();
+    // Seed with any edge's endpoints (a valid 0.7-QC of size 2).
+    VertexSet kernel = {0, g.Neighbors(0).empty() ? 1 : g.Neighbors(0)[0]};
+    std::sort(kernel.begin(), kernel.end());
+    if (!IsQuasiCliqueGlobal(g, kernel, gamma)) continue;
+    VertexSet grown = ExpandKernel(g, kernel, gamma);
+    EXPECT_TRUE(IsQuasiCliqueGlobal(g, grown, gamma)) << "seed=" << seed;
+    // Contains the kernel.
+    EXPECT_TRUE(std::includes(grown.begin(), grown.end(), kernel.begin(),
+                              kernel.end()));
+    // Locally maximal: no single vertex can be added.
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (std::binary_search(grown.begin(), grown.end(), v)) continue;
+      VertexSet bigger = grown;
+      bigger.push_back(v);
+      std::sort(bigger.begin(), bigger.end());
+      EXPECT_FALSE(IsQuasiCliqueGlobal(g, bigger, gamma))
+          << "seed=" << seed << " vertex " << v << " extends the result";
+    }
+  }
+}
+
+TEST(MineTopKTest, RecoversPlantedStructure) {
+  std::vector<std::vector<VertexId>> planted;
+  auto g = std::move(GenPlantedCommunities({.num_vertices = 2000,
+                                            .background_edges = 5000,
+                                            .background =
+                                                BackgroundModel::kErdosRenyi,
+                                            .num_communities = 4,
+                                            .community_min = 16,
+                                            .community_max = 20,
+                                            .intra_density = 1.0,
+                                            .seed = 55},
+                                           &planted))
+               .value();
+  KernelExpandOptions options;
+  options.gamma = 0.8;
+  options.kernel_gamma = 0.95;
+  options.kernel_min_size = 12;
+  options.top_k = 4;
+  options.engine.num_machines = 2;
+  options.engine.threads_per_machine = 2;
+  auto result = MineTopKQuasiCliques(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->top.size(), 4u);
+  auto gamma = std::move(Gamma::Create(0.8)).value();
+  for (const auto& s : result->top) {
+    EXPECT_TRUE(IsQuasiCliqueGlobal(g, s, gamma));
+    EXPECT_GE(s.size(), 16u);  // at least the planted clique size
+  }
+  // Sorted largest-first.
+  for (size_t i = 1; i < result->top.size(); ++i) {
+    EXPECT_GE(result->top[i - 1].size(), result->top[i].size());
+  }
+  // Each planted clique is inside some returned set.
+  for (const auto& c : planted) {
+    bool covered = false;
+    for (const auto& s : result->top) {
+      if (std::includes(s.begin(), s.end(), c.begin(), c.end())) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(MineTopKTest, TopKTruncates) {
+  auto g = std::move(GenPlantedCommunities({.num_vertices = 800,
+                                            .background_edges = 2000,
+                                            .background =
+                                                BackgroundModel::kErdosRenyi,
+                                            .num_communities = 6,
+                                            .community_min = 10,
+                                            .community_max = 12,
+                                            .intra_density = 1.0,
+                                            .seed = 77}))
+               .value();
+  KernelExpandOptions options;
+  options.gamma = 0.75;
+  options.kernel_gamma = 0.9;
+  options.kernel_min_size = 8;
+  options.top_k = 2;
+  options.engine.num_machines = 1;
+  options.engine.threads_per_machine = 2;
+  auto result = MineTopKQuasiCliques(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->top.size(), 2u);
+  EXPECT_GE(result->kernels.size(), result->top.size());
+}
+
+TEST(MineTopKTest, RejectsBadOptions) {
+  auto g = std::move(GenErdosRenyi(50, 100, 1)).value();
+  KernelExpandOptions options;
+  options.gamma = 0.9;
+  options.kernel_gamma = 0.85;  // below gamma
+  EXPECT_FALSE(MineTopKQuasiCliques(g, options).ok());
+}
+
+}  // namespace
+}  // namespace qcm

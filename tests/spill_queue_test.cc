@@ -1,0 +1,235 @@
+// Unit tests for the engine substrates: spill manager, global queue,
+// partitioned vertex table, remote cache, and the QCTask codec.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "gthinker/spill.h"
+#include "gthinker/task_queue.h"
+#include "gthinker/vertex_table.h"
+#include "mining/qc_task.h"
+
+namespace qcm {
+namespace {
+
+std::string TempSpillDir() {
+  std::string dir = testing::TempDir() + "/qcm_spill_test";
+  mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(SpillManagerTest, BatchRoundTripLifo) {
+  EngineCounters counters;
+  SpillManager spill(TempSpillDir(), "t1", &counters);
+  ASSERT_TRUE(spill.SpillBatch({"alpha", "beta"}).ok());
+  ASSERT_TRUE(spill.SpillBatch({"gamma"}).ok());
+  EXPECT_EQ(spill.FileCount(), 2u);
+  EXPECT_EQ(spill.PendingTasks(), 3u);
+
+  // LIFO: most recent batch first.
+  auto batch = spill.PopBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, (std::vector<std::string>{"gamma"}));
+  batch = spill.PopBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(spill.FileCount(), 0u);
+
+  // Empty pop is not an error.
+  batch = spill.PopBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+
+  EXPECT_EQ(counters.spill_files.load(), 2u);
+  EXPECT_EQ(counters.spilled_tasks.load(), 3u);
+  EXPECT_GT(counters.spill_bytes_written.load(), 0u);
+  EXPECT_EQ(counters.spill_bytes_read.load(),
+            counters.spill_bytes_written.load());
+}
+
+TEST(SpillManagerTest, EmptyBatchIsNoop) {
+  EngineCounters counters;
+  SpillManager spill(TempSpillDir(), "t2", &counters);
+  ASSERT_TRUE(spill.SpillBatch({}).ok());
+  EXPECT_EQ(spill.FileCount(), 0u);
+}
+
+TEST(SpillManagerTest, RemoveAllCleansDisk) {
+  EngineCounters counters;
+  SpillManager spill(TempSpillDir(), "t3", &counters);
+  ASSERT_TRUE(spill.SpillBatch({"x"}).ok());
+  spill.RemoveAll();
+  EXPECT_EQ(spill.FileCount(), 0u);
+  auto batch = spill.PopBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(VertexTableTest, PartitionsCoverAllVertices) {
+  auto g = std::move(GenErdosRenyi(100, 300, 1)).value();
+  VertexTable table(&g, 4);
+  size_t total = 0;
+  for (int m = 0; m < 4; ++m) {
+    for (VertexId v : table.OwnedVertices(m)) {
+      EXPECT_EQ(table.Owner(v), m);
+    }
+    total += table.OwnedVertices(m).size();
+  }
+  EXPECT_EQ(total, g.NumVertices());
+}
+
+TEST(DataServiceTest, LocalVsRemoteFetch) {
+  auto g = std::move(GenErdosRenyi(50, 200, 2)).value();
+  VertexTable table(&g, 2);
+  EngineCounters counters;
+  DataService svc(&table, /*machine=*/0, /*cache_capacity=*/1024, &counters);
+
+  // Local fetch: no pin, no cache traffic.
+  VertexId local_v = table.OwnedVertices(0)[0];
+  AdjRef local_ref = svc.Fetch(local_v);
+  EXPECT_EQ(local_ref.pin, nullptr);
+  EXPECT_EQ(counters.cache_misses.load(), 0u);
+
+  // Remote fetch: miss then hit.
+  VertexId remote_v = table.OwnedVertices(1)[0];
+  AdjRef r1 = svc.Fetch(remote_v);
+  EXPECT_NE(r1.pin, nullptr);
+  EXPECT_EQ(counters.cache_misses.load(), 1u);
+  AdjRef r2 = svc.Fetch(remote_v);
+  EXPECT_EQ(counters.cache_hits.load(), 1u);
+  // Both refs see the same adjacency content as the source graph.
+  auto src = g.Neighbors(remote_v);
+  ASSERT_EQ(r2.adj.size(), src.size());
+  EXPECT_TRUE(std::equal(r2.adj.begin(), r2.adj.end(), src.begin()));
+  EXPECT_EQ(counters.remote_bytes.load(), src.size() * sizeof(VertexId));
+}
+
+TEST(RemoteCacheTest, EvictsBeyondCapacity) {
+  auto g = std::move(GenErdosRenyi(400, 1200, 3)).value();
+  VertexTable table(&g, 2);
+  EngineCounters counters;
+  // Tiny capacity forces evictions.
+  RemoteCache cache(16, &counters);
+  for (VertexId v : table.OwnedVertices(1)) {
+    cache.Get(v, table);
+  }
+  EXPECT_GT(counters.cache_evictions.load(), 0u);
+  EXPECT_LE(cache.ApproxSize(), 16u + 8u);  // capacity + shard slack
+}
+
+TEST(QCTaskTest, SpawnTaskRoundTrip) {
+  TaskPtr t = QCTask::MakeSpawn(42, 17);
+  Encoder enc;
+  t->Encode(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = QCTask::Decode(&dec);
+  ASSERT_TRUE(decoded.ok());
+  auto* qt = static_cast<QCTask*>(decoded->get());
+  EXPECT_EQ(qt->root(), 42u);
+  EXPECT_EQ(qt->iteration(), 1);
+  EXPECT_EQ(qt->SizeHint(), 17u);
+}
+
+TEST(QCTaskTest, SubtaskRoundTripWithGraph) {
+  LocalGraphBuilder builder;
+  builder.Stage(5, {7, 9});
+  builder.Stage(7, {5, 9});
+  builder.Stage(9, {5, 7});
+  LocalGraph g = builder.Build();
+  TaskPtr t = QCTask::MakeSubtask(5, {5, 7}, {9}, g);
+  Encoder enc;
+  t->Encode(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = QCTask::Decode(&dec);
+  ASSERT_TRUE(decoded.ok());
+  auto* qt = static_cast<QCTask*>(decoded->get());
+  EXPECT_EQ(qt->iteration(), 3);
+  EXPECT_EQ(qt->s(), (std::vector<VertexId>{5, 7}));
+  EXPECT_EQ(qt->ext(), (std::vector<VertexId>{9}));
+  EXPECT_EQ(qt->g(), g);
+  EXPECT_EQ(qt->SizeHint(), 1u);
+}
+
+TEST(QCTaskTest, DecodeRejectsBadIteration) {
+  TaskPtr t = QCTask::MakeSpawn(1, 2);
+  Encoder enc;
+  t->Encode(&enc);
+  std::string bytes = enc.Release();
+  bytes[4] = 9;  // iteration byte follows the u32 root
+  Decoder dec(bytes);
+  EXPECT_FALSE(QCTask::Decode(&dec).ok());
+}
+
+class QueueApp : public App {
+ public:
+  TaskPtr Spawn(VertexId, ComputeContext&) override { return nullptr; }
+  ComputeStatus Compute(Task&, ComputeContext&) override {
+    return ComputeStatus::kDone;
+  }
+  StatusOr<TaskPtr> DecodeTask(Decoder* dec) const override {
+    return QCTask::Decode(dec);
+  }
+};
+
+TEST(GlobalQueueTest, FifoWithinCapacity) {
+  EngineCounters counters;
+  SpillManager spill(TempSpillDir(), "q1", &counters);
+  QueueApp app;
+  GlobalQueue q(/*capacity=*/100, /*batch=*/4, &spill, &app, &counters);
+  q.Push(QCTask::MakeSpawn(1, 10));
+  q.Push(QCTask::MakeSpawn(2, 10));
+  TaskPtr t = q.TryPop();
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->root(), 1u);
+  t = q.TryPop();
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->root(), 2u);
+  EXPECT_EQ(q.TryPop(), nullptr);
+}
+
+TEST(GlobalQueueTest, OverflowSpillsAndRefills) {
+  EngineCounters counters;
+  SpillManager spill(TempSpillDir(), "q2", &counters);
+  QueueApp app;
+  GlobalQueue q(/*capacity=*/8, /*batch=*/4, &spill, &app, &counters);
+  for (VertexId v = 0; v < 32; ++v) {
+    q.Push(QCTask::MakeSpawn(v, 10));
+  }
+  EXPECT_GT(spill.FileCount(), 0u);
+  // Draining the queue must recover every task exactly once.
+  std::vector<bool> seen(32, false);
+  for (int i = 0; i < 32; ++i) {
+    TaskPtr t = q.TryPop();
+    ASSERT_NE(t, nullptr) << "lost tasks after spill, i=" << i;
+    ASSERT_LT(t->root(), 32u);
+    EXPECT_FALSE(seen[t->root()]) << "duplicate task " << t->root();
+    seen[t->root()] = true;
+  }
+  EXPECT_EQ(q.TryPop(), nullptr);
+  EXPECT_EQ(spill.FileCount(), 0u);
+}
+
+TEST(GlobalQueueTest, StealBatchMovesTail) {
+  EngineCounters counters;
+  SpillManager spill(TempSpillDir(), "q3", &counters);
+  QueueApp app;
+  GlobalQueue q(100, 4, &spill, &app, &counters);
+  for (VertexId v = 0; v < 10; ++v) q.Push(QCTask::MakeSpawn(v, 10));
+  auto stolen = q.StealBatch(3);
+  EXPECT_EQ(stolen.size(), 3u);
+  EXPECT_EQ(q.ApproxSize(), 7u);
+
+  GlobalQueue q2(100, 4, &spill, &app, &counters);
+  q2.Push(QCTask::MakeSpawn(99, 10));
+  q2.PushStolenFront(std::move(stolen));
+  // Stolen tasks are prioritized: popped before the resident task.
+  TaskPtr t = q2.TryPop();
+  ASSERT_NE(t, nullptr);
+  EXPECT_NE(t->root(), 99u);
+}
+
+}  // namespace
+}  // namespace qcm

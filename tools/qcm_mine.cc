@@ -1,0 +1,334 @@
+// qcm_mine: command-line maximal quasi-clique miner.
+//
+// Load a SNAP-format edge list (or generate a synthetic graph), mine all
+// maximal gamma-quasi-cliques serially or on the simulated G-thinker
+// cluster, and write results / statistics.
+//
+// Usage:
+//   qcm_mine --input graph.txt --gamma 0.9 --min-size 10 [options]
+//   qcm_mine --gen-planted n=5000,communities=10,size=16..20,density=0.95
+//            --gamma 0.9 --min-size 12 --machines 2 --threads 2
+//
+// Options:
+//   --input PATH          SNAP edge list ('#' comments, "u v" lines)
+//   --gen-planted SPEC    synthetic planted-community graph (see below)
+//   --gamma F             degree threshold in [0.5, 1]      (default 0.9)
+//   --min-size N          minimum result size tau_size      (default 10)
+//   --serial              single-thread reference miner
+//   --machines N          simulated machines                (default 2)
+//   --threads N           mining threads per machine        (default 2)
+//   --tau-split N         big-task |ext(S)| threshold       (default 100)
+//   --tau-time F          time-delayed timeout seconds      (default 0.01)
+//   --mode M              none | size | time                (default time)
+//   --output PATH         write one result per line ("v1 v2 ...")
+//   --no-filter           report raw candidates (skip maximality filter)
+//   --stats               print engine/pruning statistics
+//   --seed N              generator seed                    (default 1)
+//
+// SPEC for --gen-planted: comma-separated key=value pairs --
+//   n, communities, size=LO..HI, density, overlap, edges (ER background).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "mining/parallel_miner.h"
+#include "quick/maximality_filter.h"
+#include "quick/serial_miner.h"
+#include "util/mem.h"
+
+namespace {
+
+using namespace qcm;
+
+struct Args {
+  std::string input;
+  std::string gen_planted;
+  double gamma = 0.9;
+  uint32_t min_size = 10;
+  bool serial = false;
+  int machines = 2;
+  int threads = 2;
+  uint32_t tau_split = 100;
+  double tau_time = 0.01;
+  std::string mode = "time";
+  std::string output;
+  bool no_filter = false;
+  bool stats = false;
+  uint64_t seed = 1;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: qcm_mine (--input PATH | --gen-planted SPEC) "
+               "[--gamma F] [--min-size N]\n"
+               "                [--serial | --machines N --threads N] "
+               "[--tau-split N] [--tau-time F]\n"
+               "                [--mode none|size|time] [--output PATH] "
+               "[--no-filter] [--stats] [--seed N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--input") {
+      const char* v = next("--input");
+      if (!v) return false;
+      args->input = v;
+    } else if (a == "--gen-planted") {
+      const char* v = next("--gen-planted");
+      if (!v) return false;
+      args->gen_planted = v;
+    } else if (a == "--gamma") {
+      const char* v = next("--gamma");
+      if (!v) return false;
+      args->gamma = std::atof(v);
+    } else if (a == "--min-size") {
+      const char* v = next("--min-size");
+      if (!v) return false;
+      args->min_size = static_cast<uint32_t>(std::atoi(v));
+    } else if (a == "--serial") {
+      args->serial = true;
+    } else if (a == "--machines") {
+      const char* v = next("--machines");
+      if (!v) return false;
+      args->machines = std::atoi(v);
+    } else if (a == "--threads") {
+      const char* v = next("--threads");
+      if (!v) return false;
+      args->threads = std::atoi(v);
+    } else if (a == "--tau-split") {
+      const char* v = next("--tau-split");
+      if (!v) return false;
+      args->tau_split = static_cast<uint32_t>(std::atoi(v));
+    } else if (a == "--tau-time") {
+      const char* v = next("--tau-time");
+      if (!v) return false;
+      args->tau_time = std::atof(v);
+    } else if (a == "--mode") {
+      const char* v = next("--mode");
+      if (!v) return false;
+      args->mode = v;
+    } else if (a == "--output") {
+      const char* v = next("--output");
+      if (!v) return false;
+      args->output = v;
+    } else if (a == "--no-filter") {
+      args->no_filter = true;
+    } else if (a == "--stats") {
+      args->stats = true;
+    } else if (a == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args->input.empty() == args->gen_planted.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --input / --gen-planted is required\n");
+    return false;
+  }
+  return true;
+}
+
+/// Parses "n=5000,communities=10,size=16..20,density=0.95,overlap=0.3,
+/// edges=12000" into a PlantedConfig.
+bool ParsePlantedSpec(const std::string& spec, uint64_t seed,
+                      PlantedConfig* config) {
+  config->seed = seed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string kv = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad spec entry: %s\n", kv.c_str());
+      return false;
+    }
+    std::string key = kv.substr(0, eq);
+    std::string value = kv.substr(eq + 1);
+    if (key == "n") {
+      config->num_vertices = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (key == "communities") {
+      config->num_communities =
+          static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (key == "size") {
+      size_t dots = value.find("..");
+      if (dots == std::string::npos) {
+        config->community_min = config->community_max =
+            static_cast<uint32_t>(std::atoi(value.c_str()));
+      } else {
+        config->community_min =
+            static_cast<uint32_t>(std::atoi(value.substr(0, dots).c_str()));
+        config->community_max =
+            static_cast<uint32_t>(std::atoi(value.substr(dots + 2).c_str()));
+      }
+    } else if (key == "density") {
+      config->intra_density = std::atof(value.c_str());
+    } else if (key == "overlap") {
+      config->overlap_fraction = std::atof(value.c_str());
+    } else if (key == "edges") {
+      config->background = BackgroundModel::kErdosRenyi;
+      config->background_edges =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::fprintf(stderr, "unknown spec key: %s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int WriteResults(const std::vector<VertexSet>& results,
+                 const std::string& path) {
+  FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  for (const VertexSet& s : results) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      std::fprintf(f, "%s%u", i ? " " : "", s[i]);
+    }
+    std::fprintf(f, "\n");
+  }
+  if (f != stdout) std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  // ---- Load or generate the graph. ----
+  Graph graph;
+  if (!args.input.empty()) {
+    auto loaded = LoadEdgeList(args.input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded->graph);
+  } else {
+    PlantedConfig config;
+    if (!ParsePlantedSpec(args.gen_planted, args.seed, &config)) return 2;
+    auto generated = GenPlantedCommunities(config);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(generated).value();
+  }
+  std::fprintf(stderr, "graph: %u vertices, %lu edges\n",
+               graph.NumVertices(),
+               static_cast<unsigned long>(graph.NumEdges()));
+
+  MiningOptions mining;
+  mining.gamma = args.gamma;
+  mining.min_size = args.min_size;
+
+  std::vector<VertexSet> candidates;
+  double seconds = 0;
+  if (args.serial) {
+    VectorSink sink;
+    SerialMiner miner(mining);
+    auto report = miner.Run(graph, &sink);
+    if (!report.ok()) {
+      std::fprintf(stderr, "mining failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    candidates = std::move(sink.results());
+    seconds = report->total_seconds;
+    if (args.stats) {
+      std::fprintf(stderr,
+                   "serial: %lu roots, %lu search nodes, %lu candidates, "
+                   "k-core %lu, build %.3f s, mine %.3f s\n",
+                   static_cast<unsigned long>(report->roots_processed),
+                   static_cast<unsigned long>(report->stats.nodes_explored),
+                   static_cast<unsigned long>(report->stats.emitted),
+                   static_cast<unsigned long>(report->kcore_size),
+                   report->build_seconds, report->mine_seconds);
+    }
+  } else {
+    EngineConfig config;
+    config.mining = mining;
+    config.num_machines = args.machines;
+    config.threads_per_machine = args.threads;
+    config.tau_split = args.tau_split;
+    config.tau_time = args.tau_time;
+    if (args.mode == "none") {
+      config.mode = DecomposeMode::kNone;
+    } else if (args.mode == "size") {
+      config.mode = DecomposeMode::kSizeThreshold;
+    } else if (args.mode == "time") {
+      config.mode = DecomposeMode::kTimeDelayed;
+    } else {
+      std::fprintf(stderr, "unknown --mode %s\n", args.mode.c_str());
+      return 2;
+    }
+    ParallelMiner miner(config);
+    auto result = miner.Run(graph);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mining failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    candidates = std::move(result->report.results);
+    seconds = result->report.wall_seconds;
+    if (args.stats) {
+      const EngineReport& r = result->report;
+      std::fprintf(stderr,
+                   "engine: %lu tasks (%lu big/%lu small), spill %lu "
+                   "tasks/%s, steals %lu, cache %lu/%lu, busy max/min "
+                   "%.2f, peak RSS %s\n",
+                   static_cast<unsigned long>(r.counters.tasks_completed),
+                   static_cast<unsigned long>(r.counters.big_tasks),
+                   static_cast<unsigned long>(r.counters.small_tasks),
+                   static_cast<unsigned long>(r.counters.spilled_tasks),
+                   HumanBytes(r.counters.spill_bytes_written).c_str(),
+                   static_cast<unsigned long>(r.counters.stolen_tasks),
+                   static_cast<unsigned long>(r.counters.cache_hits),
+                   static_cast<unsigned long>(r.counters.cache_misses),
+                   r.BusyImbalance(),
+                   HumanBytes(r.peak_rss_bytes).c_str());
+    }
+  }
+
+  std::vector<VertexSet> results =
+      args.no_filter ? std::move(candidates)
+                     : FilterMaximal(std::move(candidates));
+  std::fprintf(stderr, "%zu %s quasi-cliques in %.3f s\n", results.size(),
+               args.no_filter ? "candidate" : "maximal", seconds);
+
+  if (!args.output.empty()) {
+    return WriteResults(results, args.output);
+  }
+  return 0;
+}
