@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "graph/ego_builder.h"
 #include "graph/generators.h"
 #include "graph/kcore.h"
 #include "graph/local_graph.h"
@@ -42,10 +43,10 @@ LocalGraph DenseLocalGraph(uint32_t n, double density, uint64_t seed) {
                          n, static_cast<uint64_t>(density * n * (n - 1) / 2),
                          seed))
                .value();
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     std::vector<VertexId> adj(g.Neighbors(v).begin(), g.Neighbors(v).end());
-    builder.Stage(v, std::move(adj));
+    builder.Stage(v, adj);
   }
   return builder.Build();
 }
@@ -60,16 +61,20 @@ void BM_CoreDecomposition(benchmark::State& state) {
 }
 BENCHMARK(BM_CoreDecomposition);
 
-void BM_BuildRootEgo(benchmark::State& state) {
+void BM_BuildEgo(benchmark::State& state) {
   const Graph& g = TestGraph();
   std::vector<uint8_t> alive = KCoreMask(g, 17);
   VertexId root = 0;
   while (root < g.NumVertices() && !alive[root]) ++root;
+  EgoScratch scratch;
+  scratch.Reset(g.NumVertices());
+  GraphVertexSource source(&g, &alive);
+  EgoBuilder builder(&scratch);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(BuildRootEgo(g, alive, root, 17));
+    benchmark::DoNotOptimize(builder.BuildEgo(source, root, 17, 2));
   }
 }
-BENCHMARK(BM_BuildRootEgo);
+BENCHMARK(BM_BuildEgo);
 
 void BM_ComputeBounds(benchmark::State& state) {
   LocalGraph g = DenseLocalGraph(static_cast<uint32_t>(state.range(0)), 0.8,

@@ -1,0 +1,326 @@
+#include "graph/ego_builder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace qcm {
+
+namespace {
+
+// flags_ bits (valid while mark_epoch_[v] == epoch_).
+constexpr uint8_t kOneHop = 1;    // v is in t.N = {root} ∪ 1-hop frontier
+constexpr uint8_t kExcluded = 2;  // V2: 1-hop vertex pruned by Theorem 2
+constexpr uint8_t kInBall = 4;    // pulled 2-hop frontier member
+
+inline uint64_t PackEdge(uint32_t u, uint32_t v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EgoScratch
+// ---------------------------------------------------------------------------
+
+void EgoScratch::Reset(uint32_t num_vertices) {
+  ++epoch_;
+  if (epoch_ == 0) HandleEpochWrap();
+  if (num_vertices > 0) EnsureVertex(num_vertices - 1);
+  slot_vid_.clear();
+  slot_alive_.clear();
+  slot_adj_begin_.clear();
+  slot_adj_end_.clear();
+  adj_pool_.clear();
+}
+
+void EgoScratch::HandleEpochWrap() {
+  // Reached only after 2^32 resets: invalidate every stale epoch mark.
+  std::fill(mark_epoch_.begin(), mark_epoch_.end(), 0u);
+  std::fill(slot_epoch_.begin(), slot_epoch_.end(), 0u);
+  epoch_ = 1;
+}
+
+void EgoScratch::EnsureVertex(VertexId v) {
+  if (v < mark_epoch_.size()) return;
+  const size_t size = static_cast<size_t>(v) + 1;
+  mark_epoch_.resize(size, 0);
+  flags_.resize(size, 0);
+  slot_epoch_.resize(size, 0);
+  slot_of_.resize(size, 0);
+}
+
+uint64_t EgoScratch::MemoryBytes() const {
+  return mark_epoch_.capacity() * sizeof(uint32_t) +
+         flags_.capacity() * sizeof(uint8_t) +
+         slot_epoch_.capacity() * sizeof(uint32_t) +
+         slot_of_.capacity() * sizeof(uint32_t) +
+         slot_vid_.capacity() * sizeof(VertexId) +
+         slot_alive_.capacity() * sizeof(uint8_t) +
+         (slot_adj_begin_.capacity() + slot_adj_end_.capacity()) *
+             sizeof(uint32_t) +
+         (adj_pool_.capacity() + frontier_.capacity() +
+          filter_buf_.capacity() + phantom_buf_.capacity() +
+          vids_buf_.capacity()) *
+             sizeof(VertexId) +
+         local_buf_.capacity() * sizeof(uint32_t) +
+         cursor_buf_.capacity() * sizeof(uint32_t) +
+         edge_buf_.capacity() * sizeof(uint64_t);
+}
+
+// ---------------------------------------------------------------------------
+// EgoBuilder: staging primitives
+// ---------------------------------------------------------------------------
+
+EgoBuilder::EgoBuilder()
+    : owned_(std::make_unique<EgoScratch>()), scratch_(owned_.get()) {
+  scratch_->Reset(0);
+}
+
+EgoBuilder::EgoBuilder(EgoScratch* scratch) : scratch_(scratch) {
+  scratch_->Reset(0);
+}
+
+void EgoBuilder::Reset() { scratch_->Reset(0); }
+
+void EgoBuilder::Stage(VertexId v, std::span<const VertexId> adj) {
+  EgoScratch& sc = *scratch_;
+  sc.EnsureVertex(v);
+  const uint32_t begin = static_cast<uint32_t>(sc.adj_pool_.size());
+  sc.adj_pool_.insert(sc.adj_pool_.end(), adj.begin(), adj.end());
+  const uint32_t end = static_cast<uint32_t>(sc.adj_pool_.size());
+  if (sc.slot_epoch_[v] == sc.epoch_) {
+    // Restage: overwrite in place (the previous pool range is simply
+    // abandoned until the next Reset).
+    const uint32_t s = sc.slot_of_[v];
+    sc.slot_adj_begin_[s] = begin;
+    sc.slot_adj_end_[s] = end;
+    sc.slot_alive_[s] = 1;
+    return;
+  }
+  sc.slot_epoch_[v] = sc.epoch_;
+  sc.slot_of_[v] = static_cast<uint32_t>(sc.slot_vid_.size());
+  sc.slot_vid_.push_back(v);
+  sc.slot_alive_.push_back(1);
+  sc.slot_adj_begin_.push_back(begin);
+  sc.slot_adj_end_.push_back(end);
+}
+
+bool EgoBuilder::IsStaged(VertexId v) const {
+  const EgoScratch& sc = *scratch_;
+  return v < sc.slot_epoch_.size() && sc.slot_epoch_[v] == sc.epoch_ &&
+         sc.slot_alive_[sc.slot_of_[v]] != 0;
+}
+
+size_t EgoBuilder::StagedCount() const {
+  const EgoScratch& sc = *scratch_;
+  size_t count = 0;
+  for (uint8_t a : sc.slot_alive_) count += a;
+  return count;
+}
+
+size_t EgoBuilder::AdjLength(VertexId v) const {
+  const EgoScratch& sc = *scratch_;
+  if (!IsStaged(v)) return 0;
+  const uint32_t s = sc.slot_of_[v];
+  return sc.slot_adj_end_[s] - sc.slot_adj_begin_[s];
+}
+
+void EgoBuilder::CollectPhantomTargets() const {
+  EgoScratch& sc = *scratch_;
+  sc.phantom_buf_.clear();
+  const size_t slots = sc.slot_vid_.size();
+  for (size_t s = 0; s < slots; ++s) {
+    if (!sc.slot_alive_[s]) continue;
+    for (uint32_t i = sc.slot_adj_begin_[s]; i < sc.slot_adj_end_[s]; ++i) {
+      const VertexId w = sc.adj_pool_[i];
+      if (!IsStaged(w)) sc.phantom_buf_.push_back(w);
+    }
+  }
+  std::sort(sc.phantom_buf_.begin(), sc.phantom_buf_.end());
+  sc.phantom_buf_.erase(
+      std::unique(sc.phantom_buf_.begin(), sc.phantom_buf_.end()),
+      sc.phantom_buf_.end());
+}
+
+std::vector<VertexId> EgoBuilder::PhantomTargets() const {
+  CollectPhantomTargets();
+  return scratch_->phantom_buf_;
+}
+
+void EgoBuilder::PeelToKCore(uint32_t k) {
+  // Multi-pass fixpoint, mirroring Alg. 6 line 10: drop adjacency entries
+  // that point at peeled staged vertices, then peel newly under-degree
+  // vertices. Entries pointing at never-staged ("phantom") vertices are
+  // retained and count toward the degree ("a destination w that is 2 hops
+  // from v stays untouched ... though w is counted for degree checking").
+  EgoScratch& sc = *scratch_;
+  const size_t slots = sc.slot_vid_.size();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t s = 0; s < slots; ++s) {
+      if (!sc.slot_alive_[s]) continue;
+      // Compact away entries whose target is a peeled staged vertex.
+      uint32_t write = sc.slot_adj_begin_[s];
+      for (uint32_t i = sc.slot_adj_begin_[s]; i < sc.slot_adj_end_[s];
+           ++i) {
+        const VertexId w = sc.adj_pool_[i];
+        const bool dead = w < sc.slot_epoch_.size() &&
+                          sc.slot_epoch_[w] == sc.epoch_ &&
+                          sc.slot_alive_[sc.slot_of_[w]] == 0;
+        if (!dead) sc.adj_pool_[write++] = w;
+      }
+      sc.slot_adj_end_[s] = write;
+      if (write - sc.slot_adj_begin_[s] < k) {
+        sc.slot_alive_[s] = 0;
+        changed = true;
+      }
+    }
+  }
+}
+
+LocalGraph EgoBuilder::Build() const {
+  EgoScratch& sc = *scratch_;
+  const size_t slots = sc.slot_vid_.size();
+
+  sc.vids_buf_.clear();
+  for (size_t s = 0; s < slots; ++s) {
+    if (sc.slot_alive_[s]) sc.vids_buf_.push_back(sc.slot_vid_[s]);
+  }
+  std::sort(sc.vids_buf_.begin(), sc.vids_buf_.end());
+  const uint32_t n = static_cast<uint32_t>(sc.vids_buf_.size());
+
+  // slot -> local id of the sorted order (n = peeled/absent).
+  sc.local_buf_.assign(slots, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    sc.local_buf_[sc.slot_of_[sc.vids_buf_[i]]] = i;
+  }
+
+  // An edge survives iff either endpoint listed it and both are alive;
+  // dedup via a packed sorted edge list.
+  sc.edge_buf_.clear();
+  for (size_t s = 0; s < slots; ++s) {
+    if (!sc.slot_alive_[s]) continue;
+    const uint32_t lu = sc.local_buf_[s];
+    for (uint32_t i = sc.slot_adj_begin_[s]; i < sc.slot_adj_end_[s]; ++i) {
+      const VertexId w = sc.adj_pool_[i];
+      if (!IsStaged(w)) continue;  // phantom (never staged or peeled)
+      const uint32_t lw = sc.local_buf_[sc.slot_of_[w]];
+      if (lw == lu) continue;  // self-loop
+      sc.edge_buf_.push_back(PackEdge(std::min(lu, lw), std::max(lu, lw)));
+    }
+  }
+  std::sort(sc.edge_buf_.begin(), sc.edge_buf_.end());
+  sc.edge_buf_.erase(std::unique(sc.edge_buf_.begin(), sc.edge_buf_.end()),
+                     sc.edge_buf_.end());
+
+  LocalGraph g;
+  g.vids_.assign(sc.vids_buf_.begin(), sc.vids_buf_.end());
+  g.offsets_.assign(n + 1, 0);
+  for (uint64_t e : sc.edge_buf_) {
+    ++g.offsets_[(e >> 32) + 1];
+    ++g.offsets_[(e & 0xffffffffu) + 1];
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(sc.edge_buf_.size() * 2);
+  sc.cursor_buf_.assign(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Edges are sorted by (min, max): every vertex first receives its
+  // smaller endpoints in ascending order, then its larger ones, so each
+  // final adjacency range is already sorted.
+  for (uint64_t e : sc.edge_buf_) {
+    const uint32_t u = static_cast<uint32_t>(e >> 32);
+    const uint32_t v = static_cast<uint32_t>(e & 0xffffffffu);
+    g.adj_[sc.cursor_buf_[u]++] = v;
+    g.adj_[sc.cursor_buf_[v]++] = u;
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// EgoBuilder: Alg. 6-7 end to end
+// ---------------------------------------------------------------------------
+
+LocalGraph EgoBuilder::BuildEgo(EgoVertexSource& source, VertexId root,
+                                uint32_t k, uint32_t min_size) {
+  EgoScratch& sc = *scratch_;
+  sc.Reset(0);
+  auto mark = [&sc](VertexId v, uint8_t bit) {
+    sc.EnsureVertex(v);
+    if (sc.mark_epoch_[v] != sc.epoch_) {
+      sc.mark_epoch_[v] = sc.epoch_;
+      sc.flags_[v] = 0;
+    }
+    sc.flags_[v] |= bit;
+  };
+  auto has = [&sc](VertexId v, uint8_t bit) {
+    return v < sc.mark_epoch_.size() && sc.mark_epoch_[v] == sc.epoch_ &&
+           (sc.flags_[v] & bit) != 0;
+  };
+
+  // ---- Iteration 1 (Alg. 6) ----
+  // Pull only ids larger than the root (set-enumeration discipline); split
+  // the frontier into V1 (degree >= k, staged) and V2 (pruned by
+  // Theorem 2, excluded from every staged adjacency of this iteration).
+  mark(root, kOneHop);
+  sc.frontier_.clear();
+  for (VertexId u : source.Adjacency(root)) {
+    if (u <= root) continue;
+    mark(u, kOneHop);
+    if (source.Degree(u) >= k) {
+      sc.frontier_.push_back(u);
+    } else {
+      mark(u, kExcluded);
+    }
+  }
+  if (sc.frontier_.empty()) return LocalGraph();
+
+  // Root's adjacency inside t.g is exactly V1.
+  Stage(root, sc.frontier_);
+  const size_t v1_size = sc.frontier_.size();
+  for (size_t i = 0; i < v1_size; ++i) {
+    const VertexId u = sc.frontier_[i];
+    sc.filter_buf_.clear();
+    for (VertexId w : source.Adjacency(u)) {
+      if (w >= root && !has(w, kExcluded)) sc.filter_buf_.push_back(w);
+    }
+    Stage(u, sc.filter_buf_);
+  }
+  PeelToKCore(k);
+  if (!IsStaged(root)) return LocalGraph();
+
+  // ---- Iteration 2 (Alg. 7) ----
+  // The 2-hop frontier: staged adjacency targets that are neither staged
+  // nor within one hop. B = t.N ∪ pulled second hop; entries outside B
+  // would be 3 hops from the root and cannot share a diameter-2
+  // quasi-clique with it (Theorem 1).
+  CollectPhantomTargets();
+  sc.frontier_.clear();
+  for (VertexId w : sc.phantom_buf_) {
+    if (!has(w, kOneHop)) {
+      sc.frontier_.push_back(w);
+      mark(w, kInBall);
+    }
+  }
+  const size_t second_hop_size = sc.frontier_.size();
+  for (size_t i = 0; i < second_hop_size; ++i) {
+    const VertexId w = sc.frontier_[i];
+    if (source.Degree(w) < k) continue;  // Theorem 2 again
+    sc.filter_buf_.clear();
+    for (VertexId x : source.Adjacency(w)) {
+      if (x >= root && (has(x, kOneHop) || has(x, kInBall))) {
+        sc.filter_buf_.push_back(x);
+      }
+    }
+    Stage(w, sc.filter_buf_);
+  }
+  PeelToKCore(k);
+  if (!IsStaged(root)) return LocalGraph();
+
+  LocalGraph g = Build();
+  if (g.n() < min_size) return LocalGraph();
+  return g;
+}
+
+}  // namespace qcm

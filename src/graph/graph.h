@@ -45,13 +45,16 @@ class Graph {
   /// Number of undirected edges.
   uint64_t NumEdges() const { return adj_.size() / 2; }
 
-  /// Degree of vertex v.
+  /// Degree of vertex v; 0 for ids outside [0, NumVertices()) -- callers
+  /// probing an empty or smaller graph must not read past offsets_.
   uint32_t Degree(VertexId v) const {
+    if (static_cast<size_t>(v) + 1 >= offsets_.size()) return 0;
     return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
-  /// Sorted neighbors of v.
+  /// Sorted neighbors of v; empty for ids outside [0, NumVertices()).
   std::span<const VertexId> Neighbors(VertexId v) const {
+    if (static_cast<size_t>(v) + 1 >= offsets_.size()) return {};
     return {adj_.data() + offsets_[v],
             adj_.data() + offsets_[v + 1]};
   }

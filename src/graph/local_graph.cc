@@ -116,122 +116,4 @@ StatusOr<LocalGraph> LocalGraph::Decode(Decoder* dec) {
   return g;
 }
 
-void LocalGraphBuilder::Stage(VertexId v, std::vector<VertexId> adj) {
-  Entry& e = entries_[v];
-  e.adj = std::move(adj);
-  e.alive = true;
-}
-
-bool LocalGraphBuilder::IsStaged(VertexId v) const {
-  auto it = entries_.find(v);
-  return it != entries_.end() && it->second.alive;
-}
-
-size_t LocalGraphBuilder::StagedCount() const {
-  size_t count = 0;
-  for (const auto& [vid, e] : entries_) {
-    if (e.alive) ++count;
-  }
-  return count;
-}
-
-size_t LocalGraphBuilder::AdjLength(VertexId v) const {
-  auto it = entries_.find(v);
-  if (it == entries_.end() || !it->second.alive) return 0;
-  return it->second.adj.size();
-}
-
-std::vector<VertexId> LocalGraphBuilder::PhantomTargets() const {
-  std::vector<VertexId> out;
-  for (const auto& [vid, e] : entries_) {
-    if (!e.alive) continue;
-    for (VertexId w : e.adj) {
-      auto it = entries_.find(w);
-      if (it == entries_.end() || !it->second.alive) out.push_back(w);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
-
-void LocalGraphBuilder::PeelToKCore(uint32_t k) {
-  // Multi-pass fixpoint: drop adjacency entries that point at peeled staged
-  // vertices, then peel newly under-degree vertices. Entries pointing at
-  // never-staged ("phantom") vertices are retained and count toward the
-  // degree, exactly as Alg. 6 line 10 prescribes ("a destination w that is
-  // 2 hops from v stays untouched ... though w is counted for degree
-  // checking").
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (auto& [vid, e] : entries_) {
-      if (!e.alive) continue;
-      auto dead = [this](VertexId w) {
-        auto it = entries_.find(w);
-        return it != entries_.end() && !it->second.alive;
-      };
-      e.adj.erase(std::remove_if(e.adj.begin(), e.adj.end(), dead),
-                  e.adj.end());
-      if (e.adj.size() < k) {
-        e.alive = false;
-        changed = true;
-      }
-    }
-  }
-}
-
-LocalGraph LocalGraphBuilder::Build() const {
-  std::vector<VertexId> vids;
-  vids.reserve(entries_.size());
-  for (const auto& [vid, e] : entries_) {
-    if (e.alive) vids.push_back(vid);
-  }
-  std::sort(vids.begin(), vids.end());
-
-  auto local_of = [&vids](VertexId v) -> uint32_t {
-    auto it = std::lower_bound(vids.begin(), vids.end(), v);
-    if (it == vids.end() || *it != v) {
-      return static_cast<uint32_t>(vids.size());
-    }
-    return static_cast<uint32_t>(it - vids.begin());
-  };
-
-  const uint32_t n = static_cast<uint32_t>(vids.size());
-  // An edge survives iff either endpoint listed it and both are alive.
-  std::vector<std::pair<LocalId, LocalId>> edges;
-  for (const auto& [vid, e] : entries_) {
-    if (!e.alive) continue;
-    LocalId lu = local_of(vid);
-    for (VertexId w : e.adj) {
-      LocalId lw = local_of(w);
-      if (lw == n || lw == lu) continue;  // phantom/peeled or self-loop
-      edges.emplace_back(std::min(lu, lw), std::max(lu, lw));
-    }
-  }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-
-  LocalGraph g;
-  g.vids_ = std::move(vids);
-  g.offsets_.assign(n + 1, 0);
-  for (const auto& [u, v] : edges) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
-  }
-  for (size_t i = 1; i < g.offsets_.size(); ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
-  }
-  g.adj_.resize(edges.size() * 2);
-  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& [u, v] : edges) {
-    g.adj_[cursor[u]++] = v;
-    g.adj_[cursor[v]++] = u;
-  }
-  for (uint32_t v = 0; v < n; ++v) {
-    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
-  }
-  return g;
-}
-
 }  // namespace qcm

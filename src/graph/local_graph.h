@@ -4,10 +4,10 @@
 // global-id order and the set-enumeration discipline (Figure 5) can be
 // enforced on local ids directly.
 //
-// LocalGraphs are created three ways:
-//   * by the serial miner, as the 2-hop ego network of a spawned root;
-//   * by compute() iterations 1-2 of the parallel algorithm (Alg. 6-7),
-//     via LocalGraphBuilder;
+// LocalGraphs are created two ways:
+//   * by ego-network materialization (Alg. 6-7) -- the shared EgoBuilder
+//     layer (graph/ego_builder.h) that both the serial miner and the
+//     G-thinker compute() iterations drive;
 //   * by task decomposition (Alg. 8 line 19 / Alg. 10), via Induce() --
 //     whose cost is the "subgraph materialization time" measured in Table 6.
 //
@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -44,10 +43,15 @@ class LocalGraph {
   /// Number of undirected edges.
   uint64_t NumEdges() const { return adj_.size() / 2; }
 
-  uint32_t Degree(LocalId v) const { return offsets_[v + 1] - offsets_[v]; }
+  /// Degree of v; 0 for ids outside [0, n()) (empty graphs included).
+  uint32_t Degree(LocalId v) const {
+    if (static_cast<size_t>(v) + 1 >= offsets_.size()) return 0;
+    return offsets_[v + 1] - offsets_[v];
+  }
 
-  /// Sorted (ascending local id) neighbors of v.
+  /// Sorted (ascending local id) neighbors of v; empty outside [0, n()).
   std::span<const LocalId> Neighbors(LocalId v) const {
+    if (static_cast<size_t>(v) + 1 >= offsets_.size()) return {};
     return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
 
@@ -85,56 +89,11 @@ class LocalGraph {
   bool operator==(const LocalGraph& other) const = default;
 
  private:
-  friend class LocalGraphBuilder;
+  friend class EgoBuilder;
 
   std::vector<VertexId> vids_;     // strictly increasing
   std::vector<uint32_t> offsets_;  // size n()+1
   std::vector<LocalId> adj_;       // sorted within each range
-};
-
-/// Incremental builder used by compute() iterations: vertices are staged
-/// with global-id adjacency, peeled, and finally compiled into a LocalGraph.
-class LocalGraphBuilder {
- public:
-  /// Stages a vertex with its (global-id) adjacency. The adjacency may
-  /// reference vertices that are never staged ("phantom" 2-hop endpoints in
-  /// Alg. 6); they count toward peeling degrees but are dropped at Build()
-  /// unless staged by then. Staging the same vertex twice overwrites.
-  void Stage(VertexId v, std::vector<VertexId> adj);
-
-  /// True iff v has been staged and not peeled.
-  bool IsStaged(VertexId v) const;
-
-  /// Number of staged (alive) vertices.
-  size_t StagedCount() const;
-
-  /// Current adjacency length of a staged vertex (phantoms included);
-  /// 0 if not staged.
-  size_t AdjLength(VertexId v) const;
-
-  /// Distinct adjacency targets of alive entries that are not themselves
-  /// staged-alive ("phantom" endpoints -- the 2-hop frontier Alg. 6 pulls
-  /// in its lines 12-15), ascending.
-  std::vector<VertexId> PhantomTargets() const;
-
-  /// Peels staged vertices whose current adjacency length is < k,
-  /// cascading removals (entries pointing at peeled vertices are erased;
-  /// phantom entries are never peeled). Mirrors "t.g <- k-core(t.g)" in
-  /// Alg. 6 line 10 / Alg. 7 line 9.
-  void PeelToKCore(uint32_t k);
-
-  /// Compiles the staged structure into a LocalGraph. Adjacency entries
-  /// whose target was never staged (or was peeled) are dropped; edges are
-  /// made symmetric (an edge is kept iff either endpoint listed it).
-  LocalGraph Build() const;
-
- private:
-  struct Entry {
-    std::vector<VertexId> adj;
-    bool alive = true;
-  };
-
-  std::unordered_map<VertexId, Entry> entries_;
 };
 
 }  // namespace qcm

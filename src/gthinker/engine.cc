@@ -44,6 +44,9 @@ class Engine::Comper : public ComputeContext {
       : engine_(engine), worker_(worker) {
     metrics_.machine = machine;
     metrics_.thread = thread;
+    // Pre-size the materialization scratch so the first task already runs
+    // allocation-free over the full vertex-id space.
+    ego_scratch_.Reset(engine_->graph_->NumVertices());
   }
 
   void Run() {
@@ -94,6 +97,7 @@ class Engine::Comper : public ComputeContext {
 
   ResultSink& sink() override { return sink_; }
   ThreadMetrics& metrics() override { return metrics_; }
+  EgoScratch& ego_scratch() override { return ego_scratch_; }
   const EngineConfig& config() const override { return engine_->config_; }
 
   ThreadMetrics metrics_;
@@ -171,6 +175,7 @@ class Engine::Comper : public ComputeContext {
   Engine* engine_;
   Worker* worker_;
   std::deque<TaskPtr> local_;
+  EgoScratch ego_scratch_;
 };
 
 // ---------------------------------------------------------------------------

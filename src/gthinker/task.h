@@ -13,6 +13,7 @@
 
 #include "gthinker/engine_config.h"
 #include "gthinker/metrics.h"
+#include "graph/ego_builder.h"
 #include "graph/graph.h"
 #include "quick/quasi_clique.h"
 #include "util/serde.h"
@@ -69,6 +70,11 @@ class ComputeContext {
 
   /// Per-thread metrics (mining vs. materialization attribution).
   virtual ThreadMetrics& metrics() = 0;
+
+  /// Per-thread reusable scratch for ego-network materialization
+  /// (Alg. 6-7): lets every task this thread computes build its subgraph
+  /// without steady-state allocations.
+  virtual EgoScratch& ego_scratch() = 0;
 
   virtual const EngineConfig& config() const = 0;
 };

@@ -1,13 +1,36 @@
 #include "mining/qc_app.h"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "graph/ego_builder.h"
 #include "quick/mining_context.h"
 #include "quick/recursive_mine.h"
 #include "util/timer.h"
 
 namespace qcm {
+
+namespace {
+
+/// EgoVertexSource over the engine's simulated vertex storage: adjacency
+/// pulls go through ComputeContext::Fetch, so remote reads are cached and
+/// metrics-counted exactly like any other vertex pulling.
+class ContextVertexSource final : public EgoVertexSource {
+ public:
+  explicit ContextVertexSource(ComputeContext* ctx) : ctx_(ctx) {}
+
+  uint32_t Degree(VertexId v) override { return ctx_->Degree(v); }
+
+  std::span<const VertexId> Adjacency(VertexId v) override {
+    ref_ = ctx_->Fetch(v);
+    return ref_.adj;
+  }
+
+ private:
+  ComputeContext* ctx_;
+  AdjRef ref_;  // keeps the most recent remote copy pinned
+};
+
+}  // namespace
 
 QCApp::QCApp(const EngineConfig& config)
     : config_(config), k_(config.mining.MinDegreeK()) {}
@@ -41,66 +64,14 @@ ComputeStatus QCApp::Compute(Task& task, ComputeContext& ctx) {
 bool QCApp::BuildEgoGraph(QCTask& t, ComputeContext& ctx) {
   const VertexId root = t.root();
 
-  // ---- Iteration 1 (Alg. 6) ----
-  AdjRef root_adj = ctx.Fetch(root);
-  // Pull only ids larger than the root (set-enumeration discipline); split
-  // the frontier into V1 (degree >= k) and V2 (pruned by Theorem 2).
-  std::vector<VertexId> v1;
-  std::unordered_set<VertexId> v2;
-  std::unordered_set<VertexId> one_hop;  // t.N = frontier ∪ {root}
-  one_hop.insert(root);
-  for (VertexId u : root_adj.adj) {
-    if (u <= root) continue;
-    one_hop.insert(u);
-    if (ctx.Degree(u) >= k_) {
-      v1.push_back(u);
-    } else {
-      v2.insert(u);
-    }
-  }
-  if (v1.empty()) return false;
-
-  LocalGraphBuilder builder;
-  // Root's adjacency inside t.g is exactly V1 (entries must be >= root and
-  // not in V2).
-  builder.Stage(root, v1);
-  std::vector<VertexId> adj;
-  for (VertexId u : v1) {
-    AdjRef au = ctx.Fetch(u);
-    adj.clear();
-    for (VertexId w : au.adj) {
-      if (w >= root && v2.count(w) == 0) adj.push_back(w);
-    }
-    builder.Stage(u, adj);
-  }
-  builder.PeelToKCore(k_);
-  if (!builder.IsStaged(root)) return false;
-
-  // ---- Iteration 2 (Alg. 7) ----
-  // Pull the 2-hop frontier: adjacency targets not yet staged and not
-  // within one hop.
-  std::vector<VertexId> second_hop;
-  for (VertexId w : builder.PhantomTargets()) {
-    if (one_hop.count(w) == 0) second_hop.push_back(w);
-  }
-  // B = N ∪ pulled second hop: entries outside B would be 3 hops from the
-  // root and cannot share a diameter-2 quasi-clique with it (Theorem 1).
-  std::unordered_set<VertexId> b(one_hop.begin(), one_hop.end());
-  for (VertexId w : second_hop) b.insert(w);
-  for (VertexId w : second_hop) {
-    if (ctx.Degree(w) < k_) continue;
-    AdjRef aw = ctx.Fetch(w);
-    adj.clear();
-    for (VertexId x : aw.adj) {
-      if (x >= root && b.count(x) != 0) adj.push_back(x);
-    }
-    builder.Stage(w, adj);
-  }
-  builder.PeelToKCore(k_);
-  if (!builder.IsStaged(root)) return false;
-
-  LocalGraph g = builder.Build();
-  if (g.n() < config_.mining.min_size) return false;
+  // Iterations 1-2 (Alg. 6-7) through the shared materialization layer,
+  // pulling vertices via the engine's simulated storage and reusing this
+  // comper's scratch across tasks.
+  ContextVertexSource source(&ctx);
+  EgoBuilder builder(&ctx.ego_scratch());
+  LocalGraph g =
+      builder.BuildEgo(source, root, k_, config_.mining.min_size);
+  if (g.n() == 0) return false;
 
   // End of Alg. 7: t.S <- {v}, t.ext(S) <- V(g) - v.
   std::vector<VertexId> ext;

@@ -1,54 +1,11 @@
 #include "quick/serial_miner.h"
 
-#include <algorithm>
-#include <unordered_set>
-
+#include "graph/ego_builder.h"
 #include "graph/kcore.h"
 #include "quick/recursive_mine.h"
 #include "util/timer.h"
 
 namespace qcm {
-
-LocalGraph BuildRootEgo(const Graph& g, const std::vector<uint8_t>& alive,
-                        VertexId root, uint32_t k) {
-  if (!alive[root]) return LocalGraph();
-  // First hop: neighbors with larger id (set-enumeration discipline).
-  std::vector<VertexId> vset;
-  vset.push_back(root);
-  std::unordered_set<VertexId> seen;
-  seen.insert(root);
-  for (VertexId u : g.Neighbors(root)) {
-    if (u > root && alive[u]) {
-      vset.push_back(u);
-      seen.insert(u);
-    }
-  }
-  const size_t first_hop_end = vset.size();
-  if (first_hop_end == 1) return LocalGraph();
-  // Second hop through surviving first-hop vertices.
-  for (size_t i = 1; i < first_hop_end; ++i) {
-    for (VertexId w : g.Neighbors(vset[i])) {
-      if (w > root && alive[w] && seen.insert(w).second) {
-        vset.push_back(w);
-      }
-    }
-  }
-  std::sort(vset.begin(), vset.end());
-
-  // Induce edges among vset.
-  LocalGraphBuilder builder;
-  std::vector<VertexId> adj;
-  for (VertexId x : vset) {
-    adj.clear();
-    for (VertexId w : g.Neighbors(x)) {
-      if (w != x && seen.count(w) != 0) adj.push_back(w);
-    }
-    builder.Stage(x, adj);
-  }
-  LocalGraph ego = builder.Build().KCore(k);
-  if (ego.FindLocal(root) == ego.n()) return LocalGraph();
-  return ego;
-}
 
 StatusOr<SerialMineReport> SerialMiner::Run(const Graph& g, ResultSink* sink,
                                             const RootObserver& observer) {
@@ -61,13 +18,20 @@ StatusOr<SerialMineReport> SerialMiner::Run(const Graph& g, ResultSink* sink,
   std::vector<uint8_t> alive = KCoreMask(g, k);
   for (uint8_t a : alive) report.kcore_size += a;
 
+  // The shared materialization layer (Alg. 6-7), reading the CSR graph
+  // directly, masked to the global k-core. One scratch serves every root.
+  EgoScratch scratch;
+  scratch.Reset(g.NumVertices());
+  GraphVertexSource source(&g, &alive);
+  EgoBuilder builder(&scratch);
+
   for (VertexId root = 0; root < g.NumVertices(); ++root) {
     if (!alive[root]) {
       ++report.roots_skipped;
       continue;
     }
     WallTimer build_timer;
-    LocalGraph ego = BuildRootEgo(g, alive, root, k);
+    LocalGraph ego = builder.BuildEgo(source, root, k, options_.min_size);
     report.build_seconds += build_timer.Seconds();
     if (ego.n() == 0) {
       ++report.roots_skipped;

@@ -39,14 +39,9 @@ struct RootTaskInfo {
 };
 using RootObserver = std::function<void(const RootTaskInfo&)>;
 
-/// Builds the root's task subgraph: {root} ∪ 1-hop ∪ 2-hop neighbors with
-/// ids > root, restricted to `alive` vertices, induced edges, then reduced
-/// to its k-core (mirrors Alg. 6-7's effective result). Returns an empty
-/// LocalGraph if the root itself is peeled.
-LocalGraph BuildRootEgo(const Graph& g, const std::vector<uint8_t>& alive,
-                        VertexId root, uint32_t k);
-
-/// Serial maximal quasi-clique miner.
+/// Serial maximal quasi-clique miner. Task-subgraph materialization goes
+/// through the shared EgoBuilder layer (graph/ego_builder.h) -- the same
+/// Alg. 6-7 code the parallel engine's compute() iterations drive.
 class SerialMiner {
  public:
   explicit SerialMiner(const MiningOptions& options) : options_(options) {}

@@ -22,6 +22,30 @@ Graph Star(uint32_t leaves) {
   return std::move(Graph::FromEdges(leaves + 1, std::move(edges))).value();
 }
 
+TEST(EdgeCaseTest, AccessorsSafeOnEmptyGraph) {
+  // Degree/Neighbors index offsets_[v+1]; on an empty graph offsets_ is
+  // empty and the accessors must degrade to 0 / empty instead of reading
+  // out of bounds.
+  auto g = std::move(Graph::FromEdges(0, {})).value();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+  EXPECT_EQ(g.MaxDegree(), 0u);
+
+  LocalGraph lg;
+  EXPECT_EQ(lg.Degree(0), 0u);
+  EXPECT_TRUE(lg.Neighbors(0).empty());
+}
+
+TEST(EdgeCaseTest, AccessorsSafeOutOfRange) {
+  auto g = std::move(Graph::FromEdges(2, {{0, 1}})).value();
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(2), 0u);    // one past the last vertex
+  EXPECT_EQ(g.Degree(999), 0u);  // far out of range
+  EXPECT_TRUE(g.Neighbors(2).empty());
+  EXPECT_TRUE(g.Neighbors(999).empty());
+}
+
 TEST(EdgeCaseTest, EmptyGraphMinesNothing) {
   auto g = std::move(Graph::FromEdges(0, {})).value();
   MiningOptions opts;

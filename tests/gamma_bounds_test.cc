@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "graph/ego_builder.h"
 #include "graph/generators.h"
 #include "graph/local_graph.h"
 #include "quick/bounds.h"
@@ -58,11 +59,11 @@ TEST(GammaTest, FloorDivInverseOfCeilMul) {
 // ---- Bounds fixtures ----
 
 LocalGraph FullLocalGraph(const Graph& src) {
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   for (VertexId v = 0; v < src.NumVertices(); ++v) {
     std::vector<VertexId> adj(src.Neighbors(v).begin(),
                               src.Neighbors(v).end());
-    builder.Stage(v, std::move(adj));
+    builder.Stage(v, adj);
   }
   return builder.Build();
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/ego_builder.h"
 #include "graph/generators.h"
 #include "graph/local_graph.h"
 #include "quick/iterative_bounding.h"
@@ -17,10 +18,10 @@ namespace qcm {
 namespace {
 
 LocalGraph FromGraph(const Graph& g) {
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     std::vector<VertexId> adj(g.Neighbors(v).begin(), g.Neighbors(v).end());
-    builder.Stage(v, std::move(adj));
+    builder.Stage(v, adj);
   }
   return builder.Build();
 }

@@ -1,11 +1,12 @@
-// Unit tests for LocalGraph and LocalGraphBuilder: induction, local k-core,
-// staged construction with phantom entries, serialization.
+// Unit tests for LocalGraph: induction, local k-core, id mapping, and
+// serialization. (Staged construction lives in ego_builder_test.cc.)
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <vector>
 
+#include "graph/ego_builder.h"
 #include "graph/generators.h"
 #include "graph/local_graph.h"
 #include "graph/stats.h"
@@ -15,10 +16,9 @@ namespace {
 
 /// Builds a LocalGraph over all vertices of a Graph (identity mapping).
 LocalGraph FromGraph(const Graph& g) {
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    std::vector<VertexId> adj(g.Neighbors(v).begin(), g.Neighbors(v).end());
-    builder.Stage(v, std::move(adj));
+    builder.Stage(v, g.Neighbors(v));
   }
   return builder.Build();
 }
@@ -43,7 +43,7 @@ TEST(LocalGraphTest, BuilderMirrorsGraph) {
 }
 
 TEST(LocalGraphTest, FindLocalBinarySearch) {
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   builder.Stage(10, {20});
   builder.Stage(20, {10, 30});
   builder.Stage(30, {20});
@@ -54,56 +54,6 @@ TEST(LocalGraphTest, FindLocalBinarySearch) {
   EXPECT_EQ(g.FindLocal(10), 0u);
   EXPECT_EQ(g.FindLocal(30), 2u);
   EXPECT_EQ(g.FindLocal(25), g.n());  // absent
-}
-
-TEST(LocalGraphTest, EdgeSymmetrizedFromOneSide) {
-  // Only vertex 1 lists the edge 1-2; Build must still create it.
-  LocalGraphBuilder builder;
-  builder.Stage(1, {2});
-  builder.Stage(2, {});
-  LocalGraph g = builder.Build();
-  EXPECT_EQ(g.NumEdges(), 1u);
-  EXPECT_TRUE(g.HasEdge(0, 1));
-}
-
-TEST(LocalGraphTest, PhantomEntriesDroppedAtBuild) {
-  LocalGraphBuilder builder;
-  builder.Stage(1, {2, 99});  // 99 never staged
-  builder.Stage(2, {1});
-  LocalGraph g = builder.Build();
-  EXPECT_EQ(g.n(), 2u);
-  EXPECT_EQ(g.NumEdges(), 1u);
-}
-
-TEST(LocalGraphTest, PhantomsCountTowardPeelDegree) {
-  // Vertex 1 has adjacency {90, 91} (both phantoms): with k=2 it must
-  // survive peeling even though no staged neighbor exists.
-  LocalGraphBuilder builder;
-  builder.Stage(1, {90, 91});
-  builder.PeelToKCore(2);
-  EXPECT_TRUE(builder.IsStaged(1));
-  // With k=3 it is peeled.
-  builder.PeelToKCore(3);
-  EXPECT_FALSE(builder.IsStaged(1));
-}
-
-TEST(LocalGraphTest, PeelCascades) {
-  // Triangle 1,2,3 plus chain 3-4-5: PeelToKCore(2) keeps the triangle.
-  LocalGraphBuilder builder;
-  builder.Stage(1, {2, 3});
-  builder.Stage(2, {1, 3});
-  builder.Stage(3, {1, 2, 4});
-  builder.Stage(4, {3, 5});
-  builder.Stage(5, {4});
-  builder.PeelToKCore(2);
-  EXPECT_TRUE(builder.IsStaged(1));
-  EXPECT_TRUE(builder.IsStaged(2));
-  EXPECT_TRUE(builder.IsStaged(3));
-  EXPECT_FALSE(builder.IsStaged(4));
-  EXPECT_FALSE(builder.IsStaged(5));
-  LocalGraph g = builder.Build();
-  EXPECT_EQ(g.n(), 3u);
-  EXPECT_EQ(g.NumEdges(), 3u);
 }
 
 TEST(LocalGraphTest, KCoreOnLocalGraphMatchesMask) {
@@ -174,7 +124,7 @@ TEST(LocalGraphTest, SerializationRoundTrip) {
 }
 
 TEST(LocalGraphTest, DecodeRejectsCorruptOffsets) {
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   builder.Stage(1, {2});
   builder.Stage(2, {1});
   LocalGraph g = builder.Build();
@@ -191,13 +141,13 @@ TEST(LocalGraphTest, DecodeRejectsCorruptOffsets) {
 
 TEST(TaskFeaturesTest, ComputesCoreNumbers) {
   // Clique of 5 + pendant.
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   for (VertexId v = 0; v < 5; ++v) {
     std::vector<VertexId> adj;
     for (VertexId u = 0; u < 5; ++u) {
       if (u != v) adj.push_back(u);
     }
-    builder.Stage(v, std::move(adj));
+    builder.Stage(v, adj);
   }
   builder.Stage(5, {0});
   LocalGraph g = builder.Build();

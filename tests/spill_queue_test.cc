@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/ego_builder.h"
 #include "graph/generators.h"
 #include "gthinker/spill.h"
 #include "gthinker/task_queue.h"
@@ -134,7 +135,7 @@ TEST(QCTaskTest, SpawnTaskRoundTrip) {
 }
 
 TEST(QCTaskTest, SubtaskRoundTripWithGraph) {
-  LocalGraphBuilder builder;
+  EgoBuilder builder;
   builder.Stage(5, {7, 9});
   builder.Stage(7, {5, 9});
   builder.Stage(9, {5, 7});
