@@ -37,7 +37,8 @@ int main() {
   Table table({"tau_time", "Job Time", "Total Task Mining Time",
                "Total Subgraph Materialization Time",
                "Total Ego Build Time",
-               "Mining : Materialization Ratio", "Subtasks"});
+               "Mining : Materialization Ratio", "Subtasks",
+               "Cache Hit %"});
   bool first_row = true;
   for (double tau_time : tau_times) {
     EngineConfig config = ClusterPreset();
@@ -61,7 +62,8 @@ int main() {
                   FmtSeconds(r.total_materialize_seconds),
                   FmtSeconds(r.total_build_seconds),
                   ratio > 0 ? FmtDouble(ratio, 1) : "n/a (no decomposition)",
-                  FmtCount(r.counters.tasks_completed)});
+                  FmtCount(r.counters.tasks_completed),
+                  FmtDouble(100.0 * r.counters.CacheHitRatio(), 1)});
     if (!first_row) json += ",\n";
     first_row = false;
     json += "  {\"tau_time\": " + FmtDouble(tau_time, 3) +
@@ -72,7 +74,20 @@ int main() {
             ", \"ego_build_seconds\": " +
             FmtDouble(r.total_build_seconds, 6) +
             ", \"tasks_completed\": " +
-            std::to_string(r.counters.tasks_completed) + "}";
+            std::to_string(r.counters.tasks_completed) +
+            ", \"cache_hits\": " + std::to_string(r.counters.cache_hits) +
+            ", \"cache_misses\": " +
+            std::to_string(r.counters.cache_misses) +
+            ", \"pin_hits\": " + std::to_string(r.counters.pin_hits) +
+            ", \"cache_hit_ratio\": " +
+            FmtDouble(r.counters.CacheHitRatio(), 4) +
+            ", \"task_suspensions\": " +
+            std::to_string(r.counters.task_suspensions) +
+            ", \"pull_batches\": " +
+            std::to_string(r.counters.pull_batches) +
+            ", \"pull_bytes\": " + std::to_string(r.counters.pull_bytes) +
+            ", \"fallback_bytes\": " +
+            std::to_string(r.counters.remote_bytes) + "}";
   }
   table.Print();
   json += "\n]\n";

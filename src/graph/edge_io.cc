@@ -7,6 +7,43 @@
 
 namespace qcm {
 
+namespace {
+
+/// "file:line: why: 'offending text'" -- the offending line is clipped and
+/// stripped of its newline so the message stays one line.
+Status MalformedLine(const std::string& path, size_t lineno,
+                     const std::string& why, const char* line) {
+  std::string excerpt(line);
+  if (!excerpt.empty() && excerpt.back() == '\n') excerpt.pop_back();
+  constexpr size_t kMaxExcerpt = 60;
+  if (excerpt.size() > kMaxExcerpt) {
+    excerpt.resize(kMaxExcerpt);
+    excerpt += "...";
+  }
+  return Status::Corruption(path + ":" + std::to_string(lineno) + ": " +
+                            why + ": '" + excerpt + "'");
+}
+
+/// Parses a non-negative decimal id at *p (advancing past it). False on a
+/// missing digit or uint64 overflow. Explicit so that signs, hex and other
+/// sscanf leniencies are rejected instead of silently misread.
+bool ParseId(const char** p, uint64_t* out) {
+  const char* q = *p;
+  if (*q < '0' || *q > '9') return false;
+  uint64_t value = 0;
+  while (*q >= '0' && *q <= '9') {
+    const uint64_t digit = static_cast<uint64_t>(*q - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+    ++q;
+  }
+  *p = q;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
 StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
@@ -18,14 +55,40 @@ StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
   size_t lineno = 0;
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     ++lineno;
+    if (std::strchr(line, '\n') == nullptr && !std::feof(f)) {
+      std::fclose(f);
+      return MalformedLine(path, lineno, "edge line too long", line);
+    }
     const char* p = line;
     while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\r' || *p == '\0') {
+      continue;
+    }
     uint64_t u = 0, v = 0;
-    if (std::sscanf(p, "%lu %lu", &u, &v) != 2) {
+    if (!ParseId(&p, &u)) {
       std::fclose(f);
-      return Status::Corruption(path + ":" + std::to_string(lineno) +
-                                ": malformed edge line");
+      return MalformedLine(path, lineno,
+                           "malformed edge line (expected source id)",
+                           line);
+    }
+    if (*p != ' ' && *p != '\t') {
+      std::fclose(f);
+      return MalformedLine(
+          path, lineno, "malformed edge line (expected \"u v\")", line);
+    }
+    while (*p == ' ' || *p == '\t') ++p;
+    if (!ParseId(&p, &v)) {
+      std::fclose(f);
+      return MalformedLine(path, lineno,
+                           "malformed edge line (expected target id)",
+                           line);
+    }
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p != '\n' && *p != '\r' && *p != '\0') {
+      std::fclose(f);
+      return MalformedLine(
+          path, lineno,
+          "malformed edge line (trailing characters after edge)", line);
     }
     raw_edges.emplace_back(u, v);
   }

@@ -239,42 +239,46 @@ LocalGraph EgoBuilder::Build() const {
 }
 
 // ---------------------------------------------------------------------------
-// EgoBuilder: Alg. 6-7 end to end
+// EgoBuilder: Alg. 6-7, phased and end to end
 // ---------------------------------------------------------------------------
 
-LocalGraph EgoBuilder::BuildEgo(EgoVertexSource& source, VertexId root,
-                                uint32_t k, uint32_t min_size) {
+void EgoBuilder::MarkFlag(VertexId v, uint8_t bit) {
+  EgoScratch& sc = *scratch_;
+  sc.EnsureVertex(v);
+  if (sc.mark_epoch_[v] != sc.epoch_) {
+    sc.mark_epoch_[v] = sc.epoch_;
+    sc.flags_[v] = 0;
+  }
+  sc.flags_[v] |= bit;
+}
+
+bool EgoBuilder::HasFlag(VertexId v, uint8_t bit) const {
+  const EgoScratch& sc = *scratch_;
+  return v < sc.mark_epoch_.size() && sc.mark_epoch_[v] == sc.epoch_ &&
+         (sc.flags_[v] & bit) != 0;
+}
+
+bool EgoBuilder::BuildEgoFirstHop(EgoVertexSource& source, VertexId root,
+                                  uint32_t k) {
   EgoScratch& sc = *scratch_;
   sc.Reset(0);
-  auto mark = [&sc](VertexId v, uint8_t bit) {
-    sc.EnsureVertex(v);
-    if (sc.mark_epoch_[v] != sc.epoch_) {
-      sc.mark_epoch_[v] = sc.epoch_;
-      sc.flags_[v] = 0;
-    }
-    sc.flags_[v] |= bit;
-  };
-  auto has = [&sc](VertexId v, uint8_t bit) {
-    return v < sc.mark_epoch_.size() && sc.mark_epoch_[v] == sc.epoch_ &&
-           (sc.flags_[v] & bit) != 0;
-  };
 
   // ---- Iteration 1 (Alg. 6) ----
   // Pull only ids larger than the root (set-enumeration discipline); split
   // the frontier into V1 (degree >= k, staged) and V2 (pruned by
   // Theorem 2, excluded from every staged adjacency of this iteration).
-  mark(root, kOneHop);
+  MarkFlag(root, kOneHop);
   sc.frontier_.clear();
   for (VertexId u : source.Adjacency(root)) {
     if (u <= root) continue;
-    mark(u, kOneHop);
+    MarkFlag(u, kOneHop);
     if (source.Degree(u) >= k) {
       sc.frontier_.push_back(u);
     } else {
-      mark(u, kExcluded);
+      MarkFlag(u, kExcluded);
     }
   }
-  if (sc.frontier_.empty()) return LocalGraph();
+  if (sc.frontier_.empty()) return false;
 
   // Root's adjacency inside t.g is exactly V1.
   Stage(root, sc.frontier_);
@@ -283,33 +287,56 @@ LocalGraph EgoBuilder::BuildEgo(EgoVertexSource& source, VertexId root,
     const VertexId u = sc.frontier_[i];
     sc.filter_buf_.clear();
     for (VertexId w : source.Adjacency(u)) {
-      if (w >= root && !has(w, kExcluded)) sc.filter_buf_.push_back(w);
+      if (w >= root && !HasFlag(w, kExcluded)) sc.filter_buf_.push_back(w);
     }
     Stage(u, sc.filter_buf_);
   }
   PeelToKCore(k);
-  if (!IsStaged(root)) return LocalGraph();
+  return IsStaged(root);
+}
 
-  // ---- Iteration 2 (Alg. 7) ----
+void EgoBuilder::MarkSecondHopBall() {
   // The 2-hop frontier: staged adjacency targets that are neither staged
   // nor within one hop. B = t.N ∪ pulled second hop; entries outside B
   // would be 3 hops from the root and cannot share a diameter-2
   // quasi-clique with it (Theorem 1).
+  EgoScratch& sc = *scratch_;
   CollectPhantomTargets();
   sc.frontier_.clear();
   for (VertexId w : sc.phantom_buf_) {
-    if (!has(w, kOneHop)) {
+    if (!HasFlag(w, kOneHop)) {
       sc.frontier_.push_back(w);
-      mark(w, kInBall);
+      MarkFlag(w, kInBall);
     }
   }
+}
+
+std::vector<VertexId> EgoBuilder::SecondHopPullSet(EgoVertexSource& source,
+                                                   uint32_t k) {
+  MarkSecondHopBall();
+  // Only ball members that survive the Theorem-2 degree filter are ever
+  // read by Alg. 7 -- that is the pull set.
+  EgoScratch& sc = *scratch_;
+  std::vector<VertexId> pulls;
+  pulls.reserve(sc.frontier_.size());
+  for (VertexId w : sc.frontier_) {
+    if (source.Degree(w) >= k) pulls.push_back(w);
+  }
+  return pulls;
+}
+
+LocalGraph EgoBuilder::BuildEgoSecondHop(EgoVertexSource& source,
+                                         VertexId root, uint32_t k,
+                                         uint32_t min_size) {
+  // ---- Iteration 2 (Alg. 7) ----
+  EgoScratch& sc = *scratch_;
   const size_t second_hop_size = sc.frontier_.size();
   for (size_t i = 0; i < second_hop_size; ++i) {
     const VertexId w = sc.frontier_[i];
     if (source.Degree(w) < k) continue;  // Theorem 2 again
     sc.filter_buf_.clear();
     for (VertexId x : source.Adjacency(w)) {
-      if (x >= root && (has(x, kOneHop) || has(x, kInBall))) {
+      if (x >= root && (HasFlag(x, kOneHop) || HasFlag(x, kInBall))) {
         sc.filter_buf_.push_back(x);
       }
     }
@@ -321,6 +348,13 @@ LocalGraph EgoBuilder::BuildEgo(EgoVertexSource& source, VertexId root,
   LocalGraph g = Build();
   if (g.n() < min_size) return LocalGraph();
   return g;
+}
+
+LocalGraph EgoBuilder::BuildEgo(EgoVertexSource& source, VertexId root,
+                                uint32_t k, uint32_t min_size) {
+  if (!BuildEgoFirstHop(source, root, k)) return LocalGraph();
+  MarkSecondHopBall();
+  return BuildEgoSecondHop(source, root, k, min_size);
 }
 
 }  // namespace qcm

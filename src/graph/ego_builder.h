@@ -152,8 +152,38 @@ class EgoBuilder {
   /// k-core peeling, 2-hop pull under the Theorem-1 diameter bound, final
   /// CSR compile. Returns an empty LocalGraph when the task dies (root
   /// peeled, no qualifying frontier, or fewer than `min_size` survivors).
+  /// Equivalent to BuildEgoFirstHop + SecondHopPullSet + BuildEgoSecondHop
+  /// run back to back.
   LocalGraph BuildEgo(EgoVertexSource& source, VertexId root, uint32_t k,
                       uint32_t min_size);
+
+  // ---- Phased build (the pull-based engine's iteration boundaries) ----
+  //
+  // The G-thinker compute model runs Alg. 6 and Alg. 7 in separate
+  // iterations with a batched vertex pull (and a task suspension) between
+  // them. These three calls expose that boundary: FirstHop stages and
+  // peels the 1-hop structure, SecondHopPullSet names exactly the
+  // vertices Alg. 7 will read (so the caller can Request() them and
+  // suspend), and SecondHop finishes the build. State lives in the
+  // scratch, so the trio must run on one builder without interleaving
+  // other builds; a caller that suspended in between instead re-runs
+  // BuildEgo from its (now pinned) vertices.
+
+  /// Alg. 6 alone: stages root + the qualifying 1-hop frontier with
+  /// filtered adjacency and peels to the k-core. Returns false when the
+  /// task dies here (no qualifying frontier or root peeled).
+  bool BuildEgoFirstHop(EgoVertexSource& source, VertexId root, uint32_t k);
+
+  /// The vertices Alg. 7 will pull: 2-hop frontier members (marked into
+  /// the ball as a side effect) passing the Theorem-2 degree filter,
+  /// ascending. Call exactly once, after a successful BuildEgoFirstHop.
+  std::vector<VertexId> SecondHopPullSet(EgoVertexSource& source,
+                                         uint32_t k);
+
+  /// Alg. 7: stages the 2-hop ball computed by SecondHopPullSet, peels,
+  /// and compiles. Returns an empty LocalGraph when the task dies.
+  LocalGraph BuildEgoSecondHop(EgoVertexSource& source, VertexId root,
+                               uint32_t k, uint32_t min_size);
 
   // ---- Staging primitives ----
 
@@ -200,6 +230,14 @@ class EgoBuilder {
   // Phantom targets of alive entries, sorted distinct, into
   // scratch->phantom_buf_.
   void CollectPhantomTargets() const;
+
+  // Epoch-validated per-vertex flag helpers (kOneHop/kExcluded/kInBall).
+  void MarkFlag(VertexId v, uint8_t bit);
+  bool HasFlag(VertexId v, uint8_t bit) const;
+
+  // Computes the 2-hop ball into the scratch frontier and marks kInBall
+  // (the allocation-free core of SecondHopPullSet).
+  void MarkSecondHopBall();
 
   std::unique_ptr<EgoScratch> owned_;
   EgoScratch* scratch_;

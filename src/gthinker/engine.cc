@@ -21,6 +21,7 @@ namespace qcm {
 struct Engine::Worker {
   int id = 0;
   std::unique_ptr<DataService> data;
+  std::unique_ptr<PullBroker> broker;         // batched vertex pulls
   std::unique_ptr<SpillManager> small_spill;  // L_small
   std::unique_ptr<SpillManager> big_spill;    // L_big
   std::unique_ptr<GlobalQueue> global_queue;  // Q_global
@@ -51,24 +52,39 @@ class Engine::Comper : public ComputeContext {
 
   void Run() {
     while (!engine_->done_.load()) {
+      ResumePulled();
       TaskPtr task = PopBig();
       if (task == nullptr) task = PopLocal();
       if (task != nullptr) {
         WallTimer busy;
+        active_task_ = task.get();
         ComputeStatus status = engine_->app_->Compute(*task, *this);
+        active_task_ = nullptr;
         metrics_.busy_seconds += busy.Seconds();
         ++metrics_.tasks_processed;
         if (status == ComputeStatus::kRequeue) {
-          AddTask(std::move(task));
+          Enqueue(std::move(task));  // still counted in pending_
+        } else if (status == ComputeStatus::kSuspended &&
+                   task->pulls().HasWanted()) {
+          // The task's pull is outstanding: yield the comper (Alg. 3's
+          // "add t back to the queue"). The task stays counted in
+          // pending_ while it is parked, so termination cannot race past
+          // it; a broker flush re-enqueues it.
+          engine_->counters_.task_suspensions.fetch_add(
+              1, std::memory_order_relaxed);
+          worker_->broker->Park(std::move(task));
+        } else if (status == ComputeStatus::kSuspended) {
+          // Nothing actually outstanding: degenerate to a requeue.
+          Enqueue(std::move(task));
         } else {
           engine_->counters_.tasks_completed.fetch_add(
               1, std::memory_order_relaxed);
+          engine_->pending_.fetch_sub(1);
         }
-        engine_->pending_.fetch_sub(1);
         continue;
       }
       // No work found anywhere: maybe everything is finished; otherwise
-      // nap briefly (other threads hold decomposable tasks).
+      // nap briefly (other threads hold decomposable or suspended tasks).
       WallTimer idle;
       engine_->MaybeFinish();
       if (!engine_->done_.load()) {
@@ -80,19 +96,40 @@ class Engine::Comper : public ComputeContext {
 
   // ---- ComputeContext ----
 
-  AdjRef Fetch(VertexId v) override { return worker_->data->Fetch(v); }
+  AdjRef Fetch(VertexId v) override {
+    if (active_task_ != nullptr && !worker_->data->IsLocal(v)) {
+      if (const auto* pin = active_task_->pulls().Find(v)) {
+        engine_->counters_.pin_hits.fetch_add(1, std::memory_order_relaxed);
+        return AdjRef{
+            std::span<const VertexId>((*pin)->data(), (*pin)->size()), *pin};
+      }
+    }
+    return worker_->data->Fetch(v);
+  }
+
+  bool Request(VertexId v) override {
+    QCM_CHECK(active_task_ != nullptr)
+        << "Request() outside a compute round";
+    if (worker_->data->IsLocal(v)) return true;
+    TaskPullState& pulls = active_task_->pulls();
+    if (pulls.Find(v) != nullptr) {
+      engine_->counters_.pin_hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (auto cached = worker_->data->TryCached(v)) {
+      // Pin the cache copy so a later Fetch cannot lose it to eviction.
+      pulls.Pin(v, std::move(cached));
+      return true;
+    }
+    pulls.Want(v);
+    return false;
+  }
 
   uint32_t Degree(VertexId v) override { return worker_->data->Degree(v); }
 
   void AddTask(TaskPtr task) override {
     engine_->pending_.fetch_add(1);
-    if (task->SizeHint() > engine_->config_.tau_split) {
-      engine_->counters_.big_tasks.fetch_add(1, std::memory_order_relaxed);
-      worker_->global_queue->Push(std::move(task));
-    } else {
-      engine_->counters_.small_tasks.fetch_add(1, std::memory_order_relaxed);
-      PushLocal(std::move(task));
-    }
+    Enqueue(std::move(task));
   }
 
   ResultSink& sink() override { return sink_; }
@@ -104,6 +141,27 @@ class Engine::Comper : public ComputeContext {
   VectorSink sink_;
 
  private:
+  /// Routes a task that is already counted in pending_ (big tasks to the
+  /// machine's global queue, small ones to this thread's local queue).
+  void Enqueue(TaskPtr task) {
+    if (task->SizeHint() > engine_->config_.tau_split) {
+      engine_->counters_.big_tasks.fetch_add(1, std::memory_order_relaxed);
+      worker_->global_queue->Push(std::move(task));
+    } else {
+      engine_->counters_.small_tasks.fetch_add(1, std::memory_order_relaxed);
+      PushLocal(std::move(task));
+    }
+  }
+
+  /// Serves outstanding batched pulls and re-enqueues the tasks whose
+  /// requests completed. Suspended tasks never left pending_, so this
+  /// routes without re-counting.
+  void ResumePulled() {
+    for (TaskPtr& task : worker_->broker->Flush()) {
+      Enqueue(std::move(task));
+    }
+  }
+
   void PushLocal(TaskPtr task) {
     local_.push_back(std::move(task));
     if (local_.size() > engine_->config_.local_queue_capacity) {
@@ -174,6 +232,7 @@ class Engine::Comper : public ComputeContext {
 
   Engine* engine_;
   Worker* worker_;
+  Task* active_task_ = nullptr;  // task currently in Compute (pull target)
   std::deque<TaskPtr> local_;
   EgoScratch ego_scratch_;
 };
@@ -297,7 +356,9 @@ StatusOr<EngineReport> Engine::Run() {
     auto w = std::make_unique<Worker>();
     w->id = m;
     w->data = std::make_unique<DataService>(
-        table_.get(), m, config_.remote_cache_capacity, &counters_);
+        table_.get(), m, config_.vertex_cache_capacity, &counters_);
+    w->broker = std::make_unique<PullBroker>(
+        w->data.get(), config_.max_pull_batch, &counters_);
     w->small_spill = std::make_unique<SpillManager>(
         spill_dir_, "w" + std::to_string(m) + "_small", &counters_);
     w->big_spill = std::make_unique<SpillManager>(

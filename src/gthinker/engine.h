@@ -6,12 +6,19 @@
 // between machines.
 //
 // Scheduling discipline per mining thread (the paper's reforged Alg. 3):
+//   0. Service the machine's pull broker: complete outstanding batched
+//      vertex pulls and re-enqueue the tasks that were suspended on them.
 //   1. Try to pop a big task from this machine's global queue (try-lock;
 //      refill from L_big when low).
 //   2. Otherwise pop from the thread's local queue; when low, refill from
 //      L_small, else spawn a fresh batch of tasks from the machine's
 //      unspawned vertices -- stopping early if a spawned task is big.
 //   3. Otherwise idle briefly and re-check for termination.
+//
+// A task whose compute round Request()ed vertices that are neither local,
+// pinned, nor cached returns kSuspended: it yields its comper and parks in
+// the machine's PullBroker until one batched pull per remote machine has
+// delivered (and pinned) every missing adjacency.
 
 #ifndef QCM_GTHINKER_ENGINE_H_
 #define QCM_GTHINKER_ENGINE_H_

@@ -38,6 +38,9 @@ Status EngineConfig::Validate() const {
   if (steal_period_sec <= 0) {
     return Status::InvalidArgument("steal_period_sec must be > 0");
   }
+  if (max_pull_batch < 1) {
+    return Status::InvalidArgument("max_pull_batch must be >= 1");
+  }
   return mining.Validate();
 }
 

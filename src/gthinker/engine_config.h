@@ -65,8 +65,13 @@ struct EngineConfig {
   /// Balance big tasks across machines.
   bool enable_stealing = true;
 
-  /// Remote-vertex cache entries per machine.
-  size_t remote_cache_capacity = 1 << 16;
+  /// Per-machine vertex-cache capacity in adjacency-list entries (paper
+  /// §5, Figure 8); 0 disables the cache, forcing every remote access
+  /// onto the pull/transfer path.
+  size_t vertex_cache_capacity = 1 << 16;
+  /// Maximum vertex ids per batched pull message: a broker flush sends
+  /// one request per remote machine, split into chunks of this size.
+  size_t max_pull_batch = 2048;
 
   /// Record per-root task aggregates (subgraph size, accumulated mining
   /// time) for the figure-reproduction benches.

@@ -19,9 +19,22 @@ EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
   s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
   s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
   s.cache_evictions = c.cache_evictions.load(std::memory_order_relaxed);
+  s.pin_hits = c.pin_hits.load(std::memory_order_relaxed);
   s.remote_bytes = c.remote_bytes.load(std::memory_order_relaxed);
+  s.task_suspensions = c.task_suspensions.load(std::memory_order_relaxed);
+  s.pull_rounds = c.pull_rounds.load(std::memory_order_relaxed);
+  s.pull_batches = c.pull_batches.load(std::memory_order_relaxed);
+  s.pulled_vertices = c.pulled_vertices.load(std::memory_order_relaxed);
+  s.pull_bytes = c.pull_bytes.load(std::memory_order_relaxed);
   s.tasks_completed = c.tasks_completed.load(std::memory_order_relaxed);
   return s;
+}
+
+double EngineCountersSnapshot::CacheHitRatio() const {
+  const uint64_t served = cache_hits + pin_hits;
+  const uint64_t demanded = served + cache_misses;
+  if (demanded == 0) return 1.0;
+  return static_cast<double>(served) / static_cast<double>(demanded);
 }
 
 double EngineReport::BusyImbalance() const {

@@ -68,7 +68,24 @@ struct EngineCounters {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> cache_evictions{0};
+  /// Fetch/Request served by an adjacency the task itself pinned from a
+  /// prior pull round (no cache lookup, no transfer).
+  std::atomic<uint64_t> pin_hits{0};
+  /// Bytes moved by synchronous fallback fetches (cache miss during a
+  /// compute round, outside the batched pull path).
   std::atomic<uint64_t> remote_bytes{0};
+  /// Compute rounds that ended in ComputeStatus::kSuspended (the paper's
+  /// "add t back to the queue" while its vertex pull is outstanding).
+  std::atomic<uint64_t> task_suspensions{0};
+  /// Broker flushes that transferred at least one batched request.
+  std::atomic<uint64_t> pull_rounds{0};
+  /// Machine-to-machine batched pull messages (one per remote machine per
+  /// flush, split at EngineConfig::max_pull_batch ids).
+  std::atomic<uint64_t> pull_batches{0};
+  /// Vertices transferred via batched pulls (deduplicated per flush).
+  std::atomic<uint64_t> pulled_vertices{0};
+  /// Bytes of adjacency moved by batched pulls.
+  std::atomic<uint64_t> pull_bytes{0};
   std::atomic<uint64_t> tasks_completed{0};
 };
 
@@ -86,10 +103,20 @@ struct EngineCountersSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  uint64_t pin_hits = 0;
   uint64_t remote_bytes = 0;
+  uint64_t task_suspensions = 0;
+  uint64_t pull_rounds = 0;
+  uint64_t pull_batches = 0;
+  uint64_t pulled_vertices = 0;
+  uint64_t pull_bytes = 0;
   uint64_t tasks_completed = 0;
 
   static EngineCountersSnapshot From(const EngineCounters& c);
+
+  /// Fraction of remote-adjacency demands served without a transfer
+  /// (cache or pin); 1.0 when there was no remote traffic at all.
+  double CacheHitRatio() const;
 };
 
 /// Per-thread summary included in the report (load-balance evidence).

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "gthinker/engine_config.h"
 #include "gthinker/metrics.h"
@@ -21,9 +23,56 @@
 
 namespace qcm {
 
+/// Transient pull bookkeeping attached to every task (paper §5's vertex
+/// pulling): the vertex ids whose batched pull is outstanding, and the
+/// pinned responses delivered so far. Pins are shared_ptr references into
+/// pulled adjacency copies, so a vertex a task requested stays available
+/// to it even after the vertex cache evicts the entry. Engine-managed;
+/// never serialized -- a task spilled to disk simply re-pulls (or falls
+/// back to a synchronous fetch) after reload.
+class TaskPullState {
+ public:
+  using AdjPtr = std::shared_ptr<const std::vector<VertexId>>;
+
+  /// Queues v for the next batched pull round (the caller already checked
+  /// that v is neither local, pinned, nor cached).
+  void Want(VertexId v) { wanted_.push_back(v); }
+
+  bool HasWanted() const { return !wanted_.empty(); }
+
+  /// Hands the outstanding request ids to the pull broker.
+  std::vector<VertexId> TakeWanted() {
+    std::vector<VertexId> out = std::move(wanted_);
+    wanted_.clear();
+    return out;
+  }
+
+  /// Records a delivered adjacency for v.
+  void Pin(VertexId v, AdjPtr adj) { pins_[v] = std::move(adj); }
+
+  /// The pinned adjacency of v, or null if v was never delivered.
+  const AdjPtr* Find(VertexId v) const {
+    auto it = pins_.find(v);
+    return it == pins_.end() ? nullptr : &it->second;
+  }
+
+  /// Releases all pins and outstanding requests. Call once the task no
+  /// longer reads the big graph (e.g. its subgraph is materialized), so
+  /// pulled adjacency memory is reclaimable during the mining phase.
+  void Clear() {
+    wanted_.clear();
+    pins_.clear();
+  }
+
+ private:
+  std::vector<VertexId> wanted_;
+  std::unordered_map<VertexId, AdjPtr> pins_;
+};
+
 /// A unit of work. Concrete tasks belong to the application; the engine
 /// sees only the root (for per-root accounting), a size hint (big/small
-/// classification against tau_split) and the codec.
+/// classification against tau_split), the codec, and the transient pull
+/// state.
 class Task {
  public:
   virtual ~Task() = default;
@@ -36,8 +85,16 @@ class Task {
   /// spawning degree before that.
   virtual uint64_t SizeHint() const = 0;
 
-  /// Serializes the task (spill files, steal transfers).
+  /// Serializes the task (spill files, steal transfers). Pull state is
+  /// deliberately not serialized (see TaskPullState).
   virtual void Encode(Encoder* enc) const = 0;
+
+  /// Outstanding requests + pinned pull responses (engine/broker-managed).
+  TaskPullState& pulls() { return pulls_; }
+  const TaskPullState& pulls() const { return pulls_; }
+
+ private:
+  TaskPullState pulls_;
 };
 
 using TaskPtr = std::unique_ptr<Task>;
@@ -54,9 +111,22 @@ class ComputeContext {
  public:
   virtual ~ComputeContext() = default;
 
-  /// Pulls the adjacency list of v (local table or remote cache; remote
-  /// misses count transferred bytes -- the paper's vertex pulling).
+  /// Pulls the adjacency list of v immediately: local table, the current
+  /// task's pinned pull responses, or the machine's vertex cache; a miss
+  /// falls back to a synchronous (unbatched) transfer that is counted as
+  /// remote traffic. UDFs that can tolerate latency should Request() the
+  /// vertices of their next round and suspend instead.
   virtual AdjRef Fetch(VertexId v) = 0;
+
+  /// Registers v for the engine's next batched pull round (one aggregated
+  /// request per remote machine, paper §5 Fig. 8). Returns true when v is
+  /// already available without a transfer -- machine-local, pinned in the
+  /// current task, or a vertex-cache hit (the cache copy is pinned into
+  /// the task so a later Fetch cannot lose it to eviction). Returns false
+  /// when the pull is outstanding; the UDF should finish its round and
+  /// return ComputeStatus::kSuspended (Alg. 3's "add t back to queue").
+  /// Only valid while a task is being computed.
+  virtual bool Request(VertexId v) = 0;
 
   /// Degree of v (vertex metadata, no adjacency transfer).
   virtual uint32_t Degree(VertexId v) = 0;
@@ -85,6 +155,10 @@ enum class ComputeStatus {
   kDone,
   /// Task must be scheduled again (re-enqueued by size classification).
   kRequeue,
+  /// Task yields its comper until every vertex it Request()ed has been
+  /// delivered by a batched pull; the engine then re-enqueues it. A
+  /// suspension with nothing outstanding degenerates to kRequeue.
+  kSuspended,
 };
 
 /// A G-thinker application: the two UDFs plus the task codec.

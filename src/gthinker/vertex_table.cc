@@ -1,5 +1,8 @@
 #include "gthinker/vertex_table.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 namespace qcm {
 
 VertexTable::VertexTable(const Graph* graph, int num_machines)
@@ -9,67 +12,117 @@ VertexTable::VertexTable(const Graph* graph, int num_machines)
   }
 }
 
-RemoteCache::RemoteCache(size_t capacity_entries, EngineCounters* counters)
-    : capacity_per_shard_(capacity_entries / kShards + 1),
-      counters_(counters) {}
+DataService::DataService(const VertexTable* table, int machine,
+                         size_t cache_capacity, EngineCounters* counters)
+    : table_(table),
+      machine_(machine),
+      counters_(counters),
+      cache_(cache_capacity, counters) {}
 
-std::shared_ptr<const std::vector<VertexId>> RemoteCache::Get(
-    VertexId v, const VertexTable& table) {
-  Shard& shard = shards_[v % kShards];
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(v);
-    if (it != shard.map.end()) {
-      if (counters_ != nullptr) {
-        counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
-      }
-      return it->second;
-    }
+AdjRef DataService::Fetch(VertexId v) {
+  if (IsLocal(v)) {
+    return AdjRef{table_->Adjacency(v), nullptr};
   }
-  // Miss: "transfer" the adjacency list from the owner (a copy).
-  auto adj = table.Adjacency(v);
-  auto copy = std::make_shared<const std::vector<VertexId>>(adj.begin(),
-                                                            adj.end());
+  if (auto cached = cache_.Lookup(v)) {
+    return AdjRef{std::span<const VertexId>(cached->data(), cached->size()),
+                  std::move(cached)};
+  }
+  // Synchronous fallback: v was never requested (or its pin was dropped by
+  // a spill round-trip); copy the adjacency from the owner's table and
+  // count the unbatched transfer.
+  auto adj = table_->Adjacency(v);
+  auto copy =
+      std::make_shared<const std::vector<VertexId>>(adj.begin(), adj.end());
   if (counters_ != nullptr) {
-    counters_->cache_misses.fetch_add(1, std::memory_order_relaxed);
     counters_->remote_bytes.fetch_add(copy->size() * sizeof(VertexId),
                                       std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.emplace(v, copy);
-  if (inserted) {
-    shard.fifo.push_back(v);
-    while (shard.fifo.size() > capacity_per_shard_) {
-      shard.map.erase(shard.fifo.front());
-      shard.fifo.pop_front();
+  cache_.Insert(v, copy);
+  return AdjRef{std::span<const VertexId>(copy->data(), copy->size()),
+                std::move(copy)};
+}
+
+PullBroker::PullBroker(DataService* data, size_t max_batch,
+                       EngineCounters* counters)
+    : data_(data), max_batch_(std::max<size_t>(max_batch, 1)),
+      counters_(counters) {}
+
+void PullBroker::Park(TaskPtr task) {
+  Parked parked;
+  parked.wanted = task->pulls().TakeWanted();
+  parked.task = std::move(task);
+  std::lock_guard<std::mutex> lock(mu_);
+  parked_.push_back(std::move(parked));
+}
+
+std::vector<TaskPtr> PullBroker::Flush() {
+  std::vector<Parked> batch;
+  {
+    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock() || parked_.empty()) return {};
+    batch.swap(parked_);
+  }
+
+  // Deduplicate the wanted ids across every parked task; requests that got
+  // cached since they were queued (by another task's pull or a fallback
+  // fetch) are served from the cache without a new transfer.
+  std::unordered_map<VertexId, VertexCache::AdjPtr> responses;
+  for (const Parked& p : batch) {
+    for (VertexId v : p.wanted) responses.emplace(v, nullptr);
+  }
+  const VertexTable& table = data_->table();
+  std::vector<std::vector<VertexId>> groups(table.NumMachines());
+  for (auto& [v, adj] : responses) {
+    adj = data_->cache().Lookup(v, /*count_stats=*/false);
+    if (adj == nullptr) groups[table.Owner(v)].push_back(v);
+  }
+
+  // One batched request per owner machine (split at max_batch ids): copy
+  // each adjacency -- the simulated network response -- into the cache and
+  // the response map.
+  uint64_t batches_sent = 0;
+  for (std::vector<VertexId>& group : groups) {
+    if (group.empty()) continue;
+    std::sort(group.begin(), group.end());
+    batches_sent += (group.size() + max_batch_ - 1) / max_batch_;
+    for (VertexId v : group) {
+      auto adj = table.Adjacency(v);
+      auto copy = std::make_shared<const std::vector<VertexId>>(adj.begin(),
+                                                                adj.end());
       if (counters_ != nullptr) {
-        counters_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
+        counters_->pulled_vertices.fetch_add(1, std::memory_order_relaxed);
+        counters_->pull_bytes.fetch_add(copy->size() * sizeof(VertexId),
+                                        std::memory_order_relaxed);
       }
+      data_->cache().Insert(v, copy);
+      responses[v] = std::move(copy);
     }
   }
-  return it->second;
+  if (counters_ != nullptr && batches_sent > 0) {
+    counters_->pull_batches.fetch_add(batches_sent,
+                                      std::memory_order_relaxed);
+    counters_->pull_rounds.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Deliver: pin every response into its requesting task; all tasks of
+  // this flush are now ready.
+  std::vector<TaskPtr> ready;
+  ready.reserve(batch.size());
+  for (Parked& p : batch) {
+    for (VertexId v : p.wanted) {
+      auto it = responses.find(v);
+      if (it != responses.end() && it->second != nullptr) {
+        p.task->pulls().Pin(v, it->second);
+      }
+    }
+    ready.push_back(std::move(p.task));
+  }
+  return ready;
 }
 
-size_t RemoteCache::ApproxSize() const {
-  size_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.map.size();
-  }
-  return total;
-}
-
-DataService::DataService(const VertexTable* table, int machine,
-                         size_t cache_capacity, EngineCounters* counters)
-    : table_(table), machine_(machine), cache_(cache_capacity, counters) {}
-
-AdjRef DataService::Fetch(VertexId v) {
-  if (table_->Owner(v) == machine_) {
-    return AdjRef{table_->Adjacency(v), nullptr};
-  }
-  auto pinned = cache_.Get(v, *table_);
-  return AdjRef{std::span<const VertexId>(pinned->data(), pinned->size()),
-                std::move(pinned)};
+size_t PullBroker::ParkedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_.size();
 }
 
 }  // namespace qcm

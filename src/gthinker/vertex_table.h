@@ -1,22 +1,26 @@
 // The distributed graph store of the simulation (paper §5, Figure 8):
 //   * VertexTable -- the graph hash-partitioned across machines; each
 //     machine's "local vertex table" is the set of vertices it owns.
-//   * RemoteCache -- per-machine bounded cache of adjacency lists fetched
-//     from other machines; misses copy the list (modeling the network
-//     transfer) and count transferred bytes.
-//   * DataService -- the per-machine facade tasks fetch through.
+//   * DataService -- the per-machine facade tasks fetch through: local
+//     vertices resolve to the local table, remote ones to the bounded
+//     VertexCache, and cold remote reads fall back to a synchronous
+//     (unbatched, metrics-counted) transfer.
+//   * PullBroker -- the request/response batching layer between machines:
+//     tasks suspended on missing vertices park here; a flush aggregates
+//     every outstanding id into one batched pull per remote machine,
+//     populates the cache, pins responses into the waiting tasks, and
+//     releases them back to the scheduler.
 
 #ifndef QCM_GTHINKER_VERTEX_TABLE_H_
 #define QCM_GTHINKER_VERTEX_TABLE_H_
 
-#include <deque>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "gthinker/metrics.h"
 #include "gthinker/task.h"
+#include "gthinker/vertex_cache.h"
 #include "graph/graph.h"
 
 namespace qcm {
@@ -29,6 +33,8 @@ class VertexTable {
   int Owner(VertexId v) const {
     return static_cast<int>(v % static_cast<uint32_t>(num_machines_));
   }
+
+  int NumMachines() const { return num_machines_; }
 
   std::span<const VertexId> Adjacency(VertexId v) const {
     return graph_->Neighbors(v);
@@ -49,50 +55,71 @@ class VertexTable {
   std::vector<std::vector<VertexId>> owned_;
 };
 
-/// Sharded, bounded, FIFO-evicting cache of remote adjacency lists.
-class RemoteCache {
- public:
-  RemoteCache(size_t capacity_entries, EngineCounters* counters);
-
-  /// Returns the cached copy of v's adjacency, fetching (copying) it from
-  /// the owner's table on a miss.
-  std::shared_ptr<const std::vector<VertexId>> Get(VertexId v,
-                                                   const VertexTable& table);
-
-  size_t ApproxSize() const;
-
- private:
-  static constexpr int kShards = 8;
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<VertexId, std::shared_ptr<const std::vector<VertexId>>>
-        map;
-    std::deque<VertexId> fifo;  // insertion order for eviction
-  };
-
-  size_t capacity_per_shard_;
-  EngineCounters* counters_;
-  Shard shards_[kShards];
-};
-
 /// Per-machine data access facade.
-class DataService : public std::enable_shared_from_this<DataService> {
+class DataService {
  public:
   DataService(const VertexTable* table, int machine, size_t cache_capacity,
               EngineCounters* counters);
 
-  /// The paper's vertex pull: local vertices resolve to the local table,
-  /// remote ones go through the cache.
+  bool IsLocal(VertexId v) const { return table_->Owner(v) == machine_; }
+
+  /// Immediate vertex pull: local table span, cached remote copy, or a
+  /// synchronous fallback transfer (copy from the owner, counted in
+  /// remote_bytes and inserted into the cache). Task pins are consulted
+  /// by the comper before it reaches this layer.
   AdjRef Fetch(VertexId v);
+
+  /// Cache-only probe (counts hit/miss); null on miss.
+  VertexCache::AdjPtr TryCached(VertexId v) { return cache_.Lookup(v); }
 
   uint32_t Degree(VertexId v) const { return table_->Degree(v); }
 
   const VertexTable& table() const { return *table_; }
+  VertexCache& cache() { return cache_; }
 
  private:
   const VertexTable* table_;
   int machine_;
-  RemoteCache cache_;
+  EngineCounters* counters_;
+  VertexCache cache_;
+};
+
+/// The request/response batching layer between machines (paper §5): the
+/// "respond" side of G-thinker's pull model, simulated synchronously at
+/// flush time while preserving the batching discipline and its metrics.
+class PullBroker {
+ public:
+  /// `data` is this machine's DataService (responses populate its cache);
+  /// `max_batch` caps ids per batched message.
+  PullBroker(DataService* data, size_t max_batch, EngineCounters* counters);
+
+  /// Parks `task` until every id in its TaskPullState wanted-set has been
+  /// delivered. The wanted-set is consumed.
+  void Park(TaskPtr task);
+
+  /// Serves every currently outstanding request: ids are deduplicated
+  /// across parked tasks, grouped into one batched pull per remote
+  /// machine (split at max_batch), transferred (copy + byte accounting),
+  /// inserted into the vertex cache, and pinned into each waiting task.
+  /// Returns the tasks that are now ready to resume. Non-blocking: an
+  /// empty vector is returned when nothing is parked or another thread
+  /// holds the broker.
+  std::vector<TaskPtr> Flush();
+
+  size_t ParkedCount() const;
+
+ private:
+  struct Parked {
+    TaskPtr task;
+    std::vector<VertexId> wanted;
+  };
+
+  DataService* data_;
+  size_t max_batch_;
+  EngineCounters* counters_;
+
+  mutable std::mutex mu_;
+  std::vector<Parked> parked_;
 };
 
 }  // namespace qcm

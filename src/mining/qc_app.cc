@@ -49,29 +49,90 @@ StatusOr<TaskPtr> QCApp::DecodeTask(Decoder* dec) const {
 ComputeStatus QCApp::Compute(Task& task, ComputeContext& ctx) {
   auto& t = static_cast<QCTask&>(task);
   if (t.iteration() == 1) {
+    // Iteration 1 (Alg. 6 lines 1-3): request the 1-hop frontier.
+    WallTimer build;
+    const FirstHop r = RequestFirstHop(t, ctx);
+    ctx.metrics().build_seconds += build.Seconds();
+    if (r == FirstHop::kDead) return ComputeStatus::kDone;
+    t.AdvanceIteration(2);
+    if (r == FirstHop::kMissing) return ComputeStatus::kSuspended;
+    // Everything local/cached: run iteration 2 in the same round.
+  }
+  if (t.iteration() == 2) {
+    // Iteration 2 (Alg. 6 + the Alg. 7 pull): first-hop staging and peel
+    // over the now-available frontier, then request the 2-hop ball.
+    WallTimer build;
+    ContextVertexSource source(&ctx);
+    EgoBuilder builder(&ctx.ego_scratch());
+    if (!builder.BuildEgoFirstHop(source, t.root(), k_)) {
+      ctx.metrics().build_seconds += build.Seconds();
+      return ComputeStatus::kDone;
+    }
+    bool all_available = true;
+    for (VertexId w : builder.SecondHopPullSet(source, k_)) {
+      all_available = ctx.Request(w) && all_available;
+    }
+    t.AdvanceIteration(3);
+    if (!all_available) {
+      // Yield the comper while the batched pull is outstanding (Alg. 3's
+      // "add t back to the queue"). Other tasks reuse this comper's
+      // scratch meanwhile, so iteration 3 re-runs Alg. 6 -- every read by
+      // then is a pin/cache hit, costing CPU but no transfer.
+      ctx.metrics().build_seconds += build.Seconds();
+      return ComputeStatus::kSuspended;
+    }
+    // Nothing missing: finish Alg. 7 on the live builder state and mine
+    // immediately (paper: "t will not be suspended but rather run the
+    // third iteration immediately").
+    LocalGraph g = builder.BuildEgoSecondHop(source, t.root(), k_,
+                                             config_.mining.min_size);
+    const bool alive = PromoteBuilt(t, std::move(g), ctx);
+    ctx.metrics().build_seconds += build.Seconds();
+    if (!alive) return ComputeStatus::kDone;
+  } else if (t.NeedsBuild()) {
+    // Iteration 3, resumed after the 2-hop pull (or reloaded from a spill
+    // file): materialize from pinned/cached vertices.
     WallTimer build;
     const bool alive = BuildEgoGraph(t, ctx);
     ctx.metrics().build_seconds += build.Seconds();
     if (!alive) return ComputeStatus::kDone;
-    // Iteration 2 pulls nothing further, so iteration 3 runs right away
-    // (paper: "t will not be suspended but rather run the third iteration
-    // immediately").
   }
   MineTask(t, ctx);
   return ComputeStatus::kDone;
 }
 
-bool QCApp::BuildEgoGraph(QCTask& t, ComputeContext& ctx) {
-  const VertexId root = t.root();
+QCApp::FirstHop QCApp::RequestFirstHop(QCTask& t, ComputeContext& ctx) {
+  // The qualifying 1-hop frontier {u in Gamma(v): u > v, deg(u) >= k} is
+  // computable from the root's adjacency (machine-local for tasks spawned
+  // here; a stolen task falls back to one synchronous root fetch) plus
+  // degree metadata, which transfers no adjacency.
+  AdjRef root_adj = ctx.Fetch(t.root());
+  bool any = false;
+  bool all_available = true;
+  for (VertexId u : root_adj.adj) {
+    if (u <= t.root()) continue;
+    if (ctx.Degree(u) < k_) continue;
+    any = true;
+    all_available = ctx.Request(u) && all_available;
+  }
+  if (!any) return FirstHop::kDead;  // Alg. 6: no qualifying frontier
+  return all_available ? FirstHop::kReady : FirstHop::kMissing;
+}
 
-  // Iterations 1-2 (Alg. 6-7) through the shared materialization layer,
-  // pulling vertices via the engine's simulated storage and reusing this
-  // comper's scratch across tasks.
+bool QCApp::BuildEgoGraph(QCTask& t, ComputeContext& ctx) {
+  // Full Alg. 6-7 through the shared materialization layer, pulling
+  // vertices via the engine's simulated storage and reusing this comper's
+  // scratch across tasks.
   ContextVertexSource source(&ctx);
   EgoBuilder builder(&ctx.ego_scratch());
   LocalGraph g =
-      builder.BuildEgo(source, root, k_, config_.mining.min_size);
+      builder.BuildEgo(source, t.root(), k_, config_.mining.min_size);
+  return PromoteBuilt(t, std::move(g), ctx);
+}
+
+bool QCApp::PromoteBuilt(QCTask& t, LocalGraph g, ComputeContext& ctx) {
   if (g.n() == 0) return false;
+  const VertexId root = t.root();
 
   // End of Alg. 7: t.S <- {v}, t.ext(S) <- V(g) - v.
   std::vector<VertexId> ext;

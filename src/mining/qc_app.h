@@ -1,8 +1,12 @@
 // The quasi-clique G-thinker application: the two UDFs of paper §6.
 //   * Spawn (Alg. 4): one task per vertex with degree >= k.
 //   * Compute (Alg. 5): iterations 1-2 build the root's 2-hop ego network
-//     with k-core shrinking (Alg. 6-7); iteration 3 mines it (Alg. 8-10),
-//     decomposing into subtasks according to the configured mode.
+//     with k-core shrinking (Alg. 6-7), requesting remote vertices via the
+//     engine's batched pull layer and suspending while pulls are
+//     outstanding; iteration 3 mines it (Alg. 8-10), decomposing into
+//     subtasks according to the configured mode. When everything a round
+//     needs is already local/pinned/cached, the next iteration runs in the
+//     same round (no artificial suspension).
 
 #ifndef QCM_MINING_QC_APP_H_
 #define QCM_MINING_QC_APP_H_
@@ -23,9 +27,21 @@ class QCApp : public App {
   StatusOr<TaskPtr> DecodeTask(Decoder* dec) const override;
 
  private:
-  /// Iterations 1-2 (Alg. 6-7): returns false if the task dies (root
-  /// peeled). On success the task is promoted to iteration 3.
+  enum class FirstHop { kDead, kReady, kMissing };
+
+  /// Iteration 1: requests the qualifying 1-hop frontier (computable from
+  /// the root's machine-local adjacency plus degree metadata). kDead if
+  /// the frontier is empty (Theorem 2), kMissing if a pull is outstanding.
+  FirstHop RequestFirstHop(QCTask& t, ComputeContext& ctx);
+
+  /// Full Alg. 6-7 build (every vertex already local/pinned/cached):
+  /// returns false if the task dies. On success the task is promoted to
+  /// mining state.
   bool BuildEgoGraph(QCTask& t, ComputeContext& ctx);
+
+  /// Shared promotion tail: end of Alg. 7 (t.S <- {v}, t.ext(S) <-
+  /// V(g) - v) plus per-root task-log recording. False when g is empty.
+  bool PromoteBuilt(QCTask& t, LocalGraph g, ComputeContext& ctx);
 
   /// Iteration 3 (Alg. 8/9/10): mines t.g, decomposing per `mode_`.
   void MineTask(QCTask& t, ComputeContext& ctx);

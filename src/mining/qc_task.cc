@@ -29,6 +29,9 @@ void QCTask::PromoteToMining(std::vector<VertexId> s,
   s_ = std::move(s);
   ext_ = std::move(ext);
   g_ = std::move(g);
+  // Mining reads only t.g from here on: drop the pulled-adjacency pins so
+  // that memory is reclaimable while the (possibly long) mining phase runs.
+  pulls().Clear();
 }
 
 void QCTask::Encode(Encoder* enc) const {
@@ -50,7 +53,7 @@ StatusOr<TaskPtr> QCTask::Decode(Decoder* dec) {
   auto g = LocalGraph::Decode(dec);
   QCM_RETURN_IF_ERROR(g.status());
   t->g_ = std::move(g).value();
-  if (t->iteration_ != 1 && t->iteration_ != 3) {
+  if (t->iteration_ < 1 || t->iteration_ > 3) {
     return Status::Corruption("QCTask: bad iteration tag");
   }
   return TaskPtr(std::move(t));

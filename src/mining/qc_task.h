@@ -1,12 +1,19 @@
-// The quasi-clique mining task (paper §6). Two task shapes exist on queues:
+// The quasi-clique mining task (paper §6), a three-iteration state machine
+// driven by the engine's pull-based compute model (§5):
 //   * iteration 1 -- a freshly spawned task carrying only its root; its
-//     compute round builds the root's 2-hop ego network (Alg. 6-7) and then
-//     mines it (iteration 3 logic) in the same round, because with the
-//     simulation's synchronous vertex fetch there is no pull latency to
-//     suspend on (DESIGN.md §3).
-//   * iteration 3 -- a decomposed subtask carrying <S, ext(S)> (global ids)
-//     and its materialized subgraph t.g (Alg. 8 line 19 / Alg. 10).
-// Both shapes serialize losslessly for spilling and stealing.
+//     compute round requests the qualifying 1-hop frontier and suspends if
+//     any of it must be pulled from a remote machine.
+//   * iteration 2 -- the 1-hop frontier is available; the round runs
+//     Alg. 6 (first-hop staging + peel), requests the 2-hop ball, and
+//     either suspends on the pull or finishes the build and mines
+//     immediately (the paper: "t will not be suspended but rather run the
+//     third iteration immediately" when nothing is missing).
+//   * iteration 3 -- every needed vertex is available. A resumed spawn
+//     task (empty S) materializes its ego network first; a decomposed
+//     subtask arrives with <S, ext(S)> (global ids) and its materialized
+//     subgraph t.g (Alg. 8 line 19 / Alg. 10). Both then mine.
+// All shapes serialize losslessly for spilling and stealing (pull pins are
+// transient and simply re-fetched after a disk round-trip).
 
 #ifndef QCM_MINING_QC_TASK_H_
 #define QCM_MINING_QC_TASK_H_
@@ -38,6 +45,14 @@ class QCTask : public Task {
   const std::vector<VertexId>& s() const { return s_; }
   const std::vector<VertexId>& ext() const { return ext_; }
   const LocalGraph& g() const { return g_; }
+
+  /// Moves a spawn task to its next pull iteration (1 -> 2 -> 3).
+  void AdvanceIteration(uint8_t iteration) { iteration_ = iteration; }
+
+  /// True for an iteration-3 task that still has to materialize its ego
+  /// network (a resumed spawn task, as opposed to a decomposed subtask
+  /// that carries its subgraph).
+  bool NeedsBuild() const { return s_.empty(); }
 
   /// Promotes a freshly built spawn task to mining state (end of Alg. 7:
   /// t.S <- {v}, t.ext(S) <- V(g) - v, iteration <- 3).

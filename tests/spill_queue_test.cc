@@ -1,7 +1,9 @@
 // Unit tests for the engine substrates: spill manager, global queue,
-// partitioned vertex table, remote cache, and the QCTask codec.
+// partitioned vertex table, and the QCTask codec. (The vertex cache and
+// pull broker are covered in vertex_cache_test.cc.)
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <string>
 #include <vector>
@@ -69,6 +71,49 @@ TEST(SpillManagerTest, RemoveAllCleansDisk) {
   EXPECT_TRUE(batch->empty());
 }
 
+TEST(SpillManagerTest, PopBatchOnEmptyDirectoryIsCleanNoop) {
+  // A manager that never spilled anything (its directory is empty -- or
+  // does not even exist yet) must pop empty batches without error.
+  EngineCounters counters;
+  SpillManager fresh(TempSpillDir(), "t4_fresh", &counters);
+  auto batch = fresh.PopBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+  EXPECT_EQ(fresh.FileCount(), 0u);
+  EXPECT_EQ(fresh.PendingTasks(), 0u);
+
+  SpillManager ghost(testing::TempDir() + "/qcm_spill_nonexistent",
+                     "t4_ghost", &counters);
+  batch = ghost.PopBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(SpillManagerTest, RemoveAllWithFilesStillPendingDeletesThem) {
+  EngineCounters counters;
+  const std::string dir = TempSpillDir();
+  SpillManager spill(dir, "t5", &counters);
+  ASSERT_TRUE(spill.SpillBatch({"a", "b"}).ok());
+  ASSERT_TRUE(spill.SpillBatch({"c"}).ok());
+  EXPECT_EQ(spill.FileCount(), 2u);
+  EXPECT_EQ(spill.PendingTasks(), 3u);
+
+  spill.RemoveAll();
+  EXPECT_EQ(spill.FileCount(), 0u);
+  EXPECT_EQ(spill.PendingTasks(), 0u);
+  // The files are gone from disk, not just from the index.
+  for (uint64_t seq = 0; seq < 2; ++seq) {
+    const std::string path =
+        dir + "/t5_" + std::to_string(seq) + ".spill";
+    EXPECT_NE(::access(path.c_str(), F_OK), 0) << path << " still exists";
+  }
+  // The manager remains usable after the purge.
+  ASSERT_TRUE(spill.SpillBatch({"d"}).ok());
+  auto batch = spill.PopBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, (std::vector<std::string>{"d"}));
+}
+
 TEST(VertexTableTest, PartitionsCoverAllVertices) {
   auto g = std::move(GenErdosRenyi(100, 300, 1)).value();
   VertexTable table(&g, 4);
@@ -80,45 +125,6 @@ TEST(VertexTableTest, PartitionsCoverAllVertices) {
     total += table.OwnedVertices(m).size();
   }
   EXPECT_EQ(total, g.NumVertices());
-}
-
-TEST(DataServiceTest, LocalVsRemoteFetch) {
-  auto g = std::move(GenErdosRenyi(50, 200, 2)).value();
-  VertexTable table(&g, 2);
-  EngineCounters counters;
-  DataService svc(&table, /*machine=*/0, /*cache_capacity=*/1024, &counters);
-
-  // Local fetch: no pin, no cache traffic.
-  VertexId local_v = table.OwnedVertices(0)[0];
-  AdjRef local_ref = svc.Fetch(local_v);
-  EXPECT_EQ(local_ref.pin, nullptr);
-  EXPECT_EQ(counters.cache_misses.load(), 0u);
-
-  // Remote fetch: miss then hit.
-  VertexId remote_v = table.OwnedVertices(1)[0];
-  AdjRef r1 = svc.Fetch(remote_v);
-  EXPECT_NE(r1.pin, nullptr);
-  EXPECT_EQ(counters.cache_misses.load(), 1u);
-  AdjRef r2 = svc.Fetch(remote_v);
-  EXPECT_EQ(counters.cache_hits.load(), 1u);
-  // Both refs see the same adjacency content as the source graph.
-  auto src = g.Neighbors(remote_v);
-  ASSERT_EQ(r2.adj.size(), src.size());
-  EXPECT_TRUE(std::equal(r2.adj.begin(), r2.adj.end(), src.begin()));
-  EXPECT_EQ(counters.remote_bytes.load(), src.size() * sizeof(VertexId));
-}
-
-TEST(RemoteCacheTest, EvictsBeyondCapacity) {
-  auto g = std::move(GenErdosRenyi(400, 1200, 3)).value();
-  VertexTable table(&g, 2);
-  EngineCounters counters;
-  // Tiny capacity forces evictions.
-  RemoteCache cache(16, &counters);
-  for (VertexId v : table.OwnedVertices(1)) {
-    cache.Get(v, table);
-  }
-  EXPECT_GT(counters.cache_evictions.load(), 0u);
-  EXPECT_LE(cache.ApproxSize(), 16u + 8u);  // capacity + shard slack
 }
 
 TEST(QCTaskTest, SpawnTaskRoundTrip) {
@@ -230,6 +236,41 @@ TEST(GlobalQueueTest, StealBatchMovesTail) {
   TaskPtr t = q2.TryPop();
   ASSERT_NE(t, nullptr);
   EXPECT_NE(t->root(), 99u);
+}
+
+TEST(GlobalQueueTest, StealRoundTripPreservesTaskOrder) {
+  EngineCounters counters;
+  SpillManager spill(TempSpillDir(), "q4", &counters);
+  QueueApp app;
+  GlobalQueue donor(100, 4, &spill, &app, &counters);
+  for (VertexId v = 0; v < 8; ++v) donor.Push(QCTask::MakeSpawn(v, 10));
+
+  // StealBatch removes from the tail, most-recent first: 7, 6, 5.
+  auto stolen = donor.StealBatch(3);
+  ASSERT_EQ(stolen.size(), 3u);
+  EXPECT_EQ(stolen[0]->root(), 7u);
+  EXPECT_EQ(stolen[1]->root(), 6u);
+  EXPECT_EQ(stolen[2]->root(), 5u);
+  // The donor's remaining FIFO order is untouched.
+  for (VertexId v = 0; v < 5; ++v) {
+    TaskPtr t = donor.TryPop();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->root(), v);
+  }
+  EXPECT_EQ(donor.TryPop(), nullptr);
+
+  // PushStolenFront preserves the batch's order ahead of resident tasks:
+  // the receiver pops 7, 6, 5, then its own.
+  GlobalQueue receiver(100, 4, &spill, &app, &counters);
+  receiver.Push(QCTask::MakeSpawn(99, 10));
+  receiver.PushStolenFront(std::move(stolen));
+  const VertexId expected[] = {7, 6, 5, 99};
+  for (VertexId want : expected) {
+    TaskPtr t = receiver.TryPop();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->root(), want);
+  }
+  EXPECT_EQ(receiver.TryPop(), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Loud smoke check for CI: run qcm_mine on a planted-community graph and
+# fail unless (a) it exits 0 and (b) its --stats output reports a nonzero
+# maximal result count. A miner that silently finds nothing is as broken
+# as one that crashes.
+#
+# Usage: tools/check_smoke.sh [path/to/qcm_mine]
+set -u -o pipefail
+
+BIN="${1:-./build/qcm_mine}"
+if [[ ! -x "$BIN" ]]; then
+  echo "check_smoke: FAIL -- miner binary not found/executable: $BIN" >&2
+  exit 1
+fi
+
+out=$("$BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --machines 2 --threads 2 --stats 2>&1)
+status=$?
+echo "$out"
+
+if [[ $status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- qcm_mine exited with status $status" >&2
+  exit 1
+fi
+
+# The final --stats line reads "N maximal quasi-cliques in X s".
+count=$(printf '%s\n' "$out" |
+  sed -n 's/^\([0-9][0-9]*\) maximal quasi-cliques in .*/\1/p' | tail -1)
+if [[ -z "$count" ]]; then
+  echo "check_smoke: FAIL -- no result-count line in --stats output" >&2
+  exit 1
+fi
+if [[ "$count" -eq 0 ]]; then
+  echo "check_smoke: FAIL -- miner reported 0 maximal quasi-cliques" >&2
+  exit 1
+fi
+
+echo "check_smoke: OK -- $count maximal quasi-cliques"

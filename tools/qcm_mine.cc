@@ -20,6 +20,9 @@
 //   --tau-split N         big-task |ext(S)| threshold       (default 100)
 //   --tau-time F          time-delayed timeout seconds      (default 0.01)
 //   --mode M              none | size | time                (default time)
+//   --cache-capacity N    per-machine vertex-cache entries; 0 disables
+//                         caching                           (default 65536)
+//   --pull-batch N        max vertex ids per batched pull   (default 2048)
 //   --output PATH         write one result per line ("v1 v2 ...")
 //   --no-filter           report raw candidates (skip maximality filter)
 //   --stats               print engine/pruning statistics
@@ -56,6 +59,8 @@ struct Args {
   uint32_t tau_split = 100;
   double tau_time = 0.01;
   std::string mode = "time";
+  size_t cache_capacity = 1 << 16;
+  size_t pull_batch = 2048;
   std::string output;
   bool no_filter = false;
   bool stats = false;
@@ -120,6 +125,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--mode");
       if (!v) return false;
       args->mode = v;
+    } else if (a == "--cache-capacity") {
+      const char* v = next("--cache-capacity");
+      if (!v) return false;
+      args->cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (a == "--pull-batch") {
+      const char* v = next("--pull-batch");
+      if (!v) return false;
+      args->pull_batch = static_cast<size_t>(std::atoll(v));
     } else if (a == "--output") {
       const char* v = next("--output");
       if (!v) return false;
@@ -283,6 +296,8 @@ int main(int argc, char** argv) {
     config.threads_per_machine = args.threads;
     config.tau_split = args.tau_split;
     config.tau_time = args.tau_time;
+    config.vertex_cache_capacity = args.cache_capacity;
+    config.max_pull_batch = args.pull_batch;
     if (args.mode == "none") {
       config.mode = DecomposeMode::kNone;
     } else if (args.mode == "size") {
@@ -306,8 +321,8 @@ int main(int argc, char** argv) {
       const EngineReport& r = result->report;
       std::fprintf(stderr,
                    "engine: %lu tasks (%lu big/%lu small), spill %lu "
-                   "tasks/%s, steals %lu, cache %lu/%lu, busy max/min "
-                   "%.2f, peak RSS %s\n",
+                   "tasks/%s, steals %lu, cache %lu/%lu (%.1f%% hit), busy "
+                   "max/min %.2f, peak RSS %s\n",
                    static_cast<unsigned long>(r.counters.tasks_completed),
                    static_cast<unsigned long>(r.counters.big_tasks),
                    static_cast<unsigned long>(r.counters.small_tasks),
@@ -316,8 +331,18 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long>(r.counters.stolen_tasks),
                    static_cast<unsigned long>(r.counters.cache_hits),
                    static_cast<unsigned long>(r.counters.cache_misses),
-                   r.BusyImbalance(),
+                   100.0 * r.counters.CacheHitRatio(), r.BusyImbalance(),
                    HumanBytes(r.peak_rss_bytes).c_str());
+      std::fprintf(stderr,
+                   "pulls: %lu suspensions, %lu rounds, %lu batches, %lu "
+                   "vertices/%s pulled, %lu pin hits, fallback %s\n",
+                   static_cast<unsigned long>(r.counters.task_suspensions),
+                   static_cast<unsigned long>(r.counters.pull_rounds),
+                   static_cast<unsigned long>(r.counters.pull_batches),
+                   static_cast<unsigned long>(r.counters.pulled_vertices),
+                   HumanBytes(r.counters.pull_bytes).c_str(),
+                   static_cast<unsigned long>(r.counters.pin_hits),
+                   HumanBytes(r.counters.remote_bytes).c_str());
     }
   }
 
