@@ -1,0 +1,135 @@
+// Table-6 companion: does the VertexCache hide modeled network latency?
+//
+// Sweeps CommFabric delivery latency (0 / 1ms / 10ms wall-clock) on the
+// Hyves-like dataset, with the per-machine vertex cache enabled vs.
+// disabled, plus a CLOCK-policy row per latency for the eviction-policy
+// A/B. The paper's §5 claim to reproduce: because pulls are batched,
+// cached, and overlapped with mining, injected network latency barely
+// moves the cache-enabled job time while the cache-off configuration
+// degrades with every forced re-pull. Evidence is recorded as JSON
+// (QCM_BENCH_JSON) -- bench/table6_latency_before_after.json keeps the
+// committed before/after snapshot.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/datasets.h"
+#include "mining/parallel_miner.h"
+
+int main() {
+  using namespace qcm;
+  using namespace qcm::bench;
+  const char* json_path = std::getenv("QCM_BENCH_JSON");
+  std::string json = "[\n";
+
+  Banner("Table 6 companion: VertexCache vs. modeled network latency");
+  const DatasetSpec* spec = FindDataset("Hyves-like");
+  auto graph = BuildDataset(*spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<double> latencies = {0.0, 0.001, 0.01};
+  if (QuickMode()) latencies = {0.0, 0.001};
+
+  struct Variant {
+    const char* label;
+    size_t cache_capacity;
+    CachePolicy policy;
+  };
+  const std::vector<Variant> variants = {
+      {"cache-lru", 1 << 16, CachePolicy::kLRU},
+      {"cache-clock", 1 << 16, CachePolicy::kClock},
+      {"cache-off", 0, CachePolicy::kLRU},
+  };
+
+  Table table({"Net Latency", "Variant", "Job Time", "Suspensions",
+               "Pull Bytes", "Mean Delivery", "Overlap %", "Cache Hit %",
+               "Results"});
+  bool first = true;
+  // Per-variant baseline (latency 0) so the JSON carries the slowdown
+  // factor the acceptance criterion reads directly.
+  std::vector<double> baseline(variants.size(), 0.0);
+  for (double latency : latencies) {
+    for (size_t vi = 0; vi < variants.size(); ++vi) {
+      const Variant& variant = variants[vi];
+      EngineConfig config = ClusterPreset();
+      config.mining = spec->Mining();
+      config.tau_split = spec->tau_split;
+      config.tau_time = spec->tau_time;
+      config.vertex_cache_capacity = variant.cache_capacity;
+      config.cache_policy = variant.policy;
+      config.net_latency_sec = latency;
+      ParallelMiner miner(config);
+      auto result = miner.Run(*graph);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      const EngineReport& r = result->report;
+      if (latency == 0.0) baseline[vi] = r.wall_seconds;
+      const double slowdown =
+          baseline[vi] > 0 ? r.wall_seconds / baseline[vi] : 0.0;
+      table.AddRow({FmtDouble(latency * 1e3, 1) + " ms", variant.label,
+                    FmtSeconds(r.wall_seconds),
+                    FmtCount(r.counters.task_suspensions),
+                    FmtGb(r.counters.pull_bytes),
+                    FmtDouble(r.counters.MeanDeliveryLatencySeconds() * 1e3,
+                              3) +
+                        " ms",
+                    FmtDouble(100.0 * r.counters.MessageOverlapRatio(), 1),
+                    FmtDouble(100.0 * r.counters.CacheHitRatio(), 1),
+                    FmtCount(result->maximal.size())});
+      if (!first) json += ",\n";
+      first = false;
+      json += "  {\"net_latency_sec\": " + FmtDouble(latency, 6) +
+              ", \"variant\": \"" + variant.label + "\"" +
+              ", \"cache_capacity\": " +
+              std::to_string(variant.cache_capacity) +
+              ", \"cache_policy\": \"" + CachePolicyName(variant.policy) +
+              "\"" + ", \"job_seconds\": " + FmtDouble(r.wall_seconds, 6) +
+              ", \"slowdown_vs_latency0\": " + FmtDouble(slowdown, 4) +
+              ", \"results\": " + std::to_string(result->maximal.size()) +
+              ", \"task_suspensions\": " +
+              std::to_string(r.counters.task_suspensions) +
+              ", \"pull_batches\": " +
+              std::to_string(r.counters.pull_batches) +
+              ", \"pull_bytes\": " + std::to_string(r.counters.pull_bytes) +
+              ", \"cache_hit_ratio\": " +
+              FmtDouble(r.counters.CacheHitRatio(), 4) +
+              ", \"mean_delivery_latency_sec\": " +
+              FmtDouble(r.counters.MeanDeliveryLatencySeconds(), 6) +
+              ", \"overlap_ratio\": " +
+              FmtDouble(r.counters.MessageOverlapRatio(), 4) +
+              ", \"msg_inflight_bytes_peak\": " +
+              std::to_string(r.counters.msg_inflight_bytes_peak) +
+              ", \"msg_queue_depth_peak\": " +
+              std::to_string(r.counters.msg_queue_depth_peak) +
+              ", \"msg_drained\": " +
+              std::to_string(r.counters.msg_drained) + "}";
+    }
+  }
+  table.Print();
+  json += "\n]\n";
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("(json written to %s)\n", json_path);
+    }
+  }
+  Note("\nReading: identical \"Results\" down the whole table is the "
+       "correctness guarantee (latency only delays delivery, it never "
+       "changes what is mined). The cache-enabled rows must degrade "
+       "strictly less than cache-off as latency grows: a cache hit "
+       "avoids the suspension entirely, so only the cold pulls of the "
+       "first tasks ride the slow fabric, and their flight time overlaps "
+       "with mining (Overlap %). cache-off forces every remote read "
+       "through a delayed pull round-trip, so its job time tracks the "
+       "injected latency.");
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "gthinker/comm.h"
+
+#include <algorithm>
+
+namespace qcm {
+
+namespace {
+
+/// Relaxed atomic max (counters are read only after the engine quiesces).
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t seen = target->load(std::memory_order_relaxed);
+  while (seen < value &&
+         !target->compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPullRequest:
+      return "pull-request";
+    case MessageType::kPullResponse:
+      return "pull-response";
+    case MessageType::kStealBatch:
+      return "steal-batch";
+  }
+  return "?";
+}
+
+CommFabric::CommFabric(int num_machines, uint64_t latency_ticks,
+                       double latency_sec, EngineCounters* counters)
+    : latency_ticks_(latency_ticks),
+      latency_sec_(latency_sec),
+      counters_(counters) {
+  inboxes_.reserve(num_machines);
+  for (int m = 0; m < num_machines; ++m) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void CommFabric::SetBusyProbe(std::function<int(int)> probe) {
+  busy_probe_ = std::move(probe);
+}
+
+void CommFabric::Send(MessageType type, int src, int dst,
+                      std::string payload) {
+  const double now = clock_.Seconds();
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.payload = std::move(payload);
+  m.enqueue_sec = now;
+  m.due_sec = now + latency_sec_;
+
+  const int t = static_cast<int>(type);
+  const uint64_t bytes = m.payload.size();
+  size_t depth;
+  {
+    Inbox& inbox = *inboxes_[dst];
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    m.enqueue_tick = inbox.tick;
+    m.due_tick = inbox.tick + latency_ticks_;
+    inbox.q.push_back(std::move(m));
+    depth = inbox.q.size();
+  }
+  if (counters_ != nullptr) {
+    counters_->msg_sent[t].fetch_add(1, std::memory_order_relaxed);
+    counters_->msg_bytes[t].fetch_add(bytes, std::memory_order_relaxed);
+    const uint64_t inflight =
+        counters_->msg_inflight_bytes.fetch_add(bytes,
+                                                std::memory_order_relaxed) +
+        bytes;
+    AtomicMax(&counters_->msg_inflight_bytes_peak, inflight);
+    AtomicMax(&counters_->msg_queue_depth_peak, depth);
+    if (busy_probe_ && busy_probe_(dst) > 0) {
+      counters_->msg_overlapped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CommFabric::CountDelivery(const Message& m, double now) {
+  if (counters_ == nullptr) return;
+  const int t = static_cast<int>(m.type);
+  counters_->msg_delivered[t].fetch_add(1, std::memory_order_relaxed);
+  counters_->msg_inflight_bytes.fetch_sub(m.payload.size(),
+                                          std::memory_order_relaxed);
+  const double latency = std::max(0.0, now - m.enqueue_sec);
+  counters_->msg_latency_hist[MsgLatencyBucketIndex(latency)].fetch_add(
+      1, std::memory_order_relaxed);
+  counters_->msg_latency_usec_sum.fetch_add(
+      static_cast<uint64_t>(latency * 1e6), std::memory_order_relaxed);
+}
+
+std::vector<Message> CommFabric::Service(int dst) {
+  const double now = clock_.Seconds();
+  std::vector<Message> due;
+  {
+    Inbox& inbox = *inboxes_[dst];
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    ++inbox.tick;
+    while (!inbox.q.empty() && inbox.q.front().due_tick <= inbox.tick &&
+           inbox.q.front().due_sec <= now) {
+      due.push_back(std::move(inbox.q.front()));
+      inbox.q.pop_front();
+    }
+  }
+  for (const Message& m : due) CountDelivery(m, now);
+  return due;
+}
+
+std::vector<Message> CommFabric::Drain(int dst) {
+  std::vector<Message> out;
+  {
+    Inbox& inbox = *inboxes_[dst];
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    while (!inbox.q.empty()) {
+      out.push_back(std::move(inbox.q.front()));
+      inbox.q.pop_front();
+    }
+  }
+  if (counters_ != nullptr) {
+    for (const Message& m : out) {
+      counters_->msg_drained.fetch_add(1, std::memory_order_relaxed);
+      counters_->msg_inflight_bytes.fetch_sub(m.payload.size(),
+                                              std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+size_t CommFabric::InFlight() const {
+  size_t total = 0;
+  for (const auto& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    total += inbox->q.size();
+  }
+  return total;
+}
+
+uint64_t CommFabric::InFlightBytes() const {
+  uint64_t total = 0;
+  for (const auto& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    for (const Message& m : inbox->q) total += m.payload.size();
+  }
+  return total;
+}
+
+uint64_t CommFabric::Tick(int dst) const {
+  Inbox& inbox = *inboxes_[dst];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  return inbox.tick;
+}
+
+}  // namespace qcm

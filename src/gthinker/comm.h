@@ -1,0 +1,129 @@
+// CommFabric: the single asynchronous message substrate for every
+// cross-machine transfer of the simulated cluster (paper §5's codesign:
+// all network traffic -- batched vertex pulls and master-coordinated big-
+// task steals -- overlaps with mining instead of blocking it).
+//
+// Each transfer is a typed message (kPullRequest, kPullResponse,
+// kStealBatch) carrying a serialized payload. A message enqueued while
+// the destination machine is at service tick T becomes deliverable at
+// tick T + net_latency_ticks, and no earlier than net_latency_sec of
+// wall time after the send. Compers advance their machine's tick once
+// per scheduling loop (Engine::Comper::ServiceComm), so with both knobs
+// at 0 a message is delivered on the destination's next service -- the
+// pre-fabric synchronous behavior -- while positive latency parks the
+// message in flight, which is exactly the window the VertexCache and the
+// big-task queues must hide.
+//
+// Delivery is FIFO per destination: due times are monotone in enqueue
+// order (ticks and wall clock both only move forward), so popping from
+// the inbox head while the head is due preserves send order.
+//
+// The fabric never blocks and never loses messages: pending-task
+// accounting keeps the engine alive while anything meaningful is in
+// flight (parked tasks and stolen batches are still counted in
+// Engine::pending_), and Drain() hands back undelivered messages at
+// termination for inspection.
+
+#ifndef QCM_GTHINKER_COMM_H_
+#define QCM_GTHINKER_COMM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gthinker/metrics.h"
+#include "util/timer.h"
+
+namespace qcm {
+
+/// Every cross-machine transfer is exactly one of these.
+enum class MessageType : uint8_t {
+  /// Batched vertex-pull request: a U32Vector of wanted vertex ids,
+  /// split at EngineConfig::max_pull_batch per message.
+  kPullRequest = 0,
+  /// Batched pull response: ids plus their adjacency lists.
+  kPullResponse = 1,
+  /// A batch of stolen big tasks (count + concatenated task encodings).
+  kStealBatch = 2,
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// One in-flight transfer.
+struct Message {
+  MessageType type = MessageType::kPullRequest;
+  int src = 0;
+  int dst = 0;
+  std::string payload;
+  /// Destination service tick at enqueue / first tick deliverable.
+  uint64_t enqueue_tick = 0;
+  uint64_t due_tick = 0;
+  /// Fabric clock (seconds since construction) at enqueue / earliest
+  /// wall-clock delivery.
+  double enqueue_sec = 0.0;
+  double due_sec = 0.0;
+};
+
+class CommFabric {
+ public:
+  /// `latency_ticks` / `latency_sec` model the network delay of every
+  /// message (see file comment). `counters` may be null.
+  CommFabric(int num_machines, uint64_t latency_ticks, double latency_sec,
+             EngineCounters* counters);
+
+  CommFabric(const CommFabric&) = delete;
+  CommFabric& operator=(const CommFabric&) = delete;
+
+  /// Optional probe returning how many compers of a machine are busy
+  /// mining; sampled at enqueue time for the overlap-ratio metric.
+  void SetBusyProbe(std::function<int(int machine)> probe);
+
+  /// Enqueues a message. Never blocks; the destination's next due
+  /// service tick will deliver it.
+  void Send(MessageType type, int src, int dst, std::string payload);
+
+  /// Advances `dst`'s service tick and pops every message now due, in
+  /// enqueue order. Called by the destination machine's compers once per
+  /// scheduling loop.
+  std::vector<Message> Service(int dst);
+
+  /// Pops every undelivered message for `dst` regardless of due time
+  /// (termination drain; counted in msg_drained, not msg_delivered).
+  std::vector<Message> Drain(int dst);
+
+  /// Undelivered messages across all destinations.
+  size_t InFlight() const;
+
+  /// Undelivered payload bytes across all destinations.
+  uint64_t InFlightBytes() const;
+
+  /// Current service tick of `dst`.
+  uint64_t Tick(int dst) const;
+
+  uint64_t latency_ticks() const { return latency_ticks_; }
+  double latency_sec() const { return latency_sec_; }
+
+ private:
+  struct Inbox {
+    mutable std::mutex mu;
+    std::deque<Message> q;
+    uint64_t tick = 0;
+  };
+
+  void CountDelivery(const Message& m, double now);
+
+  uint64_t latency_ticks_;
+  double latency_sec_;
+  EngineCounters* counters_;
+  std::function<int(int)> busy_probe_;
+  WallTimer clock_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_GTHINKER_COMM_H_

@@ -26,6 +26,9 @@ struct Engine::Worker {
   std::unique_ptr<SpillManager> big_spill;    // L_big
   std::unique_ptr<GlobalQueue> global_queue;  // Q_global
   std::atomic<size_t> spawn_cursor{0};
+  /// Compers of this machine currently inside App::Compute; sampled by
+  /// the CommFabric at enqueue time for the overlap-ratio metric.
+  std::atomic<int> busy_compers{0};
 
   /// Pending big tasks = Q_global + L_big (the quantity the steal master
   /// balances across machines).
@@ -52,13 +55,15 @@ class Engine::Comper : public ComputeContext {
 
   void Run() {
     while (!engine_->done_.load()) {
-      ResumePulled();
+      ServiceComm();
       TaskPtr task = PopBig();
       if (task == nullptr) task = PopLocal();
       if (task != nullptr) {
         WallTimer busy;
         active_task_ = task.get();
+        worker_->busy_compers.fetch_add(1, std::memory_order_relaxed);
         ComputeStatus status = engine_->app_->Compute(*task, *this);
+        worker_->busy_compers.fetch_sub(1, std::memory_order_relaxed);
         active_task_ = nullptr;
         metrics_.busy_seconds += busy.Seconds();
         ++metrics_.tasks_processed;
@@ -153,11 +158,47 @@ class Engine::Comper : public ComputeContext {
     }
   }
 
-  /// Serves outstanding batched pulls and re-enqueues the tasks whose
-  /// requests completed. Suspended tasks never left pending_, so this
-  /// routes without re-counting.
-  void ResumePulled() {
-    for (TaskPtr& task : worker_->broker->Flush()) {
+  /// One fabric service tick for this machine: deliver every due message
+  /// (serve peer pull requests, accept pull responses, inject stolen big
+  /// tasks), then pump the broker's outstanding vertex requests onto the
+  /// fabric. Tasks resumed here never left pending_, so routing does not
+  /// re-count them.
+  void ServiceComm() {
+    CommFabric* fabric = engine_->fabric_.get();
+    for (Message& m : fabric->Service(worker_->id)) {
+      switch (m.type) {
+        case MessageType::kPullRequest:
+          // We own the requested vertices; serve from the local table and
+          // send the adjacency batch back through the modeled network.
+          fabric->Send(MessageType::kPullResponse, worker_->id, m.src,
+                       worker_->broker->ServeRequest(m.payload));
+          break;
+        case MessageType::kPullResponse:
+          for (TaskPtr& task : worker_->broker->AcceptResponse(m.payload)) {
+            Enqueue(std::move(task));
+          }
+          break;
+        case MessageType::kStealBatch: {
+          // Stolen big tasks arrive as prefetched work for this machine's
+          // global queue; they stayed counted in pending_ during flight.
+          Decoder dec(m.payload);
+          uint32_t count = 0;
+          Status s = dec.GetU32(&count);
+          QCM_CHECK(s.ok()) << "corrupt steal batch: " << s.ToString();
+          std::vector<TaskPtr> tasks;
+          tasks.reserve(count);
+          for (uint32_t i = 0; i < count; ++i) {
+            auto task = engine_->app_->DecodeTask(&dec);
+            QCM_CHECK(task.ok()) << "steal transfer decode failed: "
+                                 << task.status().ToString();
+            tasks.push_back(std::move(task).value());
+          }
+          worker_->global_queue->PushStolenFront(std::move(tasks));
+          break;
+        }
+      }
+    }
+    for (TaskPtr& task : worker_->broker->PumpRequests(fabric)) {
       Enqueue(std::move(task));
     }
   }
@@ -271,14 +312,28 @@ void Engine::MaybeFinish() {
 }
 
 void Engine::StealLoop() {
-  const auto period = std::chrono::duration<double>(config_.steal_period_sec);
+  // Nothing will ever be stolen: exit instead of waking every period
+  // forever (Engine::Run does not even spawn the thread in this case,
+  // but keep the guard for direct callers).
+  if (!config_.enable_stealing || workers_.size() < 2) return;
+
+  WallTimer lifetime;
+  double active_seconds = 0.0;
   while (!done_.load()) {
-    std::this_thread::sleep_for(period);
-    if (!config_.enable_stealing || workers_.size() < 2) continue;
+    // Sleep one balancing period in small slices so termination is not
+    // delayed by a long period.
+    WallTimer napped;
+    while (!done_.load() && napped.Seconds() < config_.steal_period_sec) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<int64_t>(1000, static_cast<int64_t>(
+                                      config_.steal_period_sec * 1e6) + 1)));
+    }
+    if (done_.load()) break;
 
     // Periodic balancing plan (paper: master collects per-machine pending
     // big-task counts, computes the average, and moves at most one batch
     // per machine per period toward the average).
+    WallTimer active;
     const size_t n = workers_.size();
     std::vector<uint64_t> counts(n);
     uint64_t total = 0;
@@ -303,21 +358,17 @@ void Engine::StealLoop() {
           workers_[donor]->global_queue->StealBatch(want);
       if (tasks.empty()) continue;
 
-      // Simulated network transfer: serialize, count bytes, deserialize.
-      std::vector<TaskPtr> received;
-      received.reserve(tasks.size());
-      uint64_t bytes = 0;
-      for (const TaskPtr& t : tasks) {
-        Encoder enc;
-        t->Encode(&enc);
-        bytes += enc.size();
-        Decoder dec(enc.buffer());
-        auto decoded = app_->DecodeTask(&dec);
-        QCM_CHECK(decoded.ok()) << "steal transfer decode failed: "
-                                << decoded.status().ToString();
-        received.push_back(std::move(decoded).value());
-      }
-      workers_[receiver]->global_queue->PushStolenFront(std::move(received));
+      // Serialize the batch into one kStealBatch message; the fabric
+      // delivers it into the receiver's global queue on a later service
+      // tick, so the transfer overlaps with mining on both ends instead
+      // of blocking this thread. The tasks remain counted in pending_
+      // throughout the flight, so termination cannot race past them.
+      Encoder enc;
+      enc.PutU32(static_cast<uint32_t>(tasks.size()));
+      for (const TaskPtr& t : tasks) t->Encode(&enc);
+      const uint64_t bytes = enc.size();
+      fabric_->Send(MessageType::kStealBatch, static_cast<int>(donor),
+                    static_cast<int>(receiver), enc.Release());
       counters_.steal_events.fetch_add(1, std::memory_order_relaxed);
       counters_.stolen_tasks.fetch_add(tasks.size(),
                                        std::memory_order_relaxed);
@@ -325,7 +376,15 @@ void Engine::StealLoop() {
       counts[donor] -= tasks.size();
       counts[receiver] += tasks.size();
     }
+    active_seconds += active.Seconds();
   }
+  counters_.steal_active_usec.fetch_add(
+      static_cast<uint64_t>(active_seconds * 1e6),
+      std::memory_order_relaxed);
+  counters_.steal_idle_usec.fetch_add(
+      static_cast<uint64_t>(
+          std::max(0.0, lifetime.Seconds() - active_seconds) * 1e6),
+      std::memory_order_relaxed);
 }
 
 StatusOr<EngineReport> Engine::Run() {
@@ -351,14 +410,18 @@ StatusOr<EngineReport> Engine::Run() {
 
   WallTimer wall;
   table_ = std::make_unique<VertexTable>(graph_, config_.num_machines);
+  fabric_ = std::make_unique<CommFabric>(
+      config_.num_machines, config_.net_latency_ticks,
+      config_.net_latency_sec, &counters_);
   workers_.clear();
   for (int m = 0; m < config_.num_machines; ++m) {
     auto w = std::make_unique<Worker>();
     w->id = m;
     w->data = std::make_unique<DataService>(
-        table_.get(), m, config_.vertex_cache_capacity, &counters_);
+        table_.get(), m, config_.vertex_cache_capacity, &counters_,
+        config_.cache_policy);
     w->broker = std::make_unique<PullBroker>(
-        w->data.get(), config_.max_pull_batch, &counters_);
+        w->data.get(), m, config_.max_pull_batch, &counters_);
     w->small_spill = std::make_unique<SpillManager>(
         spill_dir_, "w" + std::to_string(m) + "_small", &counters_);
     w->big_spill = std::make_unique<SpillManager>(
@@ -368,6 +431,9 @@ StatusOr<EngineReport> Engine::Run() {
         w->big_spill.get(), app_, &counters_);
     workers_.push_back(std::move(w));
   }
+  fabric_->SetBusyProbe([this](int machine) {
+    return workers_[machine]->busy_compers.load(std::memory_order_relaxed);
+  });
 
   std::vector<std::unique_ptr<Comper>> compers;
   for (int m = 0; m < config_.num_machines; ++m) {
@@ -382,11 +448,26 @@ StatusOr<EngineReport> Engine::Run() {
   for (auto& comper : compers) {
     threads.emplace_back([&comper] { comper->Run(); });
   }
-  std::thread steal_thread([this] { StealLoop(); });
+  // The steal master only exists when it could ever move work.
+  std::thread steal_thread;
+  if (config_.enable_stealing && workers_.size() >= 2) {
+    steal_thread = std::thread([this] { StealLoop(); });
+  }
   for (std::thread& t : threads) t.join();
-  steal_thread.join();
+  if (steal_thread.joinable()) steal_thread.join();
 
   QCM_CHECK(pending_.load() == 0) << "engine finished with pending tasks";
+  // Every meaningful message holds a pending task (parked or stolen), so
+  // a clean shutdown leaves the fabric empty; drain defensively and fail
+  // loudly if the invariant broke rather than silently losing work.
+  for (const auto& worker : workers_) {
+    auto leftover = fabric_->Drain(worker->id);
+    QCM_CHECK(leftover.empty())
+        << "engine finished with " << leftover.size()
+        << " undelivered fabric message(s) for machine " << worker->id
+        << " (first type: "
+        << MessageTypeName(leftover.front().type) << ")";
+  }
 
   // Aggregate the report.
   EngineReport report;

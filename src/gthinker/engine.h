@@ -6,8 +6,11 @@
 // between machines.
 //
 // Scheduling discipline per mining thread (the paper's reforged Alg. 3):
-//   0. Service the machine's pull broker: complete outstanding batched
-//      vertex pulls and re-enqueue the tasks that were suspended on them.
+//   0. Service the machine's CommFabric inbox: advance the service tick,
+//      deliver every due message (serve peer pull requests, accept pull
+//      responses and re-enqueue the tasks that were suspended on them,
+//      inject stolen big-task batches into the global queue), then pump
+//      the broker's outstanding vertex requests onto the fabric.
 //   1. Try to pop a big task from this machine's global queue (try-lock;
 //      refill from L_big when low).
 //   2. Otherwise pop from the thread's local queue; when low, refill from
@@ -17,8 +20,11 @@
 //
 // A task whose compute round Request()ed vertices that are neither local,
 // pinned, nor cached returns kSuspended: it yields its comper and parks in
-// the machine's PullBroker until one batched pull per remote machine has
-// delivered (and pinned) every missing adjacency.
+// the machine's PullBroker until batched kPullRequest/kPullResponse
+// messages -- delayed by the fabric's modeled network latency -- have
+// delivered (and pinned) every missing adjacency. Steal transfers ride
+// the same fabric as kStealBatch messages, so transfer time overlaps
+// with mining on both machines instead of blocking the steal master.
 
 #ifndef QCM_GTHINKER_ENGINE_H_
 #define QCM_GTHINKER_ENGINE_H_
@@ -28,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "gthinker/comm.h"
 #include "gthinker/engine_config.h"
 #include "gthinker/metrics.h"
 #include "gthinker/spill.h"
@@ -65,6 +72,7 @@ class Engine {
   App* app_;
 
   std::unique_ptr<VertexTable> table_;
+  std::unique_ptr<CommFabric> fabric_;
   std::vector<std::unique_ptr<Worker>> workers_;
   EngineCounters counters_;
 

@@ -14,6 +14,16 @@ const char* DecomposeModeName(DecomposeMode mode) {
   return "?";
 }
 
+const char* CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLRU:
+      return "lru";
+    case CachePolicy::kClock:
+      return "clock";
+  }
+  return "?";
+}
+
 Status EngineConfig::Validate() const {
   if (num_machines < 1) {
     return Status::InvalidArgument("num_machines must be >= 1");
@@ -40,6 +50,9 @@ Status EngineConfig::Validate() const {
   }
   if (max_pull_batch < 1) {
     return Status::InvalidArgument("max_pull_batch must be >= 1");
+  }
+  if (net_latency_sec < 0) {
+    return Status::InvalidArgument("net_latency_sec must be >= 0");
   }
   return mining.Validate();
 }

@@ -32,6 +32,17 @@ enum class DecomposeMode {
 
 const char* DecomposeModeName(DecomposeMode mode);
 
+/// Eviction policy of the per-machine VertexCache (paper §5, Fig. 8).
+enum class CachePolicy {
+  /// Exact least-recently-used (list + map per shard).
+  kLRU,
+  /// CLOCK / second-chance: a ring with reference bits -- cheaper refresh
+  /// and more scan-resistant than LRU for pull-heavy workloads.
+  kClock,
+};
+
+const char* CachePolicyName(CachePolicy policy);
+
 /// Engine knobs. Defaults follow the paper's common settings scaled to a
 /// single-host simulation.
 struct EngineConfig {
@@ -72,6 +83,20 @@ struct EngineConfig {
   /// Maximum vertex ids per batched pull message: a broker flush sends
   /// one request per remote machine, split into chunks of this size.
   size_t max_pull_batch = 2048;
+  /// VertexCache eviction policy.
+  CachePolicy cache_policy = CachePolicy::kLRU;
+
+  /// Modeled network latency of every CommFabric message (pull requests,
+  /// pull responses, steal batches). A message enqueued while the
+  /// destination machine is at service tick T becomes deliverable at tick
+  /// T + net_latency_ticks AND no earlier than net_latency_sec of wall
+  /// time after the send; both default to 0 = deliver on the next service
+  /// tick (the pre-latency behavior). Compers advance their machine's
+  /// tick once per scheduling loop, so tick latency is wall-clock-free
+  /// and deterministic per service cadence, while net_latency_sec models
+  /// real wire delay the vertex cache must hide.
+  uint64_t net_latency_ticks = 0;
+  double net_latency_sec = 0.0;
 
   /// Record per-root task aggregates (subgraph size, accumulated mining
   /// time) for the figure-reproduction benches.

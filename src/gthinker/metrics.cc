@@ -4,6 +4,22 @@
 
 namespace qcm {
 
+int MsgLatencyBucketIndex(double seconds) {
+  static constexpr double kBounds[kMsgLatencyBuckets - 1] = {
+      1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+  for (int b = 0; b < kMsgLatencyBuckets - 1; ++b) {
+    if (seconds < kBounds[b]) return b;
+  }
+  return kMsgLatencyBuckets - 1;
+}
+
+const char* MsgLatencyBucketLabel(int bucket) {
+  static constexpr const char* kLabels[kMsgLatencyBuckets] = {
+      "<10us", "<100us", "<1ms", "<10ms", "<100ms", "<1s", "<10s", ">=10s"};
+  if (bucket < 0 || bucket >= kMsgLatencyBuckets) return "?";
+  return kLabels[bucket];
+}
+
 EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
   EngineCountersSnapshot s;
   s.big_tasks = c.big_tasks.load(std::memory_order_relaxed);
@@ -27,7 +43,52 @@ EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
   s.pulled_vertices = c.pulled_vertices.load(std::memory_order_relaxed);
   s.pull_bytes = c.pull_bytes.load(std::memory_order_relaxed);
   s.tasks_completed = c.tasks_completed.load(std::memory_order_relaxed);
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    s.msg_sent[t] = c.msg_sent[t].load(std::memory_order_relaxed);
+    s.msg_delivered[t] = c.msg_delivered[t].load(std::memory_order_relaxed);
+    s.msg_bytes[t] = c.msg_bytes[t].load(std::memory_order_relaxed);
+  }
+  s.msg_drained = c.msg_drained.load(std::memory_order_relaxed);
+  s.msg_inflight_bytes_peak =
+      c.msg_inflight_bytes_peak.load(std::memory_order_relaxed);
+  s.msg_queue_depth_peak =
+      c.msg_queue_depth_peak.load(std::memory_order_relaxed);
+  for (int b = 0; b < kMsgLatencyBuckets; ++b) {
+    s.msg_latency_hist[b] =
+        c.msg_latency_hist[b].load(std::memory_order_relaxed);
+  }
+  s.msg_latency_usec_sum =
+      c.msg_latency_usec_sum.load(std::memory_order_relaxed);
+  s.msg_overlapped = c.msg_overlapped.load(std::memory_order_relaxed);
+  s.steal_idle_usec = c.steal_idle_usec.load(std::memory_order_relaxed);
+  s.steal_active_usec = c.steal_active_usec.load(std::memory_order_relaxed);
   return s;
+}
+
+uint64_t EngineCountersSnapshot::MessagesSent() const {
+  uint64_t total = 0;
+  for (int t = 0; t < kNumMessageTypes; ++t) total += msg_sent[t];
+  return total;
+}
+
+uint64_t EngineCountersSnapshot::MessageBytes() const {
+  uint64_t total = 0;
+  for (int t = 0; t < kNumMessageTypes; ++t) total += msg_bytes[t];
+  return total;
+}
+
+double EngineCountersSnapshot::MessageOverlapRatio() const {
+  const uint64_t sent = MessagesSent();
+  if (sent == 0) return 1.0;
+  return static_cast<double>(msg_overlapped) / static_cast<double>(sent);
+}
+
+double EngineCountersSnapshot::MeanDeliveryLatencySeconds() const {
+  uint64_t delivered = 0;
+  for (int t = 0; t < kNumMessageTypes; ++t) delivered += msg_delivered[t];
+  if (delivered == 0) return 0.0;
+  return static_cast<double>(msg_latency_usec_sum) * 1e-6 /
+         static_cast<double>(delivered);
 }
 
 double EngineCountersSnapshot::CacheHitRatio() const {

@@ -17,6 +17,19 @@
 
 namespace qcm {
 
+/// Message types carried by the CommFabric (every cross-machine transfer
+/// of the simulation goes through exactly one of these).
+inline constexpr int kNumMessageTypes = 3;
+
+/// Buckets of the message delivery-latency histogram: log-decade bounds
+/// [<10us, <100us, <1ms, <10ms, <100ms, <1s, <10s, >=10s].
+inline constexpr int kMsgLatencyBuckets = 8;
+
+/// Bucket index of an observed delivery latency in seconds.
+int MsgLatencyBucketIndex(double seconds);
+/// Human-readable bucket label ("<1ms", ">=10s").
+const char* MsgLatencyBucketLabel(int bucket);
+
 /// Per-root aggregate across all (sub)tasks of that root: the unit the
 /// paper's Figures 1-3 plot.
 struct RootTaskAgg {
@@ -87,6 +100,37 @@ struct EngineCounters {
   /// Bytes of adjacency moved by batched pulls.
   std::atomic<uint64_t> pull_bytes{0};
   std::atomic<uint64_t> tasks_completed{0};
+
+  // -- CommFabric message accounting (indexed by MessageType) --
+
+  /// Messages enqueued on the fabric, per type.
+  std::atomic<uint64_t> msg_sent[kNumMessageTypes]{};
+  /// Messages delivered by a destination service tick, per type.
+  std::atomic<uint64_t> msg_delivered[kNumMessageTypes]{};
+  /// Serialized payload bytes enqueued, per type.
+  std::atomic<uint64_t> msg_bytes[kNumMessageTypes]{};
+  /// Messages removed by a termination drain instead of a normal delivery
+  /// (should stay 0 in a healthy run: pending-task accounting keeps the
+  /// engine alive while anything meaningful is in flight).
+  std::atomic<uint64_t> msg_drained{0};
+  /// Current serialized bytes in flight (gauge) and its observed peak.
+  std::atomic<uint64_t> msg_inflight_bytes{0};
+  std::atomic<uint64_t> msg_inflight_bytes_peak{0};
+  /// Deepest per-machine inbox observed (undelivered messages).
+  std::atomic<uint64_t> msg_queue_depth_peak{0};
+  /// Histogram of observed enqueue->delivery wall latency.
+  std::atomic<uint64_t> msg_latency_hist[kMsgLatencyBuckets]{};
+  /// Sum of observed enqueue->delivery wall latency (microseconds).
+  std::atomic<uint64_t> msg_latency_usec_sum{0};
+  /// Messages whose destination machine had at least one comper busy
+  /// mining when the message was enqueued (sampled overlap evidence: the
+  /// transfer's flight time was hidden behind computation).
+  std::atomic<uint64_t> msg_overlapped{0};
+
+  /// Wall time the steal master spent sleeping between balancing rounds
+  /// vs. actively planning/serializing steals (microseconds).
+  std::atomic<uint64_t> steal_idle_usec{0};
+  std::atomic<uint64_t> steal_active_usec{0};
 };
 
 /// Plain-value snapshot of EngineCounters for reports.
@@ -112,11 +156,36 @@ struct EngineCountersSnapshot {
   uint64_t pull_bytes = 0;
   uint64_t tasks_completed = 0;
 
+  uint64_t msg_sent[kNumMessageTypes] = {};
+  uint64_t msg_delivered[kNumMessageTypes] = {};
+  uint64_t msg_bytes[kNumMessageTypes] = {};
+  uint64_t msg_drained = 0;
+  uint64_t msg_inflight_bytes_peak = 0;
+  uint64_t msg_queue_depth_peak = 0;
+  uint64_t msg_latency_hist[kMsgLatencyBuckets] = {};
+  uint64_t msg_latency_usec_sum = 0;
+  uint64_t msg_overlapped = 0;
+
+  uint64_t steal_idle_usec = 0;
+  uint64_t steal_active_usec = 0;
+
   static EngineCountersSnapshot From(const EngineCounters& c);
 
   /// Fraction of remote-adjacency demands served without a transfer
   /// (cache or pin); 1.0 when there was no remote traffic at all.
   double CacheHitRatio() const;
+
+  /// Total CommFabric messages enqueued across all types.
+  uint64_t MessagesSent() const;
+  /// Total serialized payload bytes enqueued across all types.
+  uint64_t MessageBytes() const;
+  /// Fraction of fabric messages whose destination was busy mining when
+  /// they were enqueued (sampled); 1.0 when no messages were sent. The
+  /// higher the ratio, the better transfer latency is hidden.
+  double MessageOverlapRatio() const;
+  /// Mean observed enqueue->delivery latency in seconds (0.0 when no
+  /// message was ever delivered).
+  double MeanDeliveryLatencySeconds() const;
 };
 
 /// Per-thread summary included in the report (load-balance evidence).

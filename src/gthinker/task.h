@@ -28,8 +28,11 @@ namespace qcm {
 /// pinned responses delivered so far. Pins are shared_ptr references into
 /// pulled adjacency copies, so a vertex a task requested stays available
 /// to it even after the vertex cache evicts the entry. Engine-managed;
-/// never serialized -- a task spilled to disk simply re-pulls (or falls
-/// back to a synchronous fetch) after reload.
+/// never serialized -- a task spilled to disk (or stolen to another
+/// machine as a kStealBatch message) simply re-pulls (or falls back to a
+/// synchronous fetch) after reload. While a pull is outstanding the task
+/// stays parked in its machine's PullBroker until the CommFabric delivers
+/// the kPullResponse, however long the modeled network latency delays it.
 class TaskPullState {
  public:
   using AdjPtr = std::shared_ptr<const std::vector<VertexId>>;
@@ -119,13 +122,14 @@ class ComputeContext {
   virtual AdjRef Fetch(VertexId v) = 0;
 
   /// Registers v for the engine's next batched pull round (one aggregated
-  /// request per remote machine, paper §5 Fig. 8). Returns true when v is
-  /// already available without a transfer -- machine-local, pinned in the
-  /// current task, or a vertex-cache hit (the cache copy is pinned into
-  /// the task so a later Fetch cannot lose it to eviction). Returns false
-  /// when the pull is outstanding; the UDF should finish its round and
-  /// return ComputeStatus::kSuspended (Alg. 3's "add t back to queue").
-  /// Only valid while a task is being computed.
+  /// kPullRequest message per remote machine, paper §5 Fig. 8). Returns
+  /// true when v is already available without a transfer -- machine-local,
+  /// pinned in the current task, or a vertex-cache hit (the cache copy is
+  /// pinned into the task so a later Fetch cannot lose it to eviction).
+  /// Returns false when the pull is outstanding; the UDF should finish its
+  /// round and return ComputeStatus::kSuspended (Alg. 3's "add t back to
+  /// queue") -- the task resumes once the CommFabric has delivered every
+  /// response. Only valid while a task is being computed.
   virtual bool Request(VertexId v) = 0;
 
   /// Degree of v (vertex metadata, no adjacency transfer).
@@ -156,7 +160,9 @@ enum class ComputeStatus {
   /// Task must be scheduled again (re-enqueued by size classification).
   kRequeue,
   /// Task yields its comper until every vertex it Request()ed has been
-  /// delivered by a batched pull; the engine then re-enqueues it. A
+  /// delivered by a batched pull over the CommFabric (one request/
+  /// response message pair per remote machine, each delayed by the
+  /// modeled network latency); the engine then re-enqueues it. A
   /// suspension with nothing outstanding degenerates to kRequeue.
   kSuspended,
 };

@@ -4,8 +4,9 @@
 
 namespace qcm {
 
-VertexCache::VertexCache(size_t capacity_entries, EngineCounters* counters)
-    : capacity_(capacity_entries), counters_(counters) {
+VertexCache::VertexCache(size_t capacity_entries, EngineCounters* counters,
+                         CachePolicy policy)
+    : capacity_(capacity_entries), counters_(counters), policy_(policy) {
   const size_t num_shards =
       capacity_ >= kShardThreshold ? kMaxShards : 1;
   shards_.reserve(num_shards);
@@ -19,14 +20,26 @@ VertexCache::AdjPtr VertexCache::Lookup(VertexId v, bool count_stats) {
   if (enabled()) {
     Shard& shard = ShardFor(v);
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(v);
-    if (it != shard.map.end()) {
-      // Refresh: move to the most-recently-used position.
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      if (count_stats && counters_ != nullptr) {
-        counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (policy_ == CachePolicy::kLRU) {
+      auto it = shard.map.find(v);
+      if (it != shard.map.end()) {
+        // Refresh: move to the most-recently-used position.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        if (count_stats && counters_ != nullptr) {
+          counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        return it->second->second;
       }
-      return it->second->second;
+    } else {
+      auto it = shard.slot.find(v);
+      if (it != shard.slot.end()) {
+        ClockEntry& entry = shard.ring[it->second];
+        entry.referenced = true;  // second chance
+        if (count_stats && counters_ != nullptr) {
+          counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        return entry.adj;
+      }
     }
   }
   if (count_stats && counters_ != nullptr) {
@@ -35,10 +48,7 @@ VertexCache::AdjPtr VertexCache::Lookup(VertexId v, bool count_stats) {
   return nullptr;
 }
 
-void VertexCache::Insert(VertexId v, AdjPtr adj) {
-  if (!enabled()) return;
-  Shard& shard = ShardFor(v);
-  std::lock_guard<std::mutex> lock(shard.mu);
+void VertexCache::InsertLru(Shard& shard, VertexId v, AdjPtr adj) {
   auto it = shard.map.find(v);
   if (it != shard.map.end()) {
     it->second->second = std::move(adj);
@@ -56,11 +66,55 @@ void VertexCache::Insert(VertexId v, AdjPtr adj) {
   }
 }
 
+void VertexCache::InsertClock(Shard& shard, VertexId v, AdjPtr adj) {
+  auto it = shard.slot.find(v);
+  if (it != shard.slot.end()) {
+    ClockEntry& entry = shard.ring[it->second];
+    entry.adj = std::move(adj);
+    entry.referenced = true;
+    return;
+  }
+  if (shard.ring.size() < capacity_per_shard_) {
+    shard.slot.emplace(v, shard.ring.size());
+    shard.ring.push_back(ClockEntry{v, std::move(adj), false});
+    return;
+  }
+  // Advance the hand, clearing reference bits, until an unreferenced
+  // victim is found (bounded: after one full revolution every bit is
+  // clear). The fresh entry starts unreferenced, so a pure scan evicts
+  // it before anything a hit has protected.
+  while (shard.ring[shard.hand].referenced) {
+    shard.ring[shard.hand].referenced = false;
+    shard.hand = (shard.hand + 1) % shard.ring.size();
+  }
+  ClockEntry& victim = shard.ring[shard.hand];
+  shard.slot.erase(victim.v);
+  if (counters_ != nullptr) {
+    counters_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  victim.v = v;
+  victim.adj = std::move(adj);
+  victim.referenced = false;
+  shard.slot.emplace(v, shard.hand);
+  shard.hand = (shard.hand + 1) % shard.ring.size();
+}
+
+void VertexCache::Insert(VertexId v, AdjPtr adj) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(v);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (policy_ == CachePolicy::kLRU) {
+    InsertLru(shard, v, std::move(adj));
+  } else {
+    InsertClock(shard, v, std::move(adj));
+  }
+}
+
 size_t VertexCache::ApproxSize() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->map.size();
+    total += shard->map.size() + shard->slot.size();
   }
   return total;
 }

@@ -1,8 +1,15 @@
 // The per-machine vertex cache of the pull-based compute model (paper §5,
-// Figure 8): a capacity-bounded, sharded, LRU-evicting cache of remote
-// adjacency lists. Batched pull responses and synchronous fallback fetches
-// both land here, so a vertex pulled for one task is served to every later
-// task on the machine without another network transfer.
+// Figure 8): a capacity-bounded, sharded cache of remote adjacency lists.
+// Batched pull responses and synchronous fallback fetches both land here,
+// so a vertex pulled for one task is served to every later task on the
+// machine without another network transfer.
+//
+// Two eviction policies are selectable via EngineConfig::cache_policy:
+//   * kLRU   -- exact least-recently-used per shard (list + map).
+//   * kClock -- CLOCK / second-chance: a ring of entries with reference
+//     bits; a hit only sets a bit (no list splice), and a full ring
+//     evicts the first entry the hand finds unreferenced. Cheaper per
+//     hit and more scan-resistant under pull-heavy workloads.
 //
 // Entries are handed out as shared_ptrs ("pins"): eviction drops the
 // cache's reference, but a task holding a pin keeps the adjacency alive
@@ -23,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "gthinker/engine_config.h"
 #include "gthinker/metrics.h"
 #include "graph/graph.h"
 
@@ -35,20 +43,23 @@ class VertexCache {
   /// `capacity_entries` bounds the number of cached adjacency lists per
   /// machine; 0 disables the cache. `counters` may be null. Small caches
   /// (< kShardThreshold entries) use a single shard so eviction order is
-  /// exactly LRU; larger ones shard by vertex id to cut lock contention.
-  VertexCache(size_t capacity_entries, EngineCounters* counters);
+  /// exactly the policy's; larger ones shard by vertex id to cut lock
+  /// contention.
+  VertexCache(size_t capacity_entries, EngineCounters* counters,
+              CachePolicy policy = CachePolicy::kLRU);
 
   VertexCache(const VertexCache&) = delete;
   VertexCache& operator=(const VertexCache&) = delete;
 
-  /// Returns the cached adjacency of v (refreshing its LRU position), or
-  /// null on a miss. Counts a cache hit or miss unless `count_stats` is
-  /// false (internal re-probes, e.g. the broker checking whether a queued
-  /// request got cached meanwhile, must not double-count the demand).
+  /// Returns the cached adjacency of v (refreshing its LRU position or
+  /// setting its CLOCK reference bit), or null on a miss. Counts a cache
+  /// hit or miss unless `count_stats` is false (internal re-probes, e.g.
+  /// the broker checking whether a queued request got cached meanwhile,
+  /// must not double-count the demand).
   AdjPtr Lookup(VertexId v, bool count_stats = true);
 
-  /// Inserts (or refreshes) v, evicting least-recently-used entries while
-  /// over capacity. No-op when the cache is disabled.
+  /// Inserts (or refreshes) v, evicting per the policy while over
+  /// capacity. No-op when the cache is disabled.
   void Insert(VertexId v, AdjPtr adj);
 
   /// Total entries currently cached (sums shards; approximate only in the
@@ -57,20 +68,37 @@ class VertexCache {
 
   size_t capacity() const { return capacity_; }
   bool enabled() const { return capacity_ > 0; }
+  CachePolicy policy() const { return policy_; }
 
  private:
-  /// Below this capacity a single shard keeps eviction globally LRU.
+  /// Below this capacity a single shard keeps eviction globally ordered.
   static constexpr size_t kShardThreshold = 1024;
   static constexpr size_t kMaxShards = 8;
 
+  /// CLOCK ring slot.
+  struct ClockEntry {
+    VertexId v = 0;
+    AdjPtr adj;
+    bool referenced = false;
+  };
+
   struct Shard {
     mutable std::mutex mu;
-    /// front = most recently used.
+
+    // -- kLRU state: front = most recently used.
     std::list<std::pair<VertexId, AdjPtr>> lru;
     std::unordered_map<VertexId,
                        std::list<std::pair<VertexId, AdjPtr>>::iterator>
         map;
+
+    // -- kClock state: ring + hand.
+    std::vector<ClockEntry> ring;
+    size_t hand = 0;
+    std::unordered_map<VertexId, size_t> slot;
   };
+
+  void InsertLru(Shard& shard, VertexId v, AdjPtr adj);
+  void InsertClock(Shard& shard, VertexId v, AdjPtr adj);
 
   // Only remote vertices are ever cached, and ownership is v %
   // num_machines -- a raw modulo here would alias with that partition and
@@ -86,6 +114,7 @@ class VertexCache {
   size_t capacity_ = 0;
   size_t capacity_per_shard_ = 0;
   EngineCounters* counters_;
+  CachePolicy policy_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,7 +1,9 @@
 #include "gthinker/vertex_table.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/serde.h"
 
 namespace qcm {
 
@@ -13,11 +15,12 @@ VertexTable::VertexTable(const Graph* graph, int num_machines)
 }
 
 DataService::DataService(const VertexTable* table, int machine,
-                         size_t cache_capacity, EngineCounters* counters)
+                         size_t cache_capacity, EngineCounters* counters,
+                         CachePolicy policy)
     : table_(table),
       machine_(machine),
       counters_(counters),
-      cache_(cache_capacity, counters) {}
+      cache_(cache_capacity, counters, policy) {}
 
 AdjRef DataService::Fetch(VertexId v) {
   if (IsLocal(v)) {
@@ -42,60 +45,92 @@ AdjRef DataService::Fetch(VertexId v) {
                 std::move(copy)};
 }
 
-PullBroker::PullBroker(DataService* data, size_t max_batch,
+PullBroker::PullBroker(DataService* data, int machine, size_t max_batch,
                        EngineCounters* counters)
-    : data_(data), max_batch_(std::max<size_t>(max_batch, 1)),
+    : data_(data),
+      machine_(machine),
+      max_batch_(std::max<size_t>(max_batch, 1)),
       counters_(counters) {}
 
 void PullBroker::Park(TaskPtr task) {
-  Parked parked;
-  parked.wanted = task->pulls().TakeWanted();
-  parked.task = std::move(task);
+  std::vector<VertexId> wanted = task->pulls().TakeWanted();
+  // A task may Request() the same vertex twice in one round; count each
+  // id once so delivery bookkeeping matches pinning.
+  std::sort(wanted.begin(), wanted.end());
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+
   std::lock_guard<std::mutex> lock(mu_);
-  parked_.push_back(std::move(parked));
+  const uint64_t id = next_id_++;
+  Parked parked;
+  parked.task = std::move(task);
+  for (VertexId v : wanted) {
+    // Served since the task suspended (by another task's pull or a
+    // fallback fetch): pin without any transfer or waiting.
+    if (auto cached = data_->cache().Lookup(v, /*count_stats=*/false)) {
+      parked.task->pulls().Pin(v, std::move(cached));
+      continue;
+    }
+    waiters_[v].push_back(id);
+    ++parked.remaining;
+    if (inflight_.insert(v).second) pending_.push_back(v);
+  }
+  if (parked.remaining == 0) {
+    // Everything was locally servable after all; hand the task back on
+    // the next pump (Park cannot return it -- the comper moved on).
+    ready_.push_back(std::move(parked.task));
+    return;
+  }
+  parked_.emplace(id, std::move(parked));
 }
 
-std::vector<TaskPtr> PullBroker::Flush() {
-  std::vector<Parked> batch;
-  {
-    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
-    if (!lock.owns_lock() || parked_.empty()) return {};
-    batch.swap(parked_);
-  }
+std::vector<TaskPtr> PullBroker::PumpRequests(CommFabric* fabric) {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return {};
+  std::vector<TaskPtr> ready = std::move(ready_);
+  ready_.clear();
+  if (pending_.empty()) return ready;
 
-  // Deduplicate the wanted ids across every parked task; requests that got
-  // cached since they were queued (by another task's pull or a fallback
-  // fetch) are served from the cache without a new transfer.
-  std::unordered_map<VertexId, VertexCache::AdjPtr> responses;
-  for (const Parked& p : batch) {
-    for (VertexId v : p.wanted) responses.emplace(v, nullptr);
-  }
+  std::vector<VertexId> pending = std::move(pending_);
+  pending_.clear();
+
+  // Recheck the cache: ids cached since they were queued (by another
+  // task's pull round or a fallback fetch) are served without a message.
   const VertexTable& table = data_->table();
   std::vector<std::vector<VertexId>> groups(table.NumMachines());
-  for (auto& [v, adj] : responses) {
-    adj = data_->cache().Lookup(v, /*count_stats=*/false);
-    if (adj == nullptr) groups[table.Owner(v)].push_back(v);
+  for (VertexId v : pending) {
+    if (auto cached = data_->cache().Lookup(v, /*count_stats=*/false)) {
+      inflight_.erase(v);
+      auto it = waiters_.find(v);
+      if (it != waiters_.end()) {
+        for (uint64_t id : it->second) {
+          auto p = parked_.find(id);
+          if (p == parked_.end()) continue;
+          p->second.task->pulls().Pin(v, cached);
+          if (--p->second.remaining == 0) {
+            ready.push_back(std::move(p->second.task));
+            parked_.erase(p);
+          }
+        }
+        waiters_.erase(it);
+      }
+      continue;
+    }
+    groups[table.Owner(v)].push_back(v);
   }
 
-  // One batched request per owner machine (split at max_batch ids): copy
-  // each adjacency -- the simulated network response -- into the cache and
-  // the response map.
+  // One batched request message per owner machine, split at max_batch.
   uint64_t batches_sent = 0;
-  for (std::vector<VertexId>& group : groups) {
+  for (size_t owner = 0; owner < groups.size(); ++owner) {
+    std::vector<VertexId>& group = groups[owner];
     if (group.empty()) continue;
     std::sort(group.begin(), group.end());
-    batches_sent += (group.size() + max_batch_ - 1) / max_batch_;
-    for (VertexId v : group) {
-      auto adj = table.Adjacency(v);
-      auto copy = std::make_shared<const std::vector<VertexId>>(adj.begin(),
-                                                                adj.end());
-      if (counters_ != nullptr) {
-        counters_->pulled_vertices.fetch_add(1, std::memory_order_relaxed);
-        counters_->pull_bytes.fetch_add(copy->size() * sizeof(VertexId),
-                                        std::memory_order_relaxed);
-      }
-      data_->cache().Insert(v, copy);
-      responses[v] = std::move(copy);
+    for (size_t off = 0; off < group.size(); off += max_batch_) {
+      const size_t n = std::min(max_batch_, group.size() - off);
+      Encoder enc;
+      enc.PutU32Span(group.data() + off, n);
+      fabric->Send(MessageType::kPullRequest, machine_,
+                   static_cast<int>(owner), enc.Release());
+      ++batches_sent;
     }
   }
   if (counters_ != nullptr && batches_sent > 0) {
@@ -103,26 +138,74 @@ std::vector<TaskPtr> PullBroker::Flush() {
                                       std::memory_order_relaxed);
     counters_->pull_rounds.fetch_add(1, std::memory_order_relaxed);
   }
+  return ready;
+}
 
-  // Deliver: pin every response into its requesting task; all tasks of
-  // this flush are now ready.
+std::string PullBroker::ServeRequest(const std::string& request_payload)
+    const {
+  Decoder dec(request_payload);
+  std::vector<VertexId> ids;
+  Status s = dec.GetU32Vector(&ids);
+  QCM_CHECK(s.ok()) << "corrupt pull request: " << s.ToString();
+
+  const VertexTable& table = data_->table();
+  Encoder enc;
+  enc.PutU32Vector(ids);
+  uint64_t adj_bytes = 0;
+  for (VertexId v : ids) {
+    auto adj = table.Adjacency(v);
+    enc.PutU32Span(adj.data(), adj.size());
+    adj_bytes += adj.size() * sizeof(VertexId);
+  }
+  if (counters_ != nullptr) {
+    counters_->pulled_vertices.fetch_add(ids.size(),
+                                         std::memory_order_relaxed);
+    counters_->pull_bytes.fetch_add(adj_bytes, std::memory_order_relaxed);
+  }
+  return enc.Release();
+}
+
+std::vector<TaskPtr> PullBroker::AcceptResponse(
+    const std::string& response_payload) {
+  Decoder dec(response_payload);
+  std::vector<VertexId> ids;
+  Status s = dec.GetU32Vector(&ids);
+  QCM_CHECK(s.ok()) << "corrupt pull response: " << s.ToString();
+
   std::vector<TaskPtr> ready;
-  ready.reserve(batch.size());
-  for (Parked& p : batch) {
-    for (VertexId v : p.wanted) {
-      auto it = responses.find(v);
-      if (it != responses.end() && it->second != nullptr) {
-        p.task->pulls().Pin(v, it->second);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (VertexId v : ids) {
+    std::vector<VertexId> adj;
+    s = dec.GetU32Vector(&adj);
+    QCM_CHECK(s.ok()) << "corrupt pull response: " << s.ToString();
+    auto copy =
+        std::make_shared<const std::vector<VertexId>>(std::move(adj));
+    data_->cache().Insert(v, copy);
+    inflight_.erase(v);
+    auto it = waiters_.find(v);
+    if (it == waiters_.end()) continue;
+    for (uint64_t id : it->second) {
+      auto p = parked_.find(id);
+      if (p == parked_.end()) continue;
+      p->second.task->pulls().Pin(v, copy);
+      if (--p->second.remaining == 0) {
+        ready.push_back(std::move(p->second.task));
+        parked_.erase(p);
       }
     }
-    ready.push_back(std::move(p.task));
+    waiters_.erase(it);
   }
   return ready;
 }
 
 size_t PullBroker::ParkedCount() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return parked_.size();
+  return parked_.size() + ready_.size();
+}
+
+size_t PullBroker::InFlightVertices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
 }
 
 }  // namespace qcm

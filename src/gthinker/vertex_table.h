@@ -5,19 +5,25 @@
 //     vertices resolve to the local table, remote ones to the bounded
 //     VertexCache, and cold remote reads fall back to a synchronous
 //     (unbatched, metrics-counted) transfer.
-//   * PullBroker -- the request/response batching layer between machines:
-//     tasks suspended on missing vertices park here; a flush aggregates
-//     every outstanding id into one batched pull per remote machine,
-//     populates the cache, pins responses into the waiting tasks, and
-//     releases them back to the scheduler.
+//   * PullBroker -- the request/response protocol endpoint of a machine:
+//     tasks suspended on missing vertices park here; a request pump
+//     aggregates every outstanding id into one batched kPullRequest
+//     CommFabric message per remote machine, the owner serves it into a
+//     kPullResponse on a later service tick, and accepting the response
+//     populates the cache, pins the adjacencies into the waiting tasks,
+//     and releases tasks whose every request has been delivered.
 
 #ifndef QCM_GTHINKER_VERTEX_TABLE_H_
 #define QCM_GTHINKER_VERTEX_TABLE_H_
 
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "gthinker/comm.h"
 #include "gthinker/metrics.h"
 #include "gthinker/task.h"
 #include "gthinker/vertex_cache.h"
@@ -59,7 +65,8 @@ class VertexTable {
 class DataService {
  public:
   DataService(const VertexTable* table, int machine, size_t cache_capacity,
-              EngineCounters* counters);
+              EngineCounters* counters,
+              CachePolicy policy = CachePolicy::kLRU);
 
   bool IsLocal(VertexId v) const { return table_->Owner(v) == machine_; }
 
@@ -84,42 +91,73 @@ class DataService {
   VertexCache cache_;
 };
 
-/// The request/response batching layer between machines (paper §5): the
-/// "respond" side of G-thinker's pull model, simulated synchronously at
-/// flush time while preserving the batching discipline and its metrics.
+/// One machine's endpoint of the pull protocol (paper §5): the "request"
+/// side parks suspended tasks and pumps batched kPullRequest messages
+/// onto the CommFabric; the "respond" side serves a peer's request from
+/// the local vertex table; accepting a kPullResponse pins the delivered
+/// adjacencies and releases the tasks whose pulls completed. Transfer
+/// time is whatever the fabric's latency model says -- tasks stay parked
+/// (still counted in Engine::pending_) until delivery.
 class PullBroker {
  public:
   /// `data` is this machine's DataService (responses populate its cache);
-  /// `max_batch` caps ids per batched message.
-  PullBroker(DataService* data, size_t max_batch, EngineCounters* counters);
+  /// `machine` is its id (message source); `max_batch` caps ids per
+  /// batched request message.
+  PullBroker(DataService* data, int machine, size_t max_batch,
+             EngineCounters* counters);
 
   /// Parks `task` until every id in its TaskPullState wanted-set has been
-  /// delivered. The wanted-set is consumed.
+  /// delivered. The wanted-set is consumed (deduplicated; ids already in
+  /// the cache are pinned immediately). A task whose every want was
+  /// servable locally is returned by the next PumpRequests call.
   void Park(TaskPtr task);
 
-  /// Serves every currently outstanding request: ids are deduplicated
-  /// across parked tasks, grouped into one batched pull per remote
-  /// machine (split at max_batch), transferred (copy + byte accounting),
-  /// inserted into the vertex cache, and pinned into each waiting task.
-  /// Returns the tasks that are now ready to resume. Non-blocking: an
-  /// empty vector is returned when nothing is parked or another thread
-  /// holds the broker.
-  std::vector<TaskPtr> Flush();
+  /// Sends one batched kPullRequest per remote machine covering every id
+  /// not yet requested (rechecking the cache first, so ids cached since
+  /// they were parked transfer nothing), and returns the tasks that
+  /// became ready without a transfer. Non-blocking: returns empty when
+  /// another thread holds the broker.
+  std::vector<TaskPtr> PumpRequests(CommFabric* fabric);
 
+  /// Owner side: serves a kPullRequest payload (U32Vector of ids) from
+  /// the local table into a kPullResponse payload.
+  std::string ServeRequest(const std::string& request_payload) const;
+
+  /// Requester side: accepts a kPullResponse payload -- inserts every
+  /// delivered adjacency into the vertex cache, pins it into the waiting
+  /// tasks, and returns the tasks whose outstanding pulls all completed.
+  std::vector<TaskPtr> AcceptResponse(const std::string& response_payload);
+
+  /// Tasks currently parked (including ready ones not yet collected).
   size_t ParkedCount() const;
+
+  /// Distinct vertex ids with an outstanding (sent, undelivered) request.
+  size_t InFlightVertices() const;
 
  private:
   struct Parked {
     TaskPtr task;
-    std::vector<VertexId> wanted;
+    /// Wanted ids not yet pinned; the task resumes when this hits 0.
+    size_t remaining = 0;
   };
 
   DataService* data_;
+  int machine_;
   size_t max_batch_;
   EngineCounters* counters_;
 
   mutable std::mutex mu_;
-  std::vector<Parked> parked_;
+  uint64_t next_id_ = 0;
+  std::unordered_map<uint64_t, Parked> parked_;
+  /// Tasks whose pulls all completed, awaiting the next pump.
+  std::vector<TaskPtr> ready_;
+  /// vertex id -> parked-task ids waiting on it.
+  std::unordered_map<VertexId, std::vector<uint64_t>> waiters_;
+  /// Ids queued for the next request pump (insertion order).
+  std::vector<VertexId> pending_;
+  /// Ids whose kPullRequest is queued or in flight (dedup across tasks
+  /// and pumps); erased when the response delivers.
+  std::unordered_set<VertexId> inflight_;
 };
 
 }  // namespace qcm

@@ -75,7 +75,9 @@ ComputeStatus QCApp::Compute(Task& task, ComputeContext& ctx) {
     t.AdvanceIteration(3);
     if (!all_available) {
       // Yield the comper while the batched pull is outstanding (Alg. 3's
-      // "add t back to the queue"). Other tasks reuse this comper's
+      // "add t back to the queue"): the task stays parked until the
+      // CommFabric delivers every kPullResponse, however long the modeled
+      // network latency delays them. Other tasks reuse this comper's
       // scratch meanwhile, so iteration 3 re-runs Alg. 6 -- every read by
       // then is a pin/cache hit, costing CPU but no transfer.
       ctx.metrics().build_seconds += build.Seconds();

@@ -38,8 +38,15 @@ class Encoder {
 
   /// Length-prefixed vector of 32-bit values (vertex id lists).
   void PutU32Vector(const std::vector<uint32_t>& v) {
-    PutU64(v.size());
-    if (!v.empty()) PutRaw(v.data(), v.size() * sizeof(uint32_t));
+    PutU32Span(v.data(), v.size());
+  }
+
+  /// Length-prefixed span of 32-bit values; decodes via GetU32Vector.
+  /// Avoids materializing a temporary vector when the source is a raw
+  /// range (adjacency spans on the pull-serve path).
+  void PutU32Span(const uint32_t* data, size_t n) {
+    PutU64(n);
+    if (n != 0) PutRaw(data, n * sizeof(uint32_t));
   }
 
   /// Length-prefixed vector of 64-bit values (offset arrays).

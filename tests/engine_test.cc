@@ -35,8 +35,8 @@ class TriTask : public Task {
     enc->PutU32Vector(frontier_);
   }
   static StatusOr<TaskPtr> Decode(Decoder* dec) {
-    VertexId root;
-    uint64_t hint;
+    VertexId root = 0;
+    uint64_t hint = 0;
     QCM_RETURN_IF_ERROR(dec->GetU32(&root));
     QCM_RETURN_IF_ERROR(dec->GetU64(&hint));
     auto t = std::make_unique<TriTask>(root, hint);
@@ -223,6 +223,119 @@ TEST(EngineTest, StealingKeepsResultsCorrect) {
   config.steal_period_sec = 0.001;
   config.enable_stealing = true;
   EXPECT_EQ(RunTriangles(g, config), BruteForceTriangles(g));
+}
+
+/// TriApp variant that skews all spawning onto machine 0 (only vertices
+/// it owns spawn tasks) and burns a little CPU per compute round, so the
+/// steal master reliably moves big-task batches to the starved machines.
+class SkewedSlowTriApp : public TriApp {
+ public:
+  explicit SkewedSlowTriApp(int machines) : machines_(machines) {}
+
+  TaskPtr Spawn(VertexId v, ComputeContext& ctx) override {
+    if (v % static_cast<uint32_t>(machines_) != 0) return nullptr;
+    return TriApp::Spawn(v, ctx);
+  }
+
+  ComputeStatus Compute(Task& task, ComputeContext& ctx) override {
+    // Busy-wait (not sleep) so the steal master sees a loaded donor.
+    WallTimer t;
+    while (t.Seconds() < 0.0003) {
+    }
+    return TriApp::Compute(task, ctx);
+  }
+
+ private:
+  int machines_;
+};
+
+/// Triangles rooted at vertices owned by machine 0 of `machines`.
+std::vector<VertexSet> SkewedReference(const Graph& g, int machines) {
+  std::vector<VertexSet> out;
+  for (const VertexSet& t : BruteForceTriangles(g)) {
+    if (t[0] % static_cast<uint32_t>(machines) == 0) out.push_back(t);
+  }
+  return out;
+}
+
+/// Steal-path end-to-end: stolen big-task batches must arrive through
+/// the CommFabric (kStealBatch messages) and results must be identical
+/// whatever delivery latency the fabric models.
+TEST(EngineTest, StealBatchesBitIdenticalAcrossLatencies) {
+  const int kMachines = 4;
+  auto g = std::move(GenBarabasiAlbert(150, 4, 11)).value();
+  const auto expected = SkewedReference(g, kMachines);
+  ASSERT_FALSE(expected.empty());
+
+  struct LatencyCase {
+    uint64_t ticks;
+    double sec;
+  };
+  for (const LatencyCase& lc :
+       {LatencyCase{0, 0.0}, LatencyCase{8, 0.0}, LatencyCase{0, 0.002}}) {
+    EngineConfig config = BaseConfig();
+    config.num_machines = kMachines;
+    config.threads_per_machine = 1;
+    config.tau_split = 0;  // every task is big -> stealable
+    config.steal_period_sec = 0.001;
+    config.enable_stealing = true;
+    config.net_latency_ticks = lc.ticks;
+    config.net_latency_sec = lc.sec;
+    SkewedSlowTriApp app(kMachines);
+    Engine engine(&g, config, &app);
+    auto report = engine.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    auto results = std::move(report->results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, expected)
+        << "latency ticks=" << lc.ticks << " sec=" << lc.sec;
+
+    const int steal = static_cast<int>(MessageType::kStealBatch);
+    EXPECT_GT(report->counters.stolen_tasks, 0u)
+        << "skewed load must force steals";
+    EXPECT_GT(report->counters.msg_sent[steal], 0u);
+    // Every steal batch was delivered; none drained at termination.
+    EXPECT_EQ(report->counters.msg_sent[steal],
+              report->counters.msg_delivered[steal]);
+    EXPECT_EQ(report->counters.msg_drained, 0u);
+    EXPECT_GT(report->counters.steal_bytes, 0u);
+  }
+}
+
+TEST(EngineTest, DisabledStealingDoesNotSpinTheStealThread) {
+  auto g = std::move(GenErdosRenyi(60, 300, 7)).value();
+  EngineConfig config = BaseConfig();
+  config.num_machines = 1;  // workers < 2: nothing could ever be stolen
+  config.threads_per_machine = 2;
+  config.steal_period_sec = 10.0;  // would stall termination if slept on
+  TriApp app;
+  Engine engine(&g, config, &app);
+  WallTimer wall;
+  auto report = engine.Run();
+  ASSERT_TRUE(report.ok());
+  // The steal thread is never spawned: the run terminates promptly and
+  // records no steal-master activity at all.
+  EXPECT_LT(wall.Seconds(), 5.0);
+  EXPECT_EQ(report->counters.steal_idle_usec, 0u);
+  EXPECT_EQ(report->counters.steal_active_usec, 0u);
+  EXPECT_EQ(report->counters.steal_events, 0u);
+}
+
+TEST(EngineTest, StealThreadReportsIdleTime) {
+  auto g = std::move(GenBarabasiAlbert(200, 4, 13)).value();
+  EngineConfig config = BaseConfig();
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.steal_period_sec = 0.002;
+  config.enable_stealing = true;
+  // The slow app keeps the run alive long enough for the master to nap
+  // through at least one balancing period.
+  SkewedSlowTriApp app(2);
+  Engine engine(&g, config, &app);
+  auto report = engine.Run();
+  ASSERT_TRUE(report.ok());
+  // The master existed and spent (almost all of) its life sleeping.
+  EXPECT_GT(report->counters.steal_idle_usec, 0u);
 }
 
 TEST(EngineTest, RemoteFetchesHappenWithMultipleMachines) {

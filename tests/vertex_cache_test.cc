@@ -1,8 +1,9 @@
 // Tests for the pull-based vertex access subsystem (paper §5, Fig. 8):
-// VertexCache LRU eviction and the capacity=0 (cache off) mode, the
-// DataService fetch paths, PullBroker batching/pinning, and the end-to-end
-// invariant that ParallelMiner results stay bit-identical to the
-// direct-read path under cache pressure and cross-machine pulls.
+// VertexCache LRU/CLOCK eviction and the capacity=0 (cache off) mode, the
+// DataService fetch paths, the PullBroker request/response protocol over
+// the CommFabric, and the end-to-end invariant that ParallelMiner results
+// stay bit-identical to the direct-read path under cache pressure,
+// cross-machine pulls, and modeled network latency.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "gthinker/comm.h"
 #include "gthinker/vertex_cache.h"
 #include "gthinker/vertex_table.h"
 #include "mining/parallel_miner.h"
@@ -80,6 +82,48 @@ TEST(VertexCacheTest, CapacityZeroDisablesCaching) {
   EXPECT_EQ(counters.cache_evictions.load(), 0u);
 }
 
+TEST(VertexCacheTest, ClockHitSetsReferenceBitAndSurvivesScan) {
+  EngineCounters counters;
+  VertexCache cache(3, &counters, CachePolicy::kClock);
+  EXPECT_EQ(cache.policy(), CachePolicy::kClock);
+  cache.Insert(10, Adj({1}));
+  cache.Insert(20, Adj({2}));
+  cache.Insert(30, Adj({3}));
+  // Reference 10: the next eviction must pick an unreferenced entry.
+  EXPECT_NE(cache.Lookup(10), nullptr);
+  cache.Insert(40, Adj({4}));
+  EXPECT_EQ(counters.cache_evictions.load(), 1u);
+  // 20 was the hand's first unreferenced victim; 10 survived its second
+  // chance.
+  EXPECT_EQ(cache.Lookup(20, /*count_stats=*/false), nullptr);
+  EXPECT_NE(cache.Lookup(10, /*count_stats=*/false), nullptr);
+  EXPECT_NE(cache.Lookup(40, /*count_stats=*/false), nullptr);
+  EXPECT_EQ(cache.ApproxSize(), 3u);
+}
+
+TEST(VertexCacheTest, ClockScanEvictsUnreferencedInsertionOrder) {
+  EngineCounters counters;
+  VertexCache cache(2, &counters, CachePolicy::kClock);
+  // A pure scan (no hits): insertions evict in ring order.
+  for (VertexId v = 0; v < 10; ++v) {
+    cache.Insert(v, Adj({v}));
+  }
+  EXPECT_EQ(counters.cache_evictions.load(), 8u);
+  EXPECT_LE(cache.ApproxSize(), 2u);
+  // The most recent inserts are resident.
+  EXPECT_NE(cache.Lookup(8, /*count_stats=*/false), nullptr);
+  EXPECT_NE(cache.Lookup(9, /*count_stats=*/false), nullptr);
+}
+
+TEST(VertexCacheTest, ClockCapacityZeroDisablesCaching) {
+  EngineCounters counters;
+  VertexCache cache(0, &counters, CachePolicy::kClock);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(1, Adj({2}));
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.ApproxSize(), 0u);
+}
+
 TEST(VertexCacheTest, ShardedCacheStaysNearCapacity) {
   EngineCounters counters;
   VertexCache cache(2048, &counters);  // sharded regime
@@ -129,12 +173,47 @@ TEST(DataServiceTest, EvictsBeyondCapacity) {
   EXPECT_LE(svc.cache().ApproxSize(), 16u);
 }
 
-TEST(PullBrokerTest, FlushBatchesPinsAndCaches) {
+/// Runs the full request/response protocol to completion over `fabric`:
+/// pump requests from machine 0's broker, service every peer machine
+/// (serving requests back over the fabric), then service machine 0 to
+/// accept the responses. Returns all resumed tasks. Brokers index per
+/// machine; brokers[0] is the requester.
+std::vector<TaskPtr> CompletePullRound(
+    CommFabric& fabric, std::vector<PullBroker*> brokers) {
+  std::vector<TaskPtr> ready;
+  for (TaskPtr& t : brokers[0]->PumpRequests(&fabric)) {
+    ready.push_back(std::move(t));
+  }
+  // A bounded number of service sweeps: each sweep advances every
+  // machine's tick once, exactly like one comper scheduling loop each.
+  for (int sweep = 0; sweep < 64 && fabric.InFlight() > 0; ++sweep) {
+    for (size_t m = 0; m < brokers.size(); ++m) {
+      for (Message& msg : fabric.Service(static_cast<int>(m))) {
+        if (msg.type == MessageType::kPullRequest) {
+          fabric.Send(MessageType::kPullResponse, static_cast<int>(m),
+                      msg.src, brokers[m]->ServeRequest(msg.payload));
+        } else if (msg.type == MessageType::kPullResponse) {
+          for (TaskPtr& t : brokers[m]->AcceptResponse(msg.payload)) {
+            ready.push_back(std::move(t));
+          }
+        }
+      }
+    }
+  }
+  return ready;
+}
+
+TEST(PullBrokerTest, RequestResponseBatchesPinsAndCaches) {
   auto g = std::move(GenErdosRenyi(60, 300, 4)).value();
   VertexTable table(&g, 3);
   EngineCounters counters;
-  DataService svc(&table, /*machine=*/0, /*cache_capacity=*/1024, &counters);
-  PullBroker broker(&svc, /*max_batch=*/4, &counters);
+  DataService svc0(&table, 0, /*cache_capacity=*/1024, &counters);
+  DataService svc1(&table, 1, /*cache_capacity=*/1024, &counters);
+  DataService svc2(&table, 2, /*cache_capacity=*/1024, &counters);
+  PullBroker b0(&svc0, 0, /*max_batch=*/4, &counters);
+  PullBroker b1(&svc1, 1, /*max_batch=*/4, &counters);
+  PullBroker b2(&svc2, 2, /*max_batch=*/4, &counters);
+  CommFabric fabric(3, /*latency_ticks=*/0, /*latency_sec=*/0, &counters);
 
   // A task wanting vertices owned by machines 1 and 2.
   TaskPtr task = QCTask::MakeSpawn(0, 1);
@@ -145,14 +224,22 @@ TEST(PullBrokerTest, FlushBatchesPinsAndCaches) {
     }
   }
   for (VertexId v : wanted) task->pulls().Want(v);
-  broker.Park(std::move(task));
-  EXPECT_EQ(broker.ParkedCount(), 1u);
+  b0.Park(std::move(task));
+  EXPECT_EQ(b0.ParkedCount(), 1u);
+  EXPECT_EQ(b0.InFlightVertices(), wanted.size());
 
-  auto ready = broker.Flush();
+  auto ready = CompletePullRound(fabric, {&b0, &b1, &b2});
   ASSERT_EQ(ready.size(), 1u);
-  EXPECT_EQ(broker.ParkedCount(), 0u);
-  // 6 ids per machine at max_batch=4 -> 2 batches per machine.
+  EXPECT_EQ(b0.ParkedCount(), 0u);
+  EXPECT_EQ(b0.InFlightVertices(), 0u);
+  // 6 ids per machine at max_batch=4 -> 2 request messages per machine.
   EXPECT_EQ(counters.pull_batches.load(), 4u);
+  EXPECT_EQ(
+      counters.msg_sent[static_cast<int>(MessageType::kPullRequest)].load(),
+      4u);
+  EXPECT_EQ(
+      counters.msg_sent[static_cast<int>(MessageType::kPullResponse)].load(),
+      4u);
   EXPECT_EQ(counters.pulled_vertices.load(), wanted.size());
   EXPECT_EQ(counters.pull_rounds.load(), 1u);
   EXPECT_GT(counters.pull_bytes.load(), 0u);
@@ -163,32 +250,65 @@ TEST(PullBrokerTest, FlushBatchesPinsAndCaches) {
     auto src = g.Neighbors(v);
     EXPECT_TRUE(std::equal((*pin)->begin(), (*pin)->end(), src.begin(),
                            src.end()));
-    EXPECT_NE(svc.cache().Lookup(v, /*count_stats=*/false), nullptr);
+    EXPECT_NE(svc0.cache().Lookup(v, /*count_stats=*/false), nullptr);
   }
-  // Nothing left: a second flush is a no-op.
-  EXPECT_TRUE(broker.Flush().empty());
+  // Nothing left: a second pump sends nothing and resumes nothing.
+  EXPECT_TRUE(b0.PumpRequests(&fabric).empty());
+  EXPECT_EQ(fabric.InFlight(), 0u);
 }
 
 TEST(PullBrokerTest, CachedRequestsTransferNothing) {
   auto g = std::move(GenErdosRenyi(40, 200, 5)).value();
   VertexTable table(&g, 2);
   EngineCounters counters;
-  DataService svc(&table, /*machine=*/0, /*cache_capacity=*/1024, &counters);
-  PullBroker broker(&svc, 1024, &counters);
+  DataService svc0(&table, 0, /*cache_capacity=*/1024, &counters);
+  DataService svc1(&table, 1, /*cache_capacity=*/1024, &counters);
+  PullBroker b0(&svc0, 0, 1024, &counters);
+  PullBroker b1(&svc1, 1, 1024, &counters);
+  CommFabric fabric(2, 0, 0, &counters);
 
   VertexId v = table.OwnedVertices(1)[0];
-  svc.Fetch(v);  // populates the cache
+  svc0.Fetch(v);  // populates the cache
   const uint64_t bytes_before = counters.pull_bytes.load();
 
   TaskPtr task = QCTask::MakeSpawn(0, 1);
   task->pulls().Want(v);
-  broker.Park(std::move(task));
-  auto ready = broker.Flush();
+  b0.Park(std::move(task));
+  auto ready = CompletePullRound(fabric, {&b0, &b1});
   ASSERT_EQ(ready.size(), 1u);
-  // Served from cache: pinned, but no new transfer.
+  // Served from cache at park time: pinned, no message, no transfer.
   EXPECT_NE(ready[0]->pulls().Find(v), nullptr);
   EXPECT_EQ(counters.pull_bytes.load(), bytes_before);
   EXPECT_EQ(counters.pulled_vertices.load(), 0u);
+  EXPECT_EQ(EngineCountersSnapshot::From(counters).MessagesSent(), 0u);
+}
+
+TEST(PullBrokerTest, SharedInFlightVertexRequestedOnce) {
+  auto g = std::move(GenErdosRenyi(40, 200, 6)).value();
+  VertexTable table(&g, 2);
+  EngineCounters counters;
+  DataService svc0(&table, 0, /*cache_capacity=*/1024, &counters);
+  DataService svc1(&table, 1, /*cache_capacity=*/1024, &counters);
+  PullBroker b0(&svc0, 0, 1024, &counters);
+  PullBroker b1(&svc1, 1, 1024, &counters);
+  CommFabric fabric(2, 0, 0, &counters);
+
+  // Two tasks wanting the same remote vertex: one request, two pins.
+  VertexId v = table.OwnedVertices(1)[0];
+  TaskPtr a = QCTask::MakeSpawn(0, 1);
+  TaskPtr b = QCTask::MakeSpawn(2, 1);
+  a->pulls().Want(v);
+  b->pulls().Want(v);
+  b0.Park(std::move(a));
+  b0.Park(std::move(b));
+  EXPECT_EQ(b0.InFlightVertices(), 1u);
+
+  auto ready = CompletePullRound(fabric, {&b0, &b1});
+  EXPECT_EQ(ready.size(), 2u);
+  EXPECT_EQ(counters.pulled_vertices.load(), 1u);
+  for (const TaskPtr& t : ready) {
+    EXPECT_NE(t->pulls().Find(v), nullptr);
+  }
 }
 
 // ---- End-to-end: pull-based access must not change mining results ----
@@ -207,8 +327,15 @@ Graph PlantedGraph() {
       .value();
 }
 
+struct MineOptions {
+  size_t cache_capacity = 1 << 16;
+  CachePolicy policy = CachePolicy::kLRU;
+  uint64_t latency_ticks = 0;
+  double latency_sec = 0.0;
+};
+
 std::vector<VertexSet> MineWith(const Graph& g, int machines,
-                                size_t cache_capacity,
+                                MineOptions opts,
                                 EngineReport* report = nullptr) {
   EngineConfig config;
   config.mining.gamma = 0.85;
@@ -218,7 +345,10 @@ std::vector<VertexSet> MineWith(const Graph& g, int machines,
   config.tau_split = 16;
   config.tau_time = 0.001;
   config.steal_period_sec = 0.005;
-  config.vertex_cache_capacity = cache_capacity;
+  config.vertex_cache_capacity = opts.cache_capacity;
+  config.cache_policy = opts.policy;
+  config.net_latency_ticks = opts.latency_ticks;
+  config.net_latency_sec = opts.latency_sec;
   ParallelMiner miner(config);
   auto result = miner.Run(g);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
@@ -229,14 +359,14 @@ std::vector<VertexSet> MineWith(const Graph& g, int machines,
 TEST(PullPathTest, CrossMachinePullsMatchDirectReadPath) {
   Graph g = PlantedGraph();
   // machines=1: every vertex is local -- the direct-read reference.
-  auto direct = MineWith(g, 1, 1 << 16);
+  auto direct = MineWith(g, 1, {});
   ASSERT_FALSE(direct.empty());
 
   // machines=4 with a tiny cache: heavy pulling, suspension and eviction.
   EngineReport report;
-  auto pulled = MineWith(g, 4, 8, &report);
+  auto pulled = MineWith(g, 4, {.cache_capacity = 8}, &report);
   EXPECT_EQ(pulled, direct);
-  // The pull machinery actually ran.
+  // The pull machinery actually ran -- over the fabric.
   EXPECT_GT(report.counters.task_suspensions, 0u);
   EXPECT_GT(report.counters.pull_rounds, 0u);
   EXPECT_GT(report.counters.pull_batches, 0u);
@@ -244,21 +374,67 @@ TEST(PullPathTest, CrossMachinePullsMatchDirectReadPath) {
   EXPECT_GT(report.counters.pull_bytes, 0u);
   EXPECT_GT(report.counters.cache_evictions, 0u);
   EXPECT_GT(report.counters.pin_hits, 0u);
+  const int req = static_cast<int>(MessageType::kPullRequest);
+  const int resp = static_cast<int>(MessageType::kPullResponse);
+  EXPECT_GT(report.counters.msg_sent[req], 0u);
+  EXPECT_EQ(report.counters.msg_sent[req], report.counters.msg_delivered[req]);
+  EXPECT_EQ(report.counters.msg_sent[resp],
+            report.counters.msg_delivered[resp]);
+  EXPECT_EQ(report.counters.msg_drained, 0u);
 }
 
 TEST(PullPathTest, CacheOffStillMatchesDirectReadPath) {
   Graph g = PlantedGraph();
-  auto direct = MineWith(g, 1, 1 << 16);
+  auto direct = MineWith(g, 1, {});
   ASSERT_FALSE(direct.empty());
 
   EngineReport report;
-  auto uncached = MineWith(g, 3, 0, &report);
+  auto uncached = MineWith(g, 3, {.cache_capacity = 0}, &report);
   EXPECT_EQ(uncached, direct);
   // With the cache disabled nothing is ever served from it.
   EXPECT_EQ(report.counters.cache_hits, 0u);
   EXPECT_GT(report.counters.cache_misses, 0u);
   // Pins still satisfy the build after the pull round.
   EXPECT_GT(report.counters.pin_hits, 0u);
+}
+
+TEST(PullPathTest, TickLatencyDoesNotChangeResults) {
+  Graph g = PlantedGraph();
+  auto direct = MineWith(g, 1, {});
+  ASSERT_FALSE(direct.empty());
+
+  EngineReport report;
+  auto delayed = MineWith(g, 4, {.latency_ticks = 5}, &report);
+  EXPECT_EQ(delayed, direct);
+  EXPECT_GT(report.counters.MessagesSent(), 0u);
+  EXPECT_EQ(report.counters.msg_drained, 0u);
+}
+
+TEST(PullPathTest, WallLatencyDoesNotChangeResults) {
+  Graph g = PlantedGraph();
+  auto direct = MineWith(g, 1, {});
+  ASSERT_FALSE(direct.empty());
+
+  EngineReport report;
+  auto delayed = MineWith(g, 3, {.latency_sec = 0.0005}, &report);
+  EXPECT_EQ(delayed, direct);
+  EXPECT_GT(report.counters.MessagesSent(), 0u);
+  // The modeled wire delay is observable in the delivery latencies.
+  EXPECT_GT(report.counters.MeanDeliveryLatencySeconds(), 0.0004);
+  EXPECT_EQ(report.counters.msg_drained, 0u);
+}
+
+TEST(PullPathTest, ClockPolicyMatchesDirectReadPath) {
+  Graph g = PlantedGraph();
+  auto direct = MineWith(g, 1, {});
+  ASSERT_FALSE(direct.empty());
+
+  EngineReport report;
+  auto clocked = MineWith(
+      g, 4, {.cache_capacity = 16, .policy = CachePolicy::kClock}, &report);
+  EXPECT_EQ(clocked, direct);
+  EXPECT_GT(report.counters.cache_hits, 0u);
+  EXPECT_GT(report.counters.cache_evictions, 0u);
 }
 
 }  // namespace

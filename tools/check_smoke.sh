@@ -4,10 +4,14 @@
 # maximal result count. A miner that silently finds nothing is as broken
 # as one that crashes.
 #
-# Usage: tools/check_smoke.sh [path/to/qcm_mine]
+# Usage: tools/check_smoke.sh [path/to/qcm_mine] [extra miner flags...]
+# Extra flags are appended to the miner invocation, e.g.
+#   tools/check_smoke.sh ./build/qcm_mine --net-latency 0.002
+# exercises the asynchronous CommFabric delivery path.
 set -u -o pipefail
 
 BIN="${1:-./build/qcm_mine}"
+if [[ $# -gt 0 ]]; then shift; fi
 if [[ ! -x "$BIN" ]]; then
   echo "check_smoke: FAIL -- miner binary not found/executable: $BIN" >&2
   exit 1
@@ -15,7 +19,7 @@ fi
 
 out=$("$BIN" \
   --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
-  --gamma 0.85 --min-size 8 --machines 2 --threads 2 --stats 2>&1)
+  --gamma 0.85 --min-size 8 --machines 2 --threads 2 --stats "$@" 2>&1)
 status=$?
 echo "$out"
 

@@ -22,7 +22,12 @@
 //   --mode M              none | size | time                (default time)
 //   --cache-capacity N    per-machine vertex-cache entries; 0 disables
 //                         caching                           (default 65536)
+//   --cache-policy P      eviction policy: lru | clock      (default lru)
 //   --pull-batch N        max vertex ids per batched pull   (default 2048)
+//   --net-latency F       modeled delivery delay in seconds applied to
+//                         every cross-machine message       (default 0)
+//   --net-latency-ticks N delivery delay in destination service ticks
+//                                                           (default 0)
 //   --output PATH         write one result per line ("v1 v2 ...")
 //   --no-filter           report raw candidates (skip maximality filter)
 //   --stats               print engine/pruning statistics
@@ -60,7 +65,10 @@ struct Args {
   double tau_time = 0.01;
   std::string mode = "time";
   size_t cache_capacity = 1 << 16;
+  std::string cache_policy = "lru";
   size_t pull_batch = 2048;
+  double net_latency_sec = 0.0;
+  uint64_t net_latency_ticks = 0;
   std::string output;
   bool no_filter = false;
   bool stats = false;
@@ -129,6 +137,27 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--cache-capacity");
       if (!v) return false;
       args->cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (a == "--cache-policy") {
+      const char* v = next("--cache-policy");
+      if (!v) return false;
+      args->cache_policy = v;
+    } else if (a == "--net-latency") {
+      const char* v = next("--net-latency");
+      if (!v) return false;
+      args->net_latency_sec = std::atof(v);
+      if (args->net_latency_sec < 0) {
+        std::fprintf(stderr, "--net-latency must be >= 0\n");
+        return false;
+      }
+    } else if (a == "--net-latency-ticks") {
+      const char* v = next("--net-latency-ticks");
+      if (!v) return false;
+      const long long ticks = std::atoll(v);
+      if (ticks < 0) {
+        std::fprintf(stderr, "--net-latency-ticks must be >= 0\n");
+        return false;
+      }
+      args->net_latency_ticks = static_cast<uint64_t>(ticks);
     } else if (a == "--pull-batch") {
       const char* v = next("--pull-batch");
       if (!v) return false;
@@ -298,6 +327,17 @@ int main(int argc, char** argv) {
     config.tau_time = args.tau_time;
     config.vertex_cache_capacity = args.cache_capacity;
     config.max_pull_batch = args.pull_batch;
+    config.net_latency_sec = args.net_latency_sec;
+    config.net_latency_ticks = args.net_latency_ticks;
+    if (args.cache_policy == "lru") {
+      config.cache_policy = CachePolicy::kLRU;
+    } else if (args.cache_policy == "clock") {
+      config.cache_policy = CachePolicy::kClock;
+    } else {
+      std::fprintf(stderr, "unknown --cache-policy %s\n",
+                   args.cache_policy.c_str());
+      return 2;
+    }
     if (args.mode == "none") {
       config.mode = DecomposeMode::kNone;
     } else if (args.mode == "size") {
@@ -343,6 +383,25 @@ int main(int argc, char** argv) {
                    HumanBytes(r.counters.pull_bytes).c_str(),
                    static_cast<unsigned long>(r.counters.pin_hits),
                    HumanBytes(r.counters.remote_bytes).c_str());
+      const int req = static_cast<int>(MessageType::kPullRequest);
+      const int resp = static_cast<int>(MessageType::kPullResponse);
+      const int steal = static_cast<int>(MessageType::kStealBatch);
+      std::fprintf(
+          stderr,
+          "comm: %lu msgs (%lu req/%lu resp/%lu steal), %s sent, "
+          "mean delivery %.3f ms, overlap %.1f%%, peak in-flight %s, "
+          "peak depth %lu, steal master %.3f s idle/%.3f s active\n",
+          static_cast<unsigned long>(r.counters.MessagesSent()),
+          static_cast<unsigned long>(r.counters.msg_sent[req]),
+          static_cast<unsigned long>(r.counters.msg_sent[resp]),
+          static_cast<unsigned long>(r.counters.msg_sent[steal]),
+          HumanBytes(r.counters.MessageBytes()).c_str(),
+          1e3 * r.counters.MeanDeliveryLatencySeconds(),
+          100.0 * r.counters.MessageOverlapRatio(),
+          HumanBytes(r.counters.msg_inflight_bytes_peak).c_str(),
+          static_cast<unsigned long>(r.counters.msg_queue_depth_peak),
+          1e-6 * static_cast<double>(r.counters.steal_idle_usec),
+          1e-6 * static_cast<double>(r.counters.steal_active_usec));
     }
   }
 
