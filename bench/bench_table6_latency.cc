@@ -44,6 +44,7 @@ int main() {
   const std::vector<Variant> variants = {
       {"cache-lru", 1 << 16, CachePolicy::kLRU},
       {"cache-clock", 1 << 16, CachePolicy::kClock},
+      {"cache-tinylfu", 1 << 16, CachePolicy::kTinyLFU},
       {"cache-off", 0, CachePolicy::kLRU},
   };
 

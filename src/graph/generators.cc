@@ -1,6 +1,7 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <unordered_set>
 
@@ -200,6 +201,53 @@ StatusOr<Graph> GenPlantedCommunities(
     prev_members = std::move(members);
   }
   return Graph::FromEdges(n, std::move(edges));
+}
+
+StatusOr<PlantedConfig> ParsePlantedSpec(const std::string& spec,
+                                         uint64_t seed) {
+  PlantedConfig config;
+  config.seed = seed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string kv = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad planted-spec entry: " + kv);
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "n") {
+      config.num_vertices = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (key == "communities") {
+      config.num_communities =
+          static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (key == "size") {
+      const size_t dots = value.find("..");
+      if (dots == std::string::npos) {
+        config.community_min = config.community_max =
+            static_cast<uint32_t>(std::atoi(value.c_str()));
+      } else {
+        config.community_min =
+            static_cast<uint32_t>(std::atoi(value.substr(0, dots).c_str()));
+        config.community_max = static_cast<uint32_t>(
+            std::atoi(value.substr(dots + 2).c_str()));
+      }
+    } else if (key == "density") {
+      config.intra_density = std::atof(value.c_str());
+    } else if (key == "overlap") {
+      config.overlap_fraction = std::atof(value.c_str());
+    } else if (key == "edges") {
+      config.background = BackgroundModel::kErdosRenyi;
+      config.background_edges =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      return Status::InvalidArgument("unknown planted-spec key: " + key);
+    }
+  }
+  return config;
 }
 
 Graph PaperFigure4Graph() {

@@ -9,6 +9,7 @@
 #define QCM_GRAPH_GENERATORS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -66,6 +67,14 @@ struct PlantedConfig {
 StatusOr<Graph> GenPlantedCommunities(
     const PlantedConfig& config,
     std::vector<std::vector<VertexId>>* communities = nullptr);
+
+/// Parses the tools' --gen-planted spec ("n=5000,communities=10,
+/// size=16..20,density=0.95,overlap=0.3,edges=12000") into a
+/// PlantedConfig with the given seed. Shared by qcm_mine and qcm_worker
+/// so a cluster job and its single-process reference build the exact same
+/// graph from the same spec string.
+StatusOr<PlantedConfig> ParsePlantedSpec(const std::string& spec,
+                                         uint64_t seed);
 
 /// The 9-vertex illustrative graph of the paper's Figure 4
 /// (vertices a..i -> ids 0..8). {a,b,c,d} and {a,b,c,d,e} are

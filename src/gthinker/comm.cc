@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+#include "util/serde.h"
+
 namespace qcm {
 
 namespace {
@@ -29,11 +32,21 @@ const char* MessageTypeName(MessageType type) {
   return "?";
 }
 
+StatusOr<uint32_t> StealBatchTaskCount(const std::string& payload) {
+  Decoder dec(payload);
+  uint32_t count = 0;
+  QCM_RETURN_IF_ERROR(dec.GetU32(&count));
+  return count;
+}
+
 CommFabric::CommFabric(int num_machines, uint64_t latency_ticks,
-                       double latency_sec, EngineCounters* counters)
+                       double latency_sec, EngineCounters* counters,
+                       Transport* transport)
     : latency_ticks_(latency_ticks),
       latency_sec_(latency_sec),
-      counters_(counters) {
+      counters_(counters),
+      transport_(transport),
+      local_rank_(transport != nullptr ? transport->rank() : -1) {
   inboxes_.reserve(num_machines);
   for (int m = 0; m < num_machines; ++m) {
     inboxes_.push_back(std::make_unique<Inbox>());
@@ -46,16 +59,53 @@ void CommFabric::SetBusyProbe(std::function<int(int)> probe) {
 
 void CommFabric::Send(MessageType type, int src, int dst,
                       std::string payload) {
-  const double now = clock_.Seconds();
+  if (transport_ != nullptr && dst != local_rank_) {
+    // Remote machine: the message leaves this process. The send is
+    // counted here; inbox/delivery metrics belong to the destination
+    // process, which mirrors this accounting in Inject().
+    if (counters_ != nullptr) {
+      const int t = static_cast<int>(type);
+      counters_->msg_sent[t].fetch_add(1, std::memory_order_relaxed);
+      counters_->msg_bytes[t].fetch_add(payload.size(),
+                                        std::memory_order_relaxed);
+    }
+    Status s = transport_->SendData(dst, static_cast<uint8_t>(type),
+                                    payload);
+    // A failed wire send means a lost message, which the termination
+    // protocol can never recover from: fail loudly, never silently.
+    QCM_CHECK(s.ok()) << "wire send of " << MessageTypeName(type)
+                      << " to rank " << dst << " failed: " << s.ToString();
+    return;
+  }
   Message m;
   m.type = type;
   m.src = src;
   m.dst = dst;
   m.payload = std::move(payload);
+  Enqueue(std::move(m), /*count_send=*/true);
+}
+
+void CommFabric::Inject(MessageType type, int src, std::string payload) {
+  QCM_CHECK(transport_ != nullptr && local_rank_ >= 0)
+      << "Inject without a transport";
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = local_rank_;
+  m.payload = std::move(payload);
+  // The sender counted msg_sent in its own process; here the message
+  // (re-)enters a latency-modeled inbox, so in-flight/depth/overlap
+  // accounting resumes as if it had been enqueued locally.
+  Enqueue(std::move(m), /*count_send=*/false);
+}
+
+void CommFabric::Enqueue(Message m, bool count_send) {
+  const double now = clock_.Seconds();
   m.enqueue_sec = now;
   m.due_sec = now + latency_sec_;
 
-  const int t = static_cast<int>(type);
+  const int t = static_cast<int>(m.type);
+  const int dst = m.dst;
   const uint64_t bytes = m.payload.size();
   size_t depth;
   {
@@ -67,8 +117,10 @@ void CommFabric::Send(MessageType type, int src, int dst,
     depth = inbox.q.size();
   }
   if (counters_ != nullptr) {
-    counters_->msg_sent[t].fetch_add(1, std::memory_order_relaxed);
-    counters_->msg_bytes[t].fetch_add(bytes, std::memory_order_relaxed);
+    if (count_send) {
+      counters_->msg_sent[t].fetch_add(1, std::memory_order_relaxed);
+      counters_->msg_bytes[t].fetch_add(bytes, std::memory_order_relaxed);
+    }
     const uint64_t inflight =
         counters_->msg_inflight_bytes.fetch_add(bytes,
                                                 std::memory_order_relaxed) +

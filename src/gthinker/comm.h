@@ -23,6 +23,17 @@
 // flight (parked tasks and stolen batches are still counted in
 // Engine::pending_), and Drain() hands back undelivered messages at
 // termination for inspection.
+//
+// Process-per-machine mode (paper §5 run for real): with a Transport
+// injected, this process hosts exactly one machine (the transport's
+// rank). Send() to any other machine frames the message as a kData wire
+// frame and ships it over the transport instead of enqueueing it
+// in-process; the transport's receive thread hands arriving frames back
+// through Inject(), which enqueues them into the local inbox under the
+// same tick/wall-clock latency model. Everything downstream of the inbox
+// -- Service cadence, FIFO order, drain semantics, metrics -- is one code
+// path shared by both modes, so a message's meaning never depends on
+// whether it crossed a thread boundary or a socket.
 
 #ifndef QCM_GTHINKER_COMM_H_
 #define QCM_GTHINKER_COMM_H_
@@ -36,6 +47,8 @@
 #include <vector>
 
 #include "gthinker/metrics.h"
+#include "net/transport.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace qcm {
@@ -52,6 +65,11 @@ enum class MessageType : uint8_t {
 };
 
 const char* MessageTypeName(MessageType type);
+
+/// Number of tasks in a kStealBatch payload without decoding the tasks
+/// (the receiving process must fold the count into its pending-task
+/// accounting before the batch is even injected into the inbox).
+StatusOr<uint32_t> StealBatchTaskCount(const std::string& payload);
 
 /// One in-flight transfer.
 struct Message {
@@ -71,9 +89,12 @@ struct Message {
 class CommFabric {
  public:
   /// `latency_ticks` / `latency_sec` model the network delay of every
-  /// message (see file comment). `counters` may be null.
+  /// message (see file comment). `counters` may be null. `transport`
+  /// null = simulated mode (all machines in-process); non-null =
+  /// process-per-machine mode, where only the transport's rank is local
+  /// and remote sends ride the wire (see file comment).
   CommFabric(int num_machines, uint64_t latency_ticks, double latency_sec,
-             EngineCounters* counters);
+             EngineCounters* counters, Transport* transport = nullptr);
 
   CommFabric(const CommFabric&) = delete;
   CommFabric& operator=(const CommFabric&) = delete;
@@ -83,8 +104,15 @@ class CommFabric {
   void SetBusyProbe(std::function<int(int machine)> probe);
 
   /// Enqueues a message. Never blocks; the destination's next due
-  /// service tick will deliver it.
+  /// service tick will deliver it. In process-per-machine mode a remote
+  /// destination ships the message over the transport instead.
   void Send(MessageType type, int src, int dst, std::string payload);
+
+  /// Process-per-machine receive path: enqueues a message that arrived
+  /// over the transport into the local machine's inbox under the same
+  /// latency model as an in-process send. Called by the transport's
+  /// receive thread (via the engine's data handler).
+  void Inject(MessageType type, int src, std::string payload);
 
   /// Advances `dst`'s service tick and pops every message now due, in
   /// enqueue order. Called by the destination machine's compers once per
@@ -115,10 +143,14 @@ class CommFabric {
   };
 
   void CountDelivery(const Message& m, double now);
+  void Enqueue(Message m, bool count_send);
 
   uint64_t latency_ticks_;
   double latency_sec_;
   EngineCounters* counters_;
+  Transport* transport_;
+  /// The one machine hosted by this process (-1 in simulated mode).
+  int local_rank_;
   std::function<int(int)> busy_probe_;
   WallTimer clock_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;

@@ -50,7 +50,7 @@ class Engine::Comper : public ComputeContext {
     metrics_.thread = thread;
     // Pre-size the materialization scratch so the first task already runs
     // allocation-free over the full vertex-id space.
-    ego_scratch_.Reset(engine_->graph_->NumVertices());
+    ego_scratch_.Reset(engine_->table_->NumVertices());
   }
 
   void Run() {
@@ -285,6 +285,14 @@ class Engine::Comper : public ComputeContext {
 Engine::Engine(const Graph* graph, EngineConfig config, App* app)
     : graph_(graph), config_(std::move(config)), app_(app) {}
 
+Engine::Engine(std::unique_ptr<VertexTable> table, EngineConfig config,
+               App* app, Transport* transport)
+    : graph_(nullptr),
+      config_(std::move(config)),
+      app_(app),
+      transport_(transport),
+      table_(std::move(table)) {}
+
 Engine::~Engine() {
   if (owns_spill_dir_ && !spill_dir_.empty()) {
     ::rmdir(spill_dir_.c_str());
@@ -302,6 +310,10 @@ bool Engine::SpawnExhausted() const {
 }
 
 void Engine::MaybeFinish() {
+  // Distributed mode: local quiescence proves nothing -- a peer may still
+  // route work here. The coordinator's distributed detection (fed by
+  // StatusLoop) is the only authority that may set done_.
+  if (distributed()) return;
   // Order matters: a spawner increments active_spawners_ before claiming a
   // cursor slot, so reading spawners==0 after cursors-exhausted guarantees
   // no task materializes after our pending_ read.
@@ -309,6 +321,66 @@ void Engine::MaybeFinish() {
   if (active_spawners_.load() != 0) return;
   if (pending_.load() != 0) return;
   done_.store(true);
+}
+
+void Engine::StatusLoop() {
+  // Publish this rank's termination inputs until the coordinator declares
+  // global quiescence. Read order mirrors MaybeFinish: spawn state first,
+  // then processed frames, then pending, then sent -- combined with the
+  // wire-boundary pending accounting this keeps in-flight work visible in
+  // every snapshot the coordinator can assemble.
+  for (;;) {
+    RankStatus status;
+    status.spawn_done = SpawnExhausted() && active_spawners_.load() == 0;
+    status.data_frames_processed =
+        frames_processed_.load(std::memory_order_acquire);
+    status.pending = pending_.load();
+    status.data_frames_sent = transport_->DataFramesSent();
+    status.pending_big = workers_[0]->PendingBig();
+    transport_->PublishStatus(status);
+    if (done_.load()) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+void Engine::OnWireData(int src, uint8_t type, std::string payload) {
+  QCM_CHECK(type <= static_cast<uint8_t>(MessageType::kStealBatch))
+      << "unknown fabric message type " << static_cast<int>(type)
+      << " from rank " << src;
+  const MessageType mtype = static_cast<MessageType>(type);
+  if (mtype == MessageType::kStealBatch) {
+    // The batch's tasks enter this process's pending accounting before
+    // the frame counts as processed (transport.h's counting discipline).
+    auto count = StealBatchTaskCount(payload);
+    QCM_CHECK(count.ok()) << "corrupt steal batch from rank " << src << ": "
+                          << count.status().ToString();
+    pending_.fetch_add(count.value());
+  }
+  frames_processed_.fetch_add(1, std::memory_order_acq_rel);
+  fabric_->Inject(mtype, src, std::move(payload));
+}
+
+void Engine::OnStealCommand(int receiver, uint64_t want) {
+  QCM_CHECK(receiver >= 0 && receiver < config_.num_machines &&
+            receiver != first_machine())
+      << "steal command with bad receiver " << receiver;
+  if (want == 0 || done_.load()) return;
+  std::vector<TaskPtr> tasks = workers_[0]->global_queue->StealBatch(want);
+  if (tasks.empty()) return;  // the coordinator's estimate was stale
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(tasks.size()));
+  for (const TaskPtr& t : tasks) t->Encode(&enc);
+  const uint64_t bytes = enc.size();
+  // Send first (the frame is counted as sent before the wire write), only
+  // then drop the tasks from this process's pending accounting: the
+  // coordinator always sees the batch as either local work or an
+  // unprocessed frame, never as nothing.
+  fabric_->Send(MessageType::kStealBatch, first_machine(), receiver,
+                enc.Release());
+  pending_.fetch_sub(static_cast<int64_t>(tasks.size()));
+  counters_.steal_events.fetch_add(1, std::memory_order_relaxed);
+  counters_.stolen_tasks.fetch_add(tasks.size(), std::memory_order_relaxed);
+  counters_.steal_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void Engine::StealLoop() {
@@ -393,6 +465,18 @@ StatusOr<EngineReport> Engine::Run() {
   }
   ran_ = true;
   QCM_RETURN_IF_ERROR(config_.Validate());
+  if (distributed()) {
+    if (config_.num_machines != transport_->world_size()) {
+      return Status::InvalidArgument(
+          "num_machines (" + std::to_string(config_.num_machines) +
+          ") must equal the transport world size (" +
+          std::to_string(transport_->world_size()) + ")");
+    }
+    QCM_CHECK(table_ != nullptr && table_->partitioned() &&
+              table_->local_rank() == transport_->rank() &&
+              table_->NumMachines() == config_.num_machines)
+        << "distributed engine needs a matching partitioned vertex table";
+  }
 
   // Spill directory.
   if (config_.spill_dir.empty()) {
@@ -409,12 +493,24 @@ StatusOr<EngineReport> Engine::Run() {
   }
 
   WallTimer wall;
-  table_ = std::make_unique<VertexTable>(graph_, config_.num_machines);
+  if (!distributed()) {
+    table_ = std::make_unique<VertexTable>(graph_, config_.num_machines);
+  }
   fabric_ = std::make_unique<CommFabric>(
       config_.num_machines, config_.net_latency_ticks,
-      config_.net_latency_sec, &counters_);
+      config_.net_latency_sec, &counters_, transport_);
+  // Machines hosted by this process: all of them when simulated, exactly
+  // the transport's rank when distributed.
+  std::vector<int> local_machines;
+  if (distributed()) {
+    local_machines.push_back(transport_->rank());
+  } else {
+    for (int m = 0; m < config_.num_machines; ++m) {
+      local_machines.push_back(m);
+    }
+  }
   workers_.clear();
-  for (int m = 0; m < config_.num_machines; ++m) {
+  for (int m : local_machines) {
     auto w = std::make_unique<Worker>();
     w->id = m;
     w->data = std::make_unique<DataService>(
@@ -432,14 +528,32 @@ StatusOr<EngineReport> Engine::Run() {
     workers_.push_back(std::move(w));
   }
   fabric_->SetBusyProbe([this](int machine) {
-    return workers_[machine]->busy_compers.load(std::memory_order_relaxed);
+    for (const auto& w : workers_) {
+      if (w->id == machine) {
+        return w->busy_compers.load(std::memory_order_relaxed);
+      }
+    }
+    return 0;
   });
 
+  if (distributed()) {
+    transport_->SetDataHandler(
+        [this](int src, uint8_t type, std::string payload) {
+          OnWireData(src, type, std::move(payload));
+        });
+    Transport::ControlHooks hooks;
+    hooks.on_terminate = [this] { done_.store(true); };
+    hooks.on_steal_command = [this](int receiver, uint64_t want) {
+      OnStealCommand(receiver, want);
+    };
+    transport_->SetControlHooks(std::move(hooks));
+    QCM_RETURN_IF_ERROR(transport_->Start());
+  }
+
   std::vector<std::unique_ptr<Comper>> compers;
-  for (int m = 0; m < config_.num_machines; ++m) {
+  for (const auto& w : workers_) {
     for (int t = 0; t < config_.threads_per_machine; ++t) {
-      compers.push_back(
-          std::make_unique<Comper>(this, workers_[m].get(), m, t));
+      compers.push_back(std::make_unique<Comper>(this, w.get(), w->id, t));
     }
   }
 
@@ -448,14 +562,23 @@ StatusOr<EngineReport> Engine::Run() {
   for (auto& comper : compers) {
     threads.emplace_back([&comper] { comper->Run(); });
   }
-  // The steal master only exists when it could ever move work.
-  std::thread steal_thread;
-  if (config_.enable_stealing && workers_.size() >= 2) {
-    steal_thread = std::thread([this] { StealLoop(); });
+  // Simulated mode runs the in-process steal master (when it could ever
+  // move work); distributed mode instead reports status upward and lets
+  // the coordinator master steals and termination.
+  std::thread control_thread;
+  if (distributed()) {
+    control_thread = std::thread([this] { StatusLoop(); });
+  } else if (config_.enable_stealing && workers_.size() >= 2) {
+    control_thread = std::thread([this] { StealLoop(); });
   }
   for (std::thread& t : threads) t.join();
-  if (steal_thread.joinable()) steal_thread.join();
+  if (control_thread.joinable()) control_thread.join();
 
+  if (distributed() && !transport_->healthy()) {
+    return Status::Aborted(
+        "transport failed before global termination; partial mining state "
+        "discarded");
+  }
   QCM_CHECK(pending_.load() == 0) << "engine finished with pending tasks";
   // Every meaningful message holds a pending task (parked or stolen), so
   // a clean shutdown leaves the fabric empty; drain defensively and fail

@@ -25,6 +25,21 @@
 // delivered (and pinned) every missing adjacency. Steal transfers ride
 // the same fabric as kStealBatch messages, so transfer time overlaps
 // with mining on both machines instead of blocking the steal master.
+//
+// Process-per-machine mode: constructed with a Transport and a
+// partitioned VertexTable, the engine hosts exactly ONE machine (the
+// transport's rank) of a real multi-process cluster. The compute path is
+// identical -- same fabric message types, same scheduling discipline, same
+// pull protocol -- but remote fabric sends ride the wire, the in-process
+// steal master is replaced by the cluster coordinator's kStealCmd frames
+// (executed here against the local global queue), and local quiescence is
+// only reported upward (StatusLoop): termination arrives from the
+// coordinator's distributed detection instead of MaybeFinish. Pending-
+// task accounting crosses the wire with the tasks: a shipped steal batch
+// leaves this process's pending_ only after its frame was counted as
+// sent, and enters the receiver's pending_ before the frame is counted
+// as processed, so the coordinator can never observe a state where work
+// exists but no rank shows it.
 
 #ifndef QCM_GTHINKER_ENGINE_H_
 #define QCM_GTHINKER_ENGINE_H_
@@ -42,34 +57,55 @@
 #include "gthinker/task_queue.h"
 #include "gthinker/vertex_table.h"
 #include "graph/graph.h"
+#include "net/transport.h"
 #include "util/status.h"
 
 namespace qcm {
 
 class Engine {
  public:
+  /// Simulated mode: all of config.num_machines live in this process.
   /// `graph` and `app` must outlive the engine.
   Engine(const Graph* graph, EngineConfig config, App* app);
+
+  /// Process-per-machine mode: this engine runs machine
+  /// `transport->rank()` of a `transport->world_size()`-machine cluster
+  /// over a partitioned vertex table (config.num_machines must equal the
+  /// world size). `app` and `transport` must outlive the engine; the
+  /// transport must be connected but not yet started (Run() installs the
+  /// handlers and starts it).
+  Engine(std::unique_ptr<VertexTable> table, EngineConfig config, App* app,
+         Transport* transport);
+
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Executes the job to completion and returns the merged report.
-  /// Run() may be called once per Engine instance.
+  /// Executes the job to completion and returns the merged report (this
+  /// process's machines only; a cluster launcher merges per-rank
+  /// reports). Run() may be called once per Engine instance.
   StatusOr<EngineReport> Run();
 
  private:
   struct Worker;
   class Comper;
 
+  bool distributed() const { return transport_ != nullptr; }
+  /// Machine id of workers_[0] (the only worker in distributed mode).
+  int first_machine() const { return distributed() ? transport_->rank() : 0; }
+
   void StealLoop();
+  void StatusLoop();
+  void OnWireData(int src, uint8_t type, std::string payload);
+  void OnStealCommand(int receiver, uint64_t want);
   void MaybeFinish();
   bool SpawnExhausted() const;
 
   const Graph* graph_;
   EngineConfig config_;
   App* app_;
+  Transport* transport_ = nullptr;
 
   std::unique_ptr<VertexTable> table_;
   std::unique_ptr<CommFabric> fabric_;
@@ -81,6 +117,8 @@ class Engine {
 
   std::atomic<int64_t> pending_{0};
   std::atomic<int> active_spawners_{0};
+  /// Data frames fully folded into this process (distributed mode).
+  std::atomic<uint64_t> frames_processed_{0};
   std::atomic<bool> done_{false};
   bool ran_ = false;
 };

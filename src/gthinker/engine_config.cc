@@ -1,5 +1,7 @@
 #include "gthinker/engine_config.h"
 
+#include "util/serde.h"
+
 namespace qcm {
 
 const char* DecomposeModeName(DecomposeMode mode) {
@@ -20,8 +22,23 @@ const char* CachePolicyName(CachePolicy policy) {
       return "lru";
     case CachePolicy::kClock:
       return "clock";
+    case CachePolicy::kTinyLFU:
+      return "tinylfu";
   }
   return "?";
+}
+
+Status ParseCachePolicy(const std::string& name, CachePolicy* policy) {
+  if (name == "lru") {
+    *policy = CachePolicy::kLRU;
+  } else if (name == "clock") {
+    *policy = CachePolicy::kClock;
+  } else if (name == "tinylfu") {
+    *policy = CachePolicy::kTinyLFU;
+  } else {
+    return Status::InvalidArgument("unknown cache policy: " + name);
+  }
+  return Status::OK();
 }
 
 Status EngineConfig::Validate() const {
@@ -55,6 +72,92 @@ Status EngineConfig::Validate() const {
     return Status::InvalidArgument("net_latency_sec must be >= 0");
   }
   return mining.Validate();
+}
+
+void EncodeEngineConfig(const EngineConfig& config, Encoder* enc) {
+  enc->PutU32(static_cast<uint32_t>(config.num_machines));
+  enc->PutU32(static_cast<uint32_t>(config.threads_per_machine));
+  enc->PutU32(config.tau_split);
+  enc->PutDouble(config.tau_time);
+  enc->PutU8(static_cast<uint8_t>(config.mode));
+  enc->PutU64(config.local_queue_capacity);
+  enc->PutU64(config.global_queue_capacity);
+  enc->PutU64(config.batch_size);
+  enc->PutString(config.spill_dir);
+  enc->PutDouble(config.steal_period_sec);
+  enc->PutU8(config.enable_stealing ? 1 : 0);
+  enc->PutU64(config.vertex_cache_capacity);
+  enc->PutU64(config.max_pull_batch);
+  enc->PutU8(static_cast<uint8_t>(config.cache_policy));
+  enc->PutU64(config.net_latency_ticks);
+  enc->PutDouble(config.net_latency_sec);
+  enc->PutU8(config.record_task_log ? 1 : 0);
+  enc->PutDouble(config.mining.gamma);
+  enc->PutU32(config.mining.min_size);
+  enc->PutU8(config.mining.use_cover_vertex ? 1 : 0);
+  enc->PutU8(config.mining.use_critical_vertex ? 1 : 0);
+  enc->PutU8(config.mining.use_upper_bound ? 1 : 0);
+  enc->PutU8(config.mining.use_lower_bound ? 1 : 0);
+  enc->PutU8(config.mining.use_degree_pruning ? 1 : 0);
+  enc->PutU8(config.mining.use_lookahead ? 1 : 0);
+  enc->PutU8(config.mining.quick_compat ? 1 : 0);
+}
+
+Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  uint8_t u8 = 0;
+  QCM_RETURN_IF_ERROR(dec->GetU32(&u32));
+  config->num_machines = static_cast<int>(u32);
+  QCM_RETURN_IF_ERROR(dec->GetU32(&u32));
+  config->threads_per_machine = static_cast<int>(u32);
+  QCM_RETURN_IF_ERROR(dec->GetU32(&config->tau_split));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&config->tau_time));
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  if (u8 > static_cast<uint8_t>(DecomposeMode::kTimeDelayed)) {
+    return Status::Corruption("bad decompose mode tag");
+  }
+  config->mode = static_cast<DecomposeMode>(u8);
+  QCM_RETURN_IF_ERROR(dec->GetU64(&u64));
+  config->local_queue_capacity = u64;
+  QCM_RETURN_IF_ERROR(dec->GetU64(&u64));
+  config->global_queue_capacity = u64;
+  QCM_RETURN_IF_ERROR(dec->GetU64(&u64));
+  config->batch_size = u64;
+  QCM_RETURN_IF_ERROR(dec->GetString(&config->spill_dir));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&config->steal_period_sec));
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->enable_stealing = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU64(&u64));
+  config->vertex_cache_capacity = u64;
+  QCM_RETURN_IF_ERROR(dec->GetU64(&u64));
+  config->max_pull_batch = u64;
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  if (u8 > static_cast<uint8_t>(CachePolicy::kTinyLFU)) {
+    return Status::Corruption("bad cache policy tag");
+  }
+  config->cache_policy = static_cast<CachePolicy>(u8);
+  QCM_RETURN_IF_ERROR(dec->GetU64(&config->net_latency_ticks));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&config->net_latency_sec));
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->record_task_log = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&config->mining.gamma));
+  QCM_RETURN_IF_ERROR(dec->GetU32(&config->mining.min_size));
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->mining.use_cover_vertex = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->mining.use_critical_vertex = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->mining.use_upper_bound = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->mining.use_lower_bound = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->mining.use_degree_pruning = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->mining.use_lookahead = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->mining.quick_compat = u8 != 0;
+  return Status::OK();
 }
 
 }  // namespace qcm

@@ -39,9 +39,17 @@ enum class CachePolicy {
   /// CLOCK / second-chance: a ring with reference bits -- cheaper refresh
   /// and more scan-resistant than LRU for pull-heavy workloads.
   kClock,
+  /// LRU eviction behind a TinyLFU admission filter: a count-min sketch
+  /// estimates access frequency, and at capacity a new entry is admitted
+  /// only if it is at least as frequent as the eviction victim -- one-shot
+  /// scans cannot flush the hot working set.
+  kTinyLFU,
 };
 
 const char* CachePolicyName(CachePolicy policy);
+
+/// Parses "lru" / "clock" / "tinylfu" (the --cache-policy vocabulary).
+Status ParseCachePolicy(const std::string& name, CachePolicy* policy);
 
 /// Engine knobs. Defaults follow the paper's common settings scaled to a
 /// single-host simulation.
@@ -107,6 +115,15 @@ struct EngineConfig {
 
   Status Validate() const;
 };
+
+class Encoder;
+class Decoder;
+
+/// Serializes every engine knob (including the nested MiningOptions) so a
+/// cluster coordinator can ship one run configuration to every worker
+/// process. Round-trips exactly; pinned by tests/wire_serde_test.cc.
+void EncodeEngineConfig(const EngineConfig& config, Encoder* enc);
+Status DecodeEngineConfig(Decoder* dec, EngineConfig* config);
 
 }  // namespace qcm
 

@@ -1,6 +1,9 @@
 #include "gthinker/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "util/serde.h"
 
 namespace qcm {
 
@@ -35,6 +38,8 @@ EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
   s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
   s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
   s.cache_evictions = c.cache_evictions.load(std::memory_order_relaxed);
+  s.cache_admit_rejects =
+      c.cache_admit_rejects.load(std::memory_order_relaxed);
   s.pin_hits = c.pin_hits.load(std::memory_order_relaxed);
   s.remote_bytes = c.remote_bytes.load(std::memory_order_relaxed);
   s.task_suspensions = c.task_suspensions.load(std::memory_order_relaxed);
@@ -96,6 +101,284 @@ double EngineCountersSnapshot::CacheHitRatio() const {
   const uint64_t demanded = served + cache_misses;
   if (demanded == 0) return 1.0;
   return static_cast<double>(served) / static_cast<double>(demanded);
+}
+
+namespace {
+
+/// The counter fields of a snapshot in one flat, ordered view -- keeps the
+/// wire encoding, the merge, and the JSON emission in lockstep (adding a
+/// counter means touching exactly this list).
+struct CounterField {
+  const char* name;
+  uint64_t EngineCountersSnapshot::* member;
+  /// Merge rule: sums by default, max for gauge peaks.
+  bool is_peak;
+};
+
+constexpr CounterField kCounterFields[] = {
+    {"big_tasks", &EngineCountersSnapshot::big_tasks, false},
+    {"small_tasks", &EngineCountersSnapshot::small_tasks, false},
+    {"spill_files", &EngineCountersSnapshot::spill_files, false},
+    {"spilled_tasks", &EngineCountersSnapshot::spilled_tasks, false},
+    {"spill_bytes_written", &EngineCountersSnapshot::spill_bytes_written,
+     false},
+    {"spill_bytes_read", &EngineCountersSnapshot::spill_bytes_read, false},
+    {"steal_events", &EngineCountersSnapshot::steal_events, false},
+    {"stolen_tasks", &EngineCountersSnapshot::stolen_tasks, false},
+    {"steal_bytes", &EngineCountersSnapshot::steal_bytes, false},
+    {"cache_hits", &EngineCountersSnapshot::cache_hits, false},
+    {"cache_misses", &EngineCountersSnapshot::cache_misses, false},
+    {"cache_evictions", &EngineCountersSnapshot::cache_evictions, false},
+    {"cache_admit_rejects", &EngineCountersSnapshot::cache_admit_rejects,
+     false},
+    {"pin_hits", &EngineCountersSnapshot::pin_hits, false},
+    {"remote_bytes", &EngineCountersSnapshot::remote_bytes, false},
+    {"task_suspensions", &EngineCountersSnapshot::task_suspensions, false},
+    {"pull_rounds", &EngineCountersSnapshot::pull_rounds, false},
+    {"pull_batches", &EngineCountersSnapshot::pull_batches, false},
+    {"pulled_vertices", &EngineCountersSnapshot::pulled_vertices, false},
+    {"pull_bytes", &EngineCountersSnapshot::pull_bytes, false},
+    {"tasks_completed", &EngineCountersSnapshot::tasks_completed, false},
+    {"msg_drained", &EngineCountersSnapshot::msg_drained, false},
+    {"msg_inflight_bytes_peak",
+     &EngineCountersSnapshot::msg_inflight_bytes_peak, true},
+    {"msg_queue_depth_peak", &EngineCountersSnapshot::msg_queue_depth_peak,
+     true},
+    {"msg_latency_usec_sum", &EngineCountersSnapshot::msg_latency_usec_sum,
+     false},
+    {"msg_overlapped", &EngineCountersSnapshot::msg_overlapped, false},
+    {"steal_idle_usec", &EngineCountersSnapshot::steal_idle_usec, false},
+    {"steal_active_usec", &EngineCountersSnapshot::steal_active_usec, false},
+};
+
+constexpr uint64_t MiningStats::* kMiningFields[] = {
+    &MiningStats::nodes_explored,
+    &MiningStats::bounding_iterations,
+    &MiningStats::emitted,
+    &MiningStats::type1_degree_pruned,
+    &MiningStats::type1_upper_pruned,
+    &MiningStats::type1_lower_pruned,
+    &MiningStats::type2_prunes,
+    &MiningStats::bound_fail_prunes,
+    &MiningStats::critical_moves,
+    &MiningStats::cover_skipped,
+    &MiningStats::lookahead_hits,
+    &MiningStats::diameter_filtered,
+    &MiningStats::size_prunes,
+    &MiningStats::subtasks_spawned,
+};
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string MessageTypeJsonKey(int type) {
+  switch (type) {
+    case 0:
+      return "pull_request";
+    case 1:
+      return "pull_response";
+    case 2:
+      return "steal_batch";
+  }
+  return "type" + std::to_string(type);
+}
+
+}  // namespace
+
+void EncodeEngineReport(const EngineReport& report, Encoder* enc) {
+  enc->PutDouble(report.wall_seconds);
+  enc->PutU64(report.peak_rss_bytes);
+  enc->PutDouble(report.total_mining_seconds);
+  enc->PutDouble(report.total_materialize_seconds);
+  enc->PutDouble(report.total_build_seconds);
+  enc->PutDouble(report.total_busy_seconds);
+  enc->PutDouble(report.total_idle_seconds);
+  for (const CounterField& f : kCounterFields) {
+    enc->PutU64(report.counters.*(f.member));
+  }
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    enc->PutU64(report.counters.msg_sent[t]);
+    enc->PutU64(report.counters.msg_delivered[t]);
+    enc->PutU64(report.counters.msg_bytes[t]);
+  }
+  for (int b = 0; b < kMsgLatencyBuckets; ++b) {
+    enc->PutU64(report.counters.msg_latency_hist[b]);
+  }
+  for (auto field : kMiningFields) enc->PutU64(report.mining.*field);
+  enc->PutU64(report.threads.size());
+  for (const ThreadSummary& t : report.threads) {
+    enc->PutU32(static_cast<uint32_t>(t.machine));
+    enc->PutU32(static_cast<uint32_t>(t.thread));
+    enc->PutDouble(t.busy_seconds);
+    enc->PutDouble(t.idle_seconds);
+    enc->PutDouble(t.mining_seconds);
+    enc->PutDouble(t.materialize_seconds);
+    enc->PutU64(t.tasks_processed);
+  }
+  enc->PutU64(report.results.size());
+  for (const VertexSet& s : report.results) enc->PutU32Vector(s);
+}
+
+Status DecodeEngineReport(Decoder* dec, EngineReport* report) {
+  *report = EngineReport();
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&report->wall_seconds));
+  QCM_RETURN_IF_ERROR(dec->GetU64(&report->peak_rss_bytes));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&report->total_mining_seconds));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&report->total_materialize_seconds));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&report->total_build_seconds));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&report->total_busy_seconds));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&report->total_idle_seconds));
+  for (const CounterField& f : kCounterFields) {
+    QCM_RETURN_IF_ERROR(dec->GetU64(&(report->counters.*(f.member))));
+  }
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    QCM_RETURN_IF_ERROR(dec->GetU64(&report->counters.msg_sent[t]));
+    QCM_RETURN_IF_ERROR(dec->GetU64(&report->counters.msg_delivered[t]));
+    QCM_RETURN_IF_ERROR(dec->GetU64(&report->counters.msg_bytes[t]));
+  }
+  for (int b = 0; b < kMsgLatencyBuckets; ++b) {
+    QCM_RETURN_IF_ERROR(dec->GetU64(&report->counters.msg_latency_hist[b]));
+  }
+  for (auto field : kMiningFields) {
+    QCM_RETURN_IF_ERROR(dec->GetU64(&(report->mining.*field)));
+  }
+  uint64_t n = 0;
+  QCM_RETURN_IF_ERROR(dec->GetU64(&n));
+  // Bound counts by the bytes actually present (every other decoder in
+  // the codebase does) so a corrupt report blob surfaces as Corruption,
+  // never as a gigantic resize. Each ThreadSummary needs 48 payload
+  // bytes, each result set at least its 8-byte length.
+  if (n > dec->Remaining() / 48) {
+    return Status::Corruption("report thread count exceeds payload");
+  }
+  report->threads.resize(n);
+  for (ThreadSummary& t : report->threads) {
+    uint32_t u = 0;
+    QCM_RETURN_IF_ERROR(dec->GetU32(&u));
+    t.machine = static_cast<int>(u);
+    QCM_RETURN_IF_ERROR(dec->GetU32(&u));
+    t.thread = static_cast<int>(u);
+    QCM_RETURN_IF_ERROR(dec->GetDouble(&t.busy_seconds));
+    QCM_RETURN_IF_ERROR(dec->GetDouble(&t.idle_seconds));
+    QCM_RETURN_IF_ERROR(dec->GetDouble(&t.mining_seconds));
+    QCM_RETURN_IF_ERROR(dec->GetDouble(&t.materialize_seconds));
+    QCM_RETURN_IF_ERROR(dec->GetU64(&t.tasks_processed));
+  }
+  QCM_RETURN_IF_ERROR(dec->GetU64(&n));
+  if (n > dec->Remaining() / 8) {
+    return Status::Corruption("report result count exceeds payload");
+  }
+  report->results.resize(n);
+  for (VertexSet& s : report->results) {
+    QCM_RETURN_IF_ERROR(dec->GetU32Vector(&s));
+  }
+  return Status::OK();
+}
+
+EngineReport MergeEngineReports(const std::vector<EngineReport>& reports) {
+  EngineReport merged;
+  for (const EngineReport& r : reports) {
+    merged.wall_seconds = std::max(merged.wall_seconds, r.wall_seconds);
+    merged.peak_rss_bytes += r.peak_rss_bytes;
+    merged.total_mining_seconds += r.total_mining_seconds;
+    merged.total_materialize_seconds += r.total_materialize_seconds;
+    merged.total_build_seconds += r.total_build_seconds;
+    merged.total_busy_seconds += r.total_busy_seconds;
+    merged.total_idle_seconds += r.total_idle_seconds;
+    for (const CounterField& f : kCounterFields) {
+      if (f.is_peak) {
+        merged.counters.*(f.member) =
+            std::max(merged.counters.*(f.member), r.counters.*(f.member));
+      } else {
+        merged.counters.*(f.member) += r.counters.*(f.member);
+      }
+    }
+    for (int t = 0; t < kNumMessageTypes; ++t) {
+      merged.counters.msg_sent[t] += r.counters.msg_sent[t];
+      merged.counters.msg_delivered[t] += r.counters.msg_delivered[t];
+      merged.counters.msg_bytes[t] += r.counters.msg_bytes[t];
+    }
+    for (int b = 0; b < kMsgLatencyBuckets; ++b) {
+      merged.counters.msg_latency_hist[b] += r.counters.msg_latency_hist[b];
+    }
+    merged.mining.Add(r.mining);
+    merged.threads.insert(merged.threads.end(), r.threads.begin(),
+                          r.threads.end());
+    merged.results.insert(merged.results.end(), r.results.begin(),
+                          r.results.end());
+    merged.root_tasks.insert(merged.root_tasks.end(), r.root_tasks.begin(),
+                             r.root_tasks.end());
+  }
+  return merged;
+}
+
+std::string EngineReportJson(const EngineReport& report) {
+  std::string json = "{\n";
+  json += "  \"wall_seconds\": " + JsonDouble(report.wall_seconds) + ",\n";
+  json += "  \"peak_rss_bytes\": " + std::to_string(report.peak_rss_bytes) +
+          ",\n";
+  json += "  \"total_busy_seconds\": " +
+          JsonDouble(report.total_busy_seconds) + ",\n";
+  json += "  \"total_idle_seconds\": " +
+          JsonDouble(report.total_idle_seconds) + ",\n";
+  json += "  \"total_mining_seconds\": " +
+          JsonDouble(report.total_mining_seconds) + ",\n";
+  json += "  \"total_materialize_seconds\": " +
+          JsonDouble(report.total_materialize_seconds) + ",\n";
+  json += "  \"total_build_seconds\": " +
+          JsonDouble(report.total_build_seconds) + ",\n";
+  json += "  \"counters\": {\n";
+  for (const CounterField& f : kCounterFields) {
+    json += "    \"" + std::string(f.name) +
+            "\": " + std::to_string(report.counters.*(f.member)) + ",\n";
+  }
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    const std::string type = MessageTypeJsonKey(t);
+    json += "    \"msg_sent_" + type +
+            "\": " + std::to_string(report.counters.msg_sent[t]) + ",\n";
+    json += "    \"msg_delivered_" + type +
+            "\": " + std::to_string(report.counters.msg_delivered[t]) +
+            ",\n";
+    json += "    \"msg_bytes_" + type +
+            "\": " + std::to_string(report.counters.msg_bytes[t]) + ",\n";
+  }
+  json += "    \"mining_nodes_explored\": " +
+          std::to_string(report.mining.nodes_explored) + ",\n";
+  json += "    \"mining_emitted\": " +
+          std::to_string(report.mining.emitted) + "\n";
+  json += "  },\n";
+  json += "  \"derived\": {\n";
+  json += "    \"cache_hit_ratio\": " +
+          JsonDouble(report.counters.CacheHitRatio()) + ",\n";
+  json += "    \"message_overlap_ratio\": " +
+          JsonDouble(report.counters.MessageOverlapRatio()) + ",\n";
+  json += "    \"mean_delivery_latency_sec\": " +
+          JsonDouble(report.counters.MeanDeliveryLatencySeconds()) + ",\n";
+  json += "    \"busy_imbalance\": " + JsonDouble(report.BusyImbalance()) +
+          "\n";
+  json += "  },\n";
+  json += "  \"threads\": [\n";
+  for (size_t i = 0; i < report.threads.size(); ++i) {
+    const ThreadSummary& t = report.threads[i];
+    json += "    {\"machine\": " + std::to_string(t.machine) +
+            ", \"thread\": " + std::to_string(t.thread) +
+            ", \"busy_seconds\": " + JsonDouble(t.busy_seconds) +
+            ", \"idle_seconds\": " + JsonDouble(t.idle_seconds) +
+            ", \"mining_seconds\": " + JsonDouble(t.mining_seconds) +
+            ", \"materialize_seconds\": " +
+            JsonDouble(t.materialize_seconds) +
+            ", \"tasks_processed\": " + std::to_string(t.tasks_processed) +
+            "}";
+    json += i + 1 < report.threads.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"raw_result_sets\": " + std::to_string(report.results.size()) +
+          "\n";
+  json += "}\n";
+  return json;
 }
 
 double EngineReport::BusyImbalance() const {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -81,6 +82,9 @@ struct EngineCounters {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> cache_evictions{0};
+  /// Inserts the TinyLFU admission filter rejected (the candidate's
+  /// estimated frequency lost against the eviction victim's).
+  std::atomic<uint64_t> cache_admit_rejects{0};
   /// Fetch/Request served by an adjacency the task itself pinned from a
   /// prior pull round (no cache lookup, no transfer).
   std::atomic<uint64_t> pin_hits{0};
@@ -147,6 +151,7 @@ struct EngineCountersSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  uint64_t cache_admit_rejects = 0;
   uint64_t pin_hits = 0;
   uint64_t remote_bytes = 0;
   uint64_t task_suspensions = 0;
@@ -220,6 +225,26 @@ struct EngineReport {
   /// Max/min per-thread busy time ratio; 1.0 = perfectly balanced.
   double BusyImbalance() const;
 };
+
+class Encoder;
+class Decoder;
+
+/// Serializes an EngineReport (everything except the per-root task log,
+/// which only figure-reproduction benches consume locally) so a worker
+/// process can ship its run report to the cluster coordinator.
+void EncodeEngineReport(const EngineReport& report, Encoder* enc);
+Status DecodeEngineReport(Decoder* dec, EngineReport* report);
+
+/// Merges per-rank reports into one cluster-wide report: counters and
+/// cumulative times sum, gauge peaks take the max, wall time is the
+/// slowest rank, thread summaries and raw results concatenate.
+EngineReport MergeEngineReports(const std::vector<EngineReport>& reports);
+
+/// Machine-readable EngineReport (counters, derived ratios, per-thread
+/// summaries, result count) as a self-contained JSON object -- the
+/// payload of qcm_mine/qcm_worker --stats-json, merged across ranks by
+/// qcm_cluster.
+std::string EngineReportJson(const EngineReport& report);
 
 }  // namespace qcm
 

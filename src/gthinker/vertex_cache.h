@@ -4,12 +4,19 @@
 // so a vertex pulled for one task is served to every later task on the
 // machine without another network transfer.
 //
-// Two eviction policies are selectable via EngineConfig::cache_policy:
-//   * kLRU   -- exact least-recently-used per shard (list + map).
-//   * kClock -- CLOCK / second-chance: a ring of entries with reference
+// Three eviction policies are selectable via EngineConfig::cache_policy:
+//   * kLRU     -- exact least-recently-used per shard (list + map).
+//   * kClock   -- CLOCK / second-chance: a ring of entries with reference
 //     bits; a hit only sets a bit (no list splice), and a full ring
 //     evicts the first entry the hand finds unreferenced. Cheaper per
 //     hit and more scan-resistant under pull-heavy workloads.
+//   * kTinyLFU -- LRU eviction behind a TinyLFU admission filter: a tiny
+//     count-min sketch (4 hashes, 8-bit saturating counters, periodic
+//     halving so estimates age) tracks how often each vertex is demanded;
+//     at capacity a new entry is admitted only if its estimated frequency
+//     beats the LRU victim's, so a one-shot scan of cold vertices cannot
+//     flush the hot working set the way it can under pure recency
+//     policies. Rejected admissions are counted in cache_admit_rejects.
 //
 // Entries are handed out as shared_ptrs ("pins"): eviction drops the
 // cache's reference, but a task holding a pin keeps the adjacency alive
@@ -82,10 +89,26 @@ class VertexCache {
     bool referenced = false;
   };
 
+  /// TinyLFU frequency estimator: a count-min sketch with 4 hash rows in
+  /// one power-of-two array of 8-bit saturating counters. Every counted
+  /// demand Touch()es the key; once the sample budget is spent all
+  /// counters halve, so stale popularity decays instead of pinning the
+  /// cache forever.
+  struct FreqSketch {
+    std::vector<uint8_t> counts;
+    uint64_t mask = 0;
+    uint64_t samples = 0;
+    uint64_t sample_cap = 0;
+
+    void Init(size_t capacity_entries);
+    void Touch(VertexId v);
+    uint32_t Estimate(VertexId v) const;
+  };
+
   struct Shard {
     mutable std::mutex mu;
 
-    // -- kLRU state: front = most recently used.
+    // -- kLRU / kTinyLFU state: front = most recently used.
     std::list<std::pair<VertexId, AdjPtr>> lru;
     std::unordered_map<VertexId,
                        std::list<std::pair<VertexId, AdjPtr>>::iterator>
@@ -95,10 +118,14 @@ class VertexCache {
     std::vector<ClockEntry> ring;
     size_t hand = 0;
     std::unordered_map<VertexId, size_t> slot;
+
+    // -- kTinyLFU admission state.
+    FreqSketch sketch;
   };
 
   void InsertLru(Shard& shard, VertexId v, AdjPtr adj);
   void InsertClock(Shard& shard, VertexId v, AdjPtr adj);
+  void InsertTinyLfu(Shard& shard, VertexId v, AdjPtr adj);
 
   // Only remote vertices are ever cached, and ownership is v %
   // num_machines -- a raw modulo here would alias with that partition and

@@ -14,6 +14,45 @@ VertexTable::VertexTable(const Graph* graph, int num_machines)
   }
 }
 
+VertexTable::VertexTable(const Graph& full, int num_machines,
+                         int local_rank)
+    : graph_(nullptr),
+      num_machines_(num_machines),
+      local_rank_(local_rank),
+      owned_(num_machines) {
+  QCM_CHECK(local_rank >= 0 && local_rank < num_machines)
+      << "bad local rank " << local_rank << "/" << num_machines;
+  const uint32_t n = full.NumVertices();
+  degrees_.resize(n);
+  local_offsets_.assign(n + 1, 0);
+  uint64_t local_entries = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees_[v] = full.Degree(v);
+    const int owner = Owner(v);
+    owned_[owner].push_back(v);
+    if (owner == local_rank) local_entries += degrees_[v];
+  }
+  local_adj_.reserve(local_entries);
+  for (VertexId v = 0; v < n; ++v) {
+    local_offsets_[v] = local_adj_.size();
+    if (Owner(v) == local_rank) {
+      auto adj = full.Neighbors(v);
+      local_adj_.insert(local_adj_.end(), adj.begin(), adj.end());
+    }
+  }
+  local_offsets_[n] = local_adj_.size();
+}
+
+std::span<const VertexId> VertexTable::Adjacency(VertexId v) const {
+  if (graph_ != nullptr) return graph_->Neighbors(v);
+  QCM_CHECK(Owner(v) == local_rank_)
+      << "adjacency of vertex " << v << " (owner " << Owner(v)
+      << ") read on rank " << local_rank_
+      << ": remote adjacency does not exist in a partitioned table";
+  return {local_adj_.data() + local_offsets_[v],
+          local_adj_.data() + local_offsets_[v + 1]};
+}
+
 DataService::DataService(const VertexTable* table, int machine,
                          size_t cache_capacity, EngineCounters* counters,
                          CachePolicy policy)
@@ -32,7 +71,13 @@ AdjRef DataService::Fetch(VertexId v) {
   }
   // Synchronous fallback: v was never requested (or its pin was dropped by
   // a spill round-trip); copy the adjacency from the owner's table and
-  // count the unbatched transfer.
+  // count the unbatched transfer. In process-per-machine mode there is no
+  // owner table to read -- every remote adjacency must arrive through the
+  // pull protocol, so reaching this line is a protocol violation.
+  QCM_CHECK(!table_->partitioned())
+      << "synchronous remote fetch of vertex " << v << " on rank "
+      << table_->local_rank()
+      << ": vertex was never Request()ed/pinned (pull-protocol violation)";
   auto adj = table_->Adjacency(v);
   auto copy =
       std::make_shared<const std::vector<VertexId>>(adj.begin(), adj.end());

@@ -31,10 +31,29 @@
 
 namespace qcm {
 
-/// Hash partitioning of an immutable graph across simulated machines.
+/// Hash partitioning of an immutable graph across machines.
+///
+/// Two storage modes share one interface:
+///   * Simulated (in-process) mode wraps the full shared Graph -- every
+///     machine's adjacency is readable because every "machine" lives in
+///     this process.
+///   * Partitioned (process-per-machine) mode holds only the local rank's
+///     adjacency lists plus a replicated degree array: degree is vertex
+///     metadata every process keeps (spawn thresholds and frontier
+///     qualification read remote degrees), while reading a remote
+///     vertex's adjacency is impossible by construction and fails loudly
+///     -- exactly the discipline the pull protocol must satisfy.
 class VertexTable {
  public:
+  /// Simulated mode: the full graph, hash-partitioned across
+  /// `num_machines` in-process machines. `graph` must outlive the table.
   VertexTable(const Graph* graph, int num_machines);
+
+  /// Partitioned mode: copies only the adjacency lists `full` assigns to
+  /// `local_rank` (plus the degree metadata of every vertex) and does NOT
+  /// retain `full` -- the caller may free the full graph afterwards,
+  /// leaving this process with its partition only.
+  VertexTable(const Graph& full, int num_machines, int local_rank);
 
   int Owner(VertexId v) const {
     return static_cast<int>(v % static_cast<uint32_t>(num_machines_));
@@ -42,13 +61,24 @@ class VertexTable {
 
   int NumMachines() const { return num_machines_; }
 
-  std::span<const VertexId> Adjacency(VertexId v) const {
-    return graph_->Neighbors(v);
+  /// True in process-per-machine mode.
+  bool partitioned() const { return graph_ == nullptr; }
+
+  /// The rank whose adjacency this partition holds (-1 when simulated).
+  int local_rank() const { return local_rank_; }
+
+  /// Adjacency of v. Partitioned mode: v must be owned by the local rank
+  /// (QCM_CHECK -- a remote adjacency physically is not here).
+  std::span<const VertexId> Adjacency(VertexId v) const;
+
+  uint32_t Degree(VertexId v) const {
+    return graph_ != nullptr ? graph_->Degree(v) : degrees_[v];
   }
 
-  uint32_t Degree(VertexId v) const { return graph_->Degree(v); }
-
-  uint32_t NumVertices() const { return graph_->NumVertices(); }
+  uint32_t NumVertices() const {
+    return graph_ != nullptr ? graph_->NumVertices()
+                             : static_cast<uint32_t>(degrees_.size());
+  }
 
   /// Vertices owned by `machine`, ascending.
   const std::vector<VertexId>& OwnedVertices(int machine) const {
@@ -56,9 +86,16 @@ class VertexTable {
   }
 
  private:
-  const Graph* graph_;
+  const Graph* graph_;  // simulated mode; null when partitioned
   int num_machines_;
+  int local_rank_ = -1;
   std::vector<std::vector<VertexId>> owned_;
+
+  // Partitioned-mode storage: degree of every vertex; CSR rows only for
+  // vertices owned by local_rank_ (others have zero extent).
+  std::vector<uint32_t> degrees_;
+  std::vector<uint64_t> local_offsets_;  // size NumVertices()+1
+  std::vector<VertexId> local_adj_;
 };
 
 /// Per-machine data access facade.

@@ -49,6 +49,13 @@ StatusOr<TaskPtr> QCApp::DecodeTask(Decoder* dec) const {
 ComputeStatus QCApp::Compute(Task& task, ComputeContext& ctx) {
   auto& t = static_cast<QCTask&>(task);
   if (t.iteration() == 1) {
+    // The root's own adjacency must be pullable too: a task stolen to a
+    // machine that does not own its root (or reloaded from a spill file
+    // after its pins were dropped) rides the same batched request/
+    // response protocol instead of a synchronous fallback fetch -- in
+    // process-per-machine mode the remote adjacency physically is not
+    // here, so this is the only correct path.
+    if (!ctx.Request(t.root())) return ComputeStatus::kSuspended;
     // Iteration 1 (Alg. 6 lines 1-3): request the 1-hop frontier.
     WallTimer build;
     const FirstHop r = RequestFirstHop(t, ctx);
@@ -106,8 +113,8 @@ ComputeStatus QCApp::Compute(Task& task, ComputeContext& ctx) {
 QCApp::FirstHop QCApp::RequestFirstHop(QCTask& t, ComputeContext& ctx) {
   // The qualifying 1-hop frontier {u in Gamma(v): u > v, deg(u) >= k} is
   // computable from the root's adjacency (machine-local for tasks spawned
-  // here; a stolen task falls back to one synchronous root fetch) plus
-  // degree metadata, which transfers no adjacency.
+  // here, pinned by the Request(root) round for stolen/reloaded ones)
+  // plus degree metadata, which transfers no adjacency.
   AdjRef root_adj = ctx.Fetch(t.root());
   bool any = false;
   bool all_available = true;

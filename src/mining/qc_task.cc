@@ -56,6 +56,14 @@ StatusOr<TaskPtr> QCTask::Decode(Decoder* dec) {
   if (t->iteration_ < 1 || t->iteration_ > 3) {
     return Status::Corruption("QCTask: bad iteration tag");
   }
+  // Pull pins are transient (never serialized): a spawn task that crossed
+  // a spill file or a steal transfer mid-build lost every adjacency it had
+  // pulled, so restart its pull protocol from iteration 1. Requests for
+  // still-cached vertices are answered without a transfer, and the rebuild
+  // is deterministic -- the result set cannot change. Without this reset
+  // the task would fall back to synchronous remote fetches, which do not
+  // exist in process-per-machine mode.
+  if (t->NeedsBuild()) t->iteration_ = 1;
   return TaskPtr(std::move(t));
 }
 

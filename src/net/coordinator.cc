@@ -1,0 +1,357 @@
+#include "net/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "net/socket_util.h"
+#include "util/serde.h"
+#include "util/timer.h"
+
+namespace qcm {
+
+StatusOr<std::unique_ptr<Coordinator>> Coordinator::Listen(
+    CoordinatorConfig config, uint16_t port) {
+  if (config.world_size < 1) {
+    return Status::InvalidArgument("world_size must be >= 1");
+  }
+  std::unique_ptr<Coordinator> c(new Coordinator(std::move(config)));
+  uint16_t bound = 0;
+  auto fd = ListenLoopback(port, &bound);
+  QCM_RETURN_IF_ERROR(fd.status());
+  c->listen_fd_ = fd.value();
+  c->port_ = bound;
+  c->workers_.resize(c->config_.world_size);
+  return c;
+}
+
+Coordinator::~Coordinator() { Close(); }
+
+Status Coordinator::RunHandshake() {
+  const int world = config_.world_size;
+
+  // Accept and rank-assign in connection order. The accept poll is kept
+  // short so an Abort() (a worker process died before connecting) fails
+  // the handshake promptly instead of after the full timeout.
+  for (int rank = 0; rank < world; ++rank) {
+    WallTimer waited;
+    int accepted = -1;
+    while (accepted < 0) {
+      if (failed_.load()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        return Status::Aborted(failure_);
+      }
+      auto fd = AcceptTcp(listen_fd_, 0.1);
+      if (fd.ok()) {
+        accepted = fd.value();
+        break;
+      }
+      if (fd.status().message() != "accept timed out") return fd.status();
+      if (waited.Seconds() > config_.timeout_sec) return fd.status();
+    }
+    WorkerSlot& slot = workers_[rank];
+    slot.fd = accepted;
+    SetRecvTimeout(slot.fd, config_.timeout_sec);
+    Frame frame;
+    QCM_RETURN_IF_ERROR(ReadFrame(slot.fd, &frame));
+    if (frame.kind != FrameKind::kHello) {
+      return Status::Corruption(std::string("expected hello, got ") +
+                                FrameKindName(frame.kind));
+    }
+    uint32_t version = 0;
+    uint64_t pid = 0;
+    QCM_RETURN_IF_ERROR(DecodeHello(frame.payload, &version, &pid));
+    if (version != kWireProtocolVersion) {
+      return Status::InvalidArgument(
+          "worker speaks wire protocol v" + std::to_string(version) +
+          ", coordinator expects v" + std::to_string(kWireProtocolVersion));
+    }
+    QCM_RETURN_IF_ERROR(WriteFrame(
+        slot.fd,
+        Frame{FrameKind::kAssign, kCoordinatorRank,
+              EncodeAssign(static_cast<uint32_t>(rank),
+                           static_cast<uint32_t>(world),
+                           config_.config_blob)}));
+  }
+
+  // Collect peer listener ports, then publish the full port map.
+  std::vector<uint32_t> ports(world, 0);
+  for (int rank = 0; rank < world; ++rank) {
+    Frame frame;
+    QCM_RETURN_IF_ERROR(ReadFrame(workers_[rank].fd, &frame));
+    if (frame.kind != FrameKind::kListening) {
+      return Status::Corruption(std::string("expected listening, got ") +
+                                FrameKindName(frame.kind));
+    }
+    Decoder dec(frame.payload);
+    QCM_RETURN_IF_ERROR(dec.GetU32(&ports[rank]));
+  }
+  {
+    Encoder enc;
+    enc.PutU32Vector(ports);
+    QCM_RETURN_IF_ERROR(Broadcast(FrameKind::kPeers, enc.Release()));
+  }
+
+  // Mesh barrier: every rank reports ready, then all start together.
+  for (int rank = 0; rank < world; ++rank) {
+    Frame frame;
+    QCM_RETURN_IF_ERROR(ReadFrame(workers_[rank].fd, &frame));
+    if (frame.kind != FrameKind::kReady) {
+      return Status::Corruption(std::string("expected ready, got ") +
+                                FrameKindName(frame.kind));
+    }
+  }
+  QCM_RETURN_IF_ERROR(Broadcast(FrameKind::kStart, {}));
+
+  // Hand each connection to its receiver thread.
+  for (int rank = 0; rank < world; ++rank) {
+    SetRecvTimeout(workers_[rank].fd, 0);
+    workers_[rank].recv_thread =
+        std::thread([this, rank] { RecvLoop(rank); });
+  }
+  handshake_done_ = true;
+  return Status::OK();
+}
+
+void Coordinator::RecvLoop(int rank) {
+  WorkerSlot& slot = workers_[rank];
+  Frame frame;
+  for (;;) {
+    Status s = ReadFrame(slot.fd, &frame);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot.disconnected = true;
+      // EOF after the report (or after termination) is the worker's
+      // normal goodbye; anything earlier is a crash.
+      if (!slot.report_received && !terminate_sent_.load()) {
+        if (failure_.empty()) {
+          failure_ = "rank " + std::to_string(rank) +
+                     " disconnected before termination: " + s.ToString();
+        }
+        failed_.store(true);
+      }
+      return;
+    }
+    switch (frame.kind) {
+      case FrameKind::kStatus: {
+        WireRankStatus status;
+        if (!DecodeRankStatus(frame.payload, &status).ok()) {
+          Fail("corrupt status from rank " + std::to_string(rank));
+          return;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        slot.status = status;
+        ++slot.status_seq;
+        break;
+      }
+      case FrameKind::kReport: {
+        std::lock_guard<std::mutex> lock(mu_);
+        slot.report = std::move(frame.payload);
+        slot.report_received = true;
+        break;
+      }
+      case FrameKind::kAbort:
+        Fail("rank " + std::to_string(rank) + " aborted: " + frame.payload);
+        return;
+      default:
+        Fail(std::string("unexpected frame from rank ") +
+             std::to_string(rank) + ": " + FrameKindName(frame.kind));
+        return;
+    }
+  }
+}
+
+void Coordinator::Fail(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failure_.empty()) failure_ = reason;
+  }
+  failed_.store(true);
+}
+
+void Coordinator::Abort(const std::string& reason) { Fail(reason); }
+
+Status Coordinator::Broadcast(FrameKind kind, const std::string& payload) {
+  for (int rank = 0; rank < config_.world_size; ++rank) {
+    QCM_RETURN_IF_ERROR(SendTo(rank, kind, payload));
+  }
+  return Status::OK();
+}
+
+Status Coordinator::SendTo(int rank, FrameKind kind,
+                           const std::string& payload) {
+  WorkerSlot& slot = workers_[rank];
+  std::lock_guard<std::mutex> lock(*slot.send_mu);
+  return WriteFrame(slot.fd, Frame{kind, kCoordinatorRank, payload});
+}
+
+StatusOr<std::vector<std::string>> Coordinator::RunToCompletion() {
+  if (!handshake_done_) {
+    return Status::InvalidArgument("RunToCompletion before RunHandshake");
+  }
+  const int world = config_.world_size;
+
+  // Double-sweep quiescence candidate: per-rank (sent, processed) totals
+  // and the status sequence numbers they were observed at.
+  bool have_candidate = false;
+  std::vector<std::pair<uint64_t, uint64_t>> cand_counters(world);
+  std::vector<uint64_t> cand_seq(world);
+
+  // Steal mastering bookkeeping: local estimates so repeated sweeps do
+  // not re-plan the same move before fresh statuses arrive.
+  WallTimer steal_timer;
+
+  while (!failed_.load()) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::max(config_.sweep_period_sec, 1e-5)));
+
+    std::vector<WireRankStatus> statuses(world);
+    std::vector<uint64_t> seqs(world);
+    bool all_reported = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int r = 0; r < world; ++r) {
+        statuses[r] = workers_[r].status;
+        seqs[r] = workers_[r].status_seq;
+        if (seqs[r] == 0) all_reported = false;
+      }
+    }
+    if (!all_reported) continue;
+
+    uint64_t total_sent = 0;
+    uint64_t total_processed = 0;
+    bool quiescent = true;
+    for (int r = 0; r < world; ++r) {
+      if (statuses[r].pending != 0 || statuses[r].spawn_done == 0) {
+        quiescent = false;
+      }
+      total_sent += statuses[r].data_frames_sent;
+      total_processed += statuses[r].data_frames_processed;
+    }
+    quiescent = quiescent && total_sent == total_processed;
+
+    if (quiescent) {
+      if (have_candidate) {
+        bool confirmed = true;
+        for (int r = 0; r < world; ++r) {
+          // A fresh status must have arrived since the candidate sweep,
+          // and its counters must not have moved: the rank verifiably
+          // did nothing in between.
+          if (seqs[r] <= cand_seq[r] ||
+              statuses[r].data_frames_sent != cand_counters[r].first ||
+              statuses[r].data_frames_processed != cand_counters[r].second) {
+            confirmed = false;
+            break;
+          }
+        }
+        if (confirmed) break;  // global quiescence proven twice
+      }
+      have_candidate = true;
+      for (int r = 0; r < world; ++r) {
+        cand_counters[r] = {statuses[r].data_frames_sent,
+                            statuses[r].data_frames_processed};
+        cand_seq[r] = seqs[r];
+      }
+      continue;  // no point planning steals in a quiescent sweep
+    }
+    have_candidate = false;
+
+    // Steal mastering (the simulated engine's balancing plan, §5): move
+    // at most one batch per donor per period toward the average.
+    if (config_.steal_period_sec > 0 && world >= 2 &&
+        steal_timer.Seconds() >= config_.steal_period_sec) {
+      steal_timer.Reset();
+      std::vector<uint64_t> counts(world);
+      uint64_t total = 0;
+      for (int r = 0; r < world; ++r) {
+        counts[r] = statuses[r].pending_big;
+        total += counts[r];
+      }
+      const uint64_t avg = total / world;
+      for (int donor = 0; donor < world; ++donor) {
+        if (counts[donor] <= avg + 1) continue;
+        int receiver = donor;
+        for (int r = 0; r < world; ++r) {
+          if (counts[r] < counts[receiver]) receiver = r;
+        }
+        if (receiver == donor || counts[receiver] >= avg) continue;
+        const uint64_t want =
+            std::min({counts[donor] - avg, avg - counts[receiver],
+                      config_.steal_batch_cap});
+        if (want == 0) continue;
+        Status s = SendTo(donor, FrameKind::kStealCmd,
+                          EncodeStealCmd(static_cast<uint32_t>(receiver),
+                                         want));
+        if (!s.ok()) {
+          Fail("steal command to rank " + std::to_string(donor) +
+               " failed: " + s.ToString());
+          break;
+        }
+        ++steal_commands_;
+        counts[donor] -= want;
+        counts[receiver] += want;
+      }
+    }
+  }
+
+  if (failed_.load()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Status::Aborted(failure_);
+  }
+
+  terminate_sent_.store(true);
+  QCM_RETURN_IF_ERROR(Broadcast(FrameKind::kTerminate, {}));
+
+  // Collect one report per rank.
+  WallTimer waited;
+  for (;;) {
+    bool all = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int r = 0; r < world; ++r) {
+        if (!workers_[r].report_received) {
+          all = false;
+          if (workers_[r].disconnected) {
+            return Status::Aborted("rank " + std::to_string(r) +
+                                   " exited without a report");
+          }
+        }
+      }
+    }
+    if (all) break;
+    if (failed_.load()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return Status::Aborted(failure_);
+    }
+    if (waited.Seconds() > config_.timeout_sec) {
+      return Status::IOError("timed out waiting for worker reports");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<std::string> reports(world);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int r = 0; r < world; ++r) reports[r] = workers_[r].report;
+  }
+  return reports;
+}
+
+void Coordinator::Close() {
+  if (closed_) return;
+  closed_ = true;
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  for (WorkerSlot& slot : workers_) {
+    ShutdownSocket(slot.fd);
+  }
+  for (WorkerSlot& slot : workers_) {
+    if (slot.recv_thread.joinable()) slot.recv_thread.join();
+  }
+  for (WorkerSlot& slot : workers_) {
+    CloseSocket(slot.fd);
+    slot.fd = -1;
+  }
+}
+
+}  // namespace qcm

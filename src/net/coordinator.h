@@ -1,0 +1,133 @@
+// Coordinator: the cluster-side control plane of the multi-process
+// deployment (the role the in-process engine's MaybeFinish + StealLoop
+// play in simulated mode, lifted out of the worker processes).
+//
+// It accepts exactly `world_size` workers, runs the rank-assignment
+// handshake (wire.h), releases the start barrier, and then drives two
+// periodic jobs off the workers' kStatus stream:
+//
+//   * Distributed termination detection. A sweep is quiescent when every
+//     rank reported pending == 0 and spawn_done and the cluster-wide
+//     totals of data frames sent and processed match. Termination is
+//     declared only after two consecutive quiescent sweeps with identical
+//     per-rank counters, where every rank published a fresh status in
+//     between -- the engine-side counting discipline (transport.h)
+//     guarantees any in-flight or unprocessed frame breaks one of the two
+//     sweeps, so the drain invariant holds across processes.
+//
+//   * Steal mastering. The same balancing plan as the simulated engine's
+//     steal master (move at most one batch per donor per period toward
+//     the average pending-big count), except the move is a kStealCmd to
+//     the donor, which ships the batch rank-to-rank as a kStealBatch
+//     fabric message.
+//
+// After kTerminate it collects one kReport per rank and hands the payloads
+// to the caller (tools/qcm_cluster merges them). Any worker failure --
+// kAbort, connection loss before termination, malformed frames -- fails
+// the whole run loudly instead of hanging.
+
+#ifndef QCM_NET_COORDINATOR_H_
+#define QCM_NET_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace qcm {
+
+struct CoordinatorConfig {
+  /// Number of worker processes (= machines = ranks).
+  int world_size = 0;
+  /// Opaque job configuration delivered to every worker with its rank.
+  std::string config_blob;
+  /// Termination-detection sweep cadence.
+  double sweep_period_sec = 0.001;
+  /// Steal-mastering period; <= 0 disables stealing.
+  double steal_period_sec = 0.02;
+  /// Max tasks per steal command (the engine's batch size C).
+  uint64_t steal_batch_cap = 16;
+  /// Bring-up / report-collection guard.
+  double timeout_sec = 120.0;
+};
+
+class Coordinator {
+ public:
+  /// Binds a listener on 127.0.0.1:`port` (0 = ephemeral).
+  static StatusOr<std::unique_ptr<Coordinator>> Listen(
+      CoordinatorConfig config, uint16_t port = 0);
+
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Port workers must connect to.
+  uint16_t port() const { return port_; }
+
+  /// Accepts every worker, assigns ranks in connection order, exchanges
+  /// peer listener ports, and releases the start barrier. Blocks.
+  Status RunHandshake();
+
+  /// Drives termination detection (and steal mastering) until global
+  /// quiescence, broadcasts kTerminate, and returns every rank's report
+  /// payload (index = rank). Blocks.
+  StatusOr<std::vector<std::string>> RunToCompletion();
+
+  /// Total kStealCmd frames issued (observability for tests/tools).
+  uint64_t steal_commands_issued() const { return steal_commands_; }
+
+  /// Fails the run from another thread (e.g. the launcher's child
+  /// watchdog noticing a worker process died): RunHandshake stops
+  /// accepting and RunToCompletion returns Aborted promptly.
+  void Abort(const std::string& reason);
+
+  /// Closes every connection and joins receiver threads. Idempotent.
+  void Close();
+
+ private:
+  struct WorkerSlot {
+    int fd = -1;
+    std::unique_ptr<std::mutex> send_mu = std::make_unique<std::mutex>();
+    std::thread recv_thread;
+
+    // Guarded by Coordinator::mu_.
+    uint64_t status_seq = 0;
+    WireRankStatus status;
+    bool report_received = false;
+    std::string report;
+    bool disconnected = false;
+  };
+
+  explicit Coordinator(CoordinatorConfig config)
+      : config_(std::move(config)) {}
+
+  void RecvLoop(int rank);
+  void Fail(const std::string& reason);
+  Status Broadcast(FrameKind kind, const std::string& payload);
+  Status SendTo(int rank, FrameKind kind, const std::string& payload);
+
+  CoordinatorConfig config_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<WorkerSlot> workers_;
+  bool handshake_done_ = false;
+  bool closed_ = false;
+
+  std::atomic<bool> terminate_sent_{false};
+  std::atomic<bool> failed_{false};
+  uint64_t steal_commands_ = 0;
+
+  mutable std::mutex mu_;
+  std::string failure_;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_NET_COORDINATOR_H_

@@ -1,0 +1,30 @@
+#include "net/job_spec.h"
+
+#include "util/serde.h"
+
+namespace qcm {
+
+std::string EncodeJobSpec(const ClusterJobSpec& spec) {
+  Encoder enc;
+  enc.PutString(spec.input);
+  enc.PutString(spec.gen_planted);
+  enc.PutU64(spec.seed);
+  EncodeEngineConfig(spec.config, &enc);
+  return enc.Release();
+}
+
+Status DecodeJobSpec(const std::string& blob, ClusterJobSpec* spec) {
+  Decoder dec(blob);
+  QCM_RETURN_IF_ERROR(dec.GetString(&spec->input));
+  QCM_RETURN_IF_ERROR(dec.GetString(&spec->gen_planted));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&spec->seed));
+  QCM_RETURN_IF_ERROR(DecodeEngineConfig(&dec, &spec->config));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in job spec");
+  if (spec->input.empty() == spec->gen_planted.empty()) {
+    return Status::InvalidArgument(
+        "job spec needs exactly one of input / gen_planted");
+  }
+  return Status::OK();
+}
+
+}  // namespace qcm

@@ -1,0 +1,127 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace qcm {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Sockets must not leak across the cluster launcher's fork/exec into
+/// worker processes (a worker holding the coordinator's listener would
+/// keep the port bound after the coordinator dies).
+void SetCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+StatusOr<int> ListenLoopback(uint16_t port, uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  SetCloexec(fd);
+  return fd;
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status s =
+        Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  SetNoDelay(fd);
+  SetCloexec(fd);
+  return fd;
+}
+
+StatusOr<int> AcceptTcp(int listen_fd, double timeout_sec) {
+  if (timeout_sec > 0) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_sec * 1e3));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Errno("poll");
+    if (rc == 0) return Status::IOError("accept timed out");
+  }
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  SetNoDelay(fd);
+  SetCloexec(fd);
+  return fd;
+}
+
+void SetRecvTimeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void ShutdownSocket(int fd) {
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseSocket(int fd) {
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+}  // namespace qcm

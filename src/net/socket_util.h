@@ -1,0 +1,40 @@
+// Small loopback-TCP helpers shared by the worker transport and the
+// cluster coordinator. All sockets are IPv4; the deployment targets a
+// single host (or a trusted network) and keeps the address handling
+// deliberately minimal.
+
+#ifndef QCM_NET_SOCKET_UTIL_H_
+#define QCM_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace qcm {
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (0 = ephemeral) and
+/// returns its fd; `*bound_port` receives the actual port.
+StatusOr<int> ListenLoopback(uint16_t port, uint16_t* bound_port);
+
+/// Blocking connect to `host:port`; returns the connected fd with
+/// TCP_NODELAY set.
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Blocking accept on `listen_fd`; returns the connected fd with
+/// TCP_NODELAY set. `timeout_sec` > 0 bounds the wait (IOError on expiry).
+StatusOr<int> AcceptTcp(int listen_fd, double timeout_sec);
+
+/// Sets (or clears, with 0) a receive timeout on `fd`.
+void SetRecvTimeout(int fd, double seconds);
+
+/// shutdown(2) only; unblocks any reader without invalidating the fd
+/// (close it after the reading thread has been joined).
+void ShutdownSocket(int fd);
+
+/// shutdown(2) + close(2); tolerates fd < 0. Unblocks any reader.
+void CloseSocket(int fd);
+
+}  // namespace qcm
+
+#endif  // QCM_NET_SOCKET_UTIL_H_

@@ -1,0 +1,345 @@
+#include "net/tcp_transport.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include <chrono>
+
+#include "net/socket_util.h"
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace qcm {
+
+namespace {
+
+/// Bring-up steps must not hang forever when a process dies mid-handshake.
+constexpr double kHandshakeTimeoutSec = 60.0;
+
+/// A peer closing its sockets during an orderly shutdown can be observed
+/// before our own kTerminate has been processed (the broadcast and the
+/// peer's teardown race on different connections). EOF only counts as a
+/// crash if no termination arrives within this window.
+constexpr double kPeerEofGraceSec = 10.0;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
+    const std::string& host, uint16_t port) {
+  std::unique_ptr<TcpTransport> t(new TcpTransport());
+
+  // 1. hello -> rank assignment.
+  auto coord = ConnectTcp(host, port);
+  QCM_RETURN_IF_ERROR(coord.status());
+  t->coord_fd_ = coord.value();
+  SetRecvTimeout(t->coord_fd_, kHandshakeTimeoutSec);
+  QCM_RETURN_IF_ERROR(WriteFrame(
+      t->coord_fd_, Frame{FrameKind::kHello, kUnassignedRank,
+                          EncodeHello(static_cast<uint64_t>(::getpid()))}));
+  Frame frame;
+  QCM_RETURN_IF_ERROR(ReadFrame(t->coord_fd_, &frame));
+  if (frame.kind != FrameKind::kAssign) {
+    return Status::Corruption(std::string("expected assign, got ") +
+                              FrameKindName(frame.kind));
+  }
+  uint32_t rank = 0;
+  uint32_t world = 0;
+  QCM_RETURN_IF_ERROR(
+      DecodeAssign(frame.payload, &rank, &world, &t->config_blob_));
+  if (world == 0 || rank >= world) {
+    return Status::Corruption("bad rank assignment " + std::to_string(rank) +
+                              "/" + std::to_string(world));
+  }
+  t->rank_ = static_cast<int>(rank);
+  t->world_size_ = static_cast<int>(world);
+  t->peer_fds_.assign(world, -1);
+  t->peer_mus_.clear();
+  for (uint32_t i = 0; i < world; ++i) {
+    t->peer_mus_.push_back(std::make_unique<std::mutex>());
+  }
+
+  // 2. open the peer listener and exchange ports through the coordinator.
+  uint16_t peer_port = 0;
+  auto listener = ListenLoopback(0, &peer_port);
+  QCM_RETURN_IF_ERROR(listener.status());
+  const int listen_fd = listener.value();
+  {
+    Encoder enc;
+    enc.PutU32(peer_port);
+    QCM_RETURN_IF_ERROR(WriteFrame(
+        t->coord_fd_, Frame{FrameKind::kListening, rank, enc.Release()}));
+  }
+  Status peers_status = ReadFrame(t->coord_fd_, &frame);
+  std::vector<uint32_t> ports;
+  if (peers_status.ok() && frame.kind != FrameKind::kPeers) {
+    peers_status = Status::Corruption(std::string("expected peers, got ") +
+                                      FrameKindName(frame.kind));
+  }
+  if (peers_status.ok()) {
+    Decoder dec(frame.payload);
+    peers_status = dec.GetU32Vector(&ports);
+    if (peers_status.ok() && ports.size() != world) {
+      peers_status = Status::Corruption("peer port list size mismatch");
+    }
+  }
+  if (!peers_status.ok()) {
+    CloseSocket(listen_fd);
+    return peers_status;
+  }
+
+  // 3. build the mesh: dial every lower rank, accept every higher one.
+  Status mesh_status;
+  for (uint32_t r = 0; r < rank && mesh_status.ok(); ++r) {
+    auto fd = ConnectTcp(host, static_cast<uint16_t>(ports[r]));
+    mesh_status = fd.status();
+    if (!mesh_status.ok()) break;
+    t->peer_fds_[r] = fd.value();
+    mesh_status =
+        WriteFrame(fd.value(), Frame{FrameKind::kPeerHello, rank, {}});
+  }
+  for (uint32_t i = rank + 1; i < world && mesh_status.ok(); ++i) {
+    auto fd = AcceptTcp(listen_fd, kHandshakeTimeoutSec);
+    mesh_status = fd.status();
+    if (!mesh_status.ok()) break;
+    SetRecvTimeout(fd.value(), kHandshakeTimeoutSec);
+    Frame hello;
+    mesh_status = ReadFrame(fd.value(), &hello);
+    if (mesh_status.ok() && (hello.kind != FrameKind::kPeerHello ||
+                             hello.src >= world || hello.src <= rank ||
+                             t->peer_fds_[hello.src] != -1)) {
+      mesh_status = Status::Corruption("bad peer hello");
+    }
+    if (!mesh_status.ok()) {
+      CloseSocket(fd.value());
+      break;
+    }
+    SetRecvTimeout(fd.value(), 0);
+    t->peer_fds_[hello.src] = fd.value();
+  }
+  CloseSocket(listen_fd);
+  QCM_RETURN_IF_ERROR(mesh_status);
+  SetRecvTimeout(t->coord_fd_, 0);
+  return t;
+}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+void TcpTransport::SetDataHandler(DataHandler handler) {
+  QCM_CHECK(!started_.load()) << "SetDataHandler after Start";
+  data_handler_ = std::move(handler);
+}
+
+void TcpTransport::SetControlHooks(ControlHooks hooks) {
+  QCM_CHECK(!started_.load()) << "SetControlHooks after Start";
+  hooks_ = std::move(hooks);
+}
+
+Status TcpTransport::Start() {
+  QCM_CHECK(!started_.load()) << "Start called twice";
+  QCM_RETURN_IF_ERROR(WriteTo(
+      coord_fd_, coord_mu_,
+      Frame{FrameKind::kReady, static_cast<uint32_t>(rank_), {}}));
+  SetRecvTimeout(coord_fd_, kHandshakeTimeoutSec);
+  Frame frame;
+  QCM_RETURN_IF_ERROR(ReadFrame(coord_fd_, &frame));
+  if (frame.kind != FrameKind::kStart) {
+    return Status::Corruption(std::string("expected start, got ") +
+                              FrameKindName(frame.kind));
+  }
+  SetRecvTimeout(coord_fd_, 0);
+  started_.store(true);
+  recv_threads_.emplace_back([this] { RecvCoordinatorLoop(); });
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == rank_) continue;
+    recv_threads_.emplace_back([this, r] { RecvPeerLoop(r); });
+  }
+  return Status::OK();
+}
+
+Status TcpTransport::SendData(int dst, uint8_t type,
+                              const std::string& payload) {
+  QCM_CHECK(dst >= 0 && dst < world_size_ && dst != rank_)
+      << "SendData to bad rank " << dst;
+  if (payload.size() + 1 > kMaxFramePayload) {
+    // Fail at the cause (an oversized fabric message, e.g. a pull batch
+    // of enormous adjacency lists) instead of letting the receiver
+    // reject an inexplicable frame and blame the connection.
+    Status s = Status::InvalidArgument(
+        "fabric message of " + std::to_string(payload.size()) +
+        " bytes exceeds the wire cap; lower --pull-batch or the batch "
+        "size");
+    Fail(s.ToString());
+    return s;
+  }
+  const std::string bytes =
+      EncodeDataFrame(static_cast<uint32_t>(rank_), type, payload);
+  // Counted before the write: the destination can only process a frame
+  // the wire already carries, so sent >= processed in every snapshot the
+  // termination detector can take.
+  data_frames_sent_.fetch_add(1, std::memory_order_acq_rel);
+  Status s;
+  {
+    const int fd = peer_fds_[dst];
+    if (fd < 0) {
+      s = Status::Aborted("connection closed");
+    } else {
+      std::lock_guard<std::mutex> lock(*peer_mus_[dst]);
+      s = WriteFrameBytes(fd, bytes);
+    }
+  }
+  if (!s.ok()) {
+    Fail("send to rank " + std::to_string(dst) + " failed: " + s.ToString());
+  }
+  return s;
+}
+
+void TcpTransport::PublishStatus(const RankStatus& status) {
+  WireRankStatus wire;
+  wire.pending = status.pending;
+  wire.spawn_done = status.spawn_done ? 1 : 0;
+  wire.data_frames_sent = status.data_frames_sent;
+  wire.data_frames_processed = status.data_frames_processed;
+  wire.pending_big = status.pending_big;
+  // Failures surface through the coordinator receive loop; a lost status
+  // frame only delays detection.
+  (void)WriteTo(coord_fd_, coord_mu_,
+                Frame{FrameKind::kStatus, static_cast<uint32_t>(rank_),
+                      EncodeRankStatus(wire)});
+}
+
+Status TcpTransport::SendReport(const std::string& payload) {
+  return WriteTo(coord_fd_, coord_mu_,
+                 Frame{FrameKind::kReport, static_cast<uint32_t>(rank_),
+                       payload});
+}
+
+void TcpTransport::SendAbort(const std::string& reason) {
+  (void)WriteTo(coord_fd_, coord_mu_,
+                Frame{FrameKind::kAbort, static_cast<uint32_t>(rank_),
+                      reason});
+}
+
+std::string TcpTransport::failure() const {
+  std::lock_guard<std::mutex> lock(failure_mu_);
+  return failure_;
+}
+
+void TcpTransport::Fail(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    if (failure_.empty()) failure_ = reason;
+  }
+  failed_.store(true, std::memory_order_release);
+  NotifyStateChange();
+  // Unblock the engine: a dead connection can never deliver kTerminate.
+  if (hooks_.on_terminate) hooks_.on_terminate();
+}
+
+void TcpTransport::NotifyStateChange() {
+  // The lock orders the notify against a waiter's predicate re-check.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_cv_.notify_all();
+}
+
+Status TcpTransport::WriteTo(int fd, std::mutex& mu, const Frame& frame) {
+  if (fd < 0) return Status::Aborted("connection closed");
+  std::lock_guard<std::mutex> lock(mu);
+  return WriteFrame(fd, frame);
+}
+
+void TcpTransport::RecvCoordinatorLoop() {
+  Frame frame;
+  for (;;) {
+    Status s = ReadFrame(coord_fd_, &frame);
+    if (!s.ok()) {
+      // EOF after termination is the normal coordinator goodbye.
+      if (!terminate_received_.load() && !shutdown_.load()) {
+        Fail("coordinator connection lost: " + s.ToString());
+      }
+      return;
+    }
+    switch (frame.kind) {
+      case FrameKind::kTerminate:
+        terminate_received_.store(true, std::memory_order_release);
+        NotifyStateChange();
+        if (hooks_.on_terminate) hooks_.on_terminate();
+        break;
+      case FrameKind::kStealCmd: {
+        uint32_t receiver = 0;
+        uint64_t want = 0;
+        if (!DecodeStealCmd(frame.payload, &receiver, &want).ok() ||
+            receiver >= static_cast<uint32_t>(world_size_)) {
+          Fail("corrupt steal command");
+          return;
+        }
+        if (hooks_.on_steal_command) {
+          hooks_.on_steal_command(static_cast<int>(receiver), want);
+        }
+        break;
+      }
+      case FrameKind::kAbort:
+        Fail("coordinator aborted: " + frame.payload);
+        return;
+      default:
+        Fail(std::string("unexpected control frame: ") +
+             FrameKindName(frame.kind));
+        return;
+    }
+  }
+}
+
+void TcpTransport::RecvPeerLoop(int peer) {
+  Frame frame;
+  for (;;) {
+    Status s = ReadFrame(peer_fds_[peer], &frame);
+    if (!s.ok()) {
+      // Peers close their sockets after global termination -- which this
+      // rank may learn about a moment later on a different connection.
+      // Only an EOF that no termination explains within the grace window
+      // means the peer died with work potentially in flight.
+      {
+        std::unique_lock<std::mutex> lock(state_mu_);
+        state_cv_.wait_for(
+            lock, std::chrono::duration<double>(kPeerEofGraceSec), [this] {
+              return terminate_received_.load() || shutdown_.load() ||
+                     failed_.load();
+            });
+      }
+      if (!terminate_received_.load() && !shutdown_.load()) {
+        Fail("peer rank " + std::to_string(peer) +
+             " connection lost: " + s.ToString());
+      }
+      return;
+    }
+    if (frame.kind != FrameKind::kData ||
+        frame.src != static_cast<uint32_t>(peer) || frame.payload.empty()) {
+      Fail("corrupt data frame from rank " + std::to_string(peer));
+      return;
+    }
+    const uint8_t type = static_cast<uint8_t>(frame.payload[0]);
+    frame.payload.erase(0, 1);
+    data_handler_(peer, type, std::move(frame.payload));
+  }
+}
+
+void TcpTransport::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  NotifyStateChange();
+  // Unblock the receive threads first; fds stay valid until they joined
+  // (closing a socket another thread still reads from invites fd reuse).
+  ShutdownSocket(coord_fd_);
+  for (int fd : peer_fds_) ShutdownSocket(fd);
+  for (std::thread& th : recv_threads_) {
+    if (th.joinable()) th.join();
+  }
+  recv_threads_.clear();
+  CloseSocket(coord_fd_);
+  coord_fd_ = -1;
+  for (int& fd : peer_fds_) {
+    CloseSocket(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace qcm

@@ -1,0 +1,132 @@
+// TcpTransport: the worker-process side of the multi-process deployment.
+//
+// One instance lives in each qcm_worker process. ConnectWorker() runs the
+// full bring-up against the cluster coordinator (hello -> rank assignment
+// -> peer-port exchange -> full data-plane mesh: this rank dials every
+// lower rank and accepts every higher one, each link authenticated by a
+// kPeerHello frame). Start() then releases the start barrier (kReady /
+// kStart) and spawns one receive thread per connection.
+//
+// Data plane: SendData frames one CommFabric message per kData frame and
+// writes it straight onto the rank-to-rank socket (per-socket write lock;
+// the sent-frame counter increments before the write so the termination
+// detector can never observe a processed frame that was not counted as
+// sent). Received kData frames are handed to the engine's data handler on
+// the receive thread.
+//
+// Control plane (coordinator connection): PublishStatus sends kStatus up;
+// kStealCmd and kTerminate invoke the engine's control hooks; kAbort or
+// any connection loss before kTerminate marks the transport failed and
+// forces engine shutdown -- a cluster with a dead member never hangs, it
+// fails loudly.
+
+#ifndef QCM_NET_TCP_TRANSPORT_H_
+#define QCM_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace qcm {
+
+class TcpTransport : public Transport {
+ public:
+  /// Runs the worker bring-up against a coordinator listening on
+  /// `host:port`: handshake, rank assignment, peer mesh. Blocks until the
+  /// mesh is complete (every peer link established) or a step fails.
+  static StatusOr<std::unique_ptr<TcpTransport>> ConnectWorker(
+      const std::string& host, uint16_t port);
+
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // ---- Transport ----
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_size_; }
+  void SetDataHandler(DataHandler handler) override;
+  void SetControlHooks(ControlHooks hooks) override;
+  Status Start() override;
+  Status SendData(int dst, uint8_t type, const std::string& payload) override;
+  uint64_t DataFramesSent() const override {
+    return data_frames_sent_.load(std::memory_order_acquire);
+  }
+  void PublishStatus(const RankStatus& status) override;
+  bool healthy() const override { return !failed(); }
+
+  // ---- worker-process extras (not part of the engine-facing seam) ----
+
+  /// Opaque job configuration delivered with the rank assignment.
+  const std::string& config_blob() const { return config_blob_; }
+
+  /// Ships the final EngineReport/result blob to the coordinator.
+  Status SendReport(const std::string& payload);
+
+  /// Tells the coordinator this worker failed (best effort).
+  void SendAbort(const std::string& reason);
+
+  /// True once the coordinator declared global termination; false while
+  /// running or if a connection died first.
+  bool terminated() const {
+    return terminate_received_.load(std::memory_order_acquire);
+  }
+
+  /// True if any connection failed before a clean termination.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// First recorded failure reason (empty when !failed()).
+  std::string failure() const;
+
+  /// Closes every connection and joins the receive threads. Idempotent.
+  void Shutdown();
+
+ private:
+  TcpTransport() = default;
+
+  void RecvCoordinatorLoop();
+  void RecvPeerLoop(int peer);
+  void Fail(const std::string& reason);
+  /// Wakes threads blocked on the terminated/failed/shutdown state (the
+  /// peer-EOF grace wait).
+  void NotifyStateChange();
+  Status WriteTo(int fd, std::mutex& mu, const Frame& frame);
+
+  int rank_ = -1;
+  int world_size_ = 0;
+  std::string config_blob_;
+
+  int coord_fd_ = -1;
+  std::mutex coord_mu_;
+  /// Rank -> connected socket (self slot unused, -1).
+  std::vector<int> peer_fds_;
+  std::vector<std::unique_ptr<std::mutex>> peer_mus_;
+
+  DataHandler data_handler_;
+  ControlHooks hooks_;
+
+  std::atomic<uint64_t> data_frames_sent_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> terminate_received_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> shutdown_{false};
+  mutable std::mutex failure_mu_;
+  std::string failure_;
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+
+  std::vector<std::thread> recv_threads_;
+};
+
+}  // namespace qcm
+
+#endif  // QCM_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,104 @@
+// Transport: the process-boundary seam of the CommFabric (paper §5 run as
+// a real distributed system instead of an in-process simulation).
+//
+// The engine and fabric are written against this interface only. With no
+// transport injected (nullptr), every machine is local and the CommFabric
+// delivers through its in-memory inboxes exactly as before -- the
+// simulated mode. With a transport, the engine runs ONE machine (the
+// transport's rank): fabric sends whose destination is a remote rank are
+// handed to the transport as data frames, arriving frames are injected
+// into the local inbox by the transport's receive thread, and the control
+// plane (status publication up, steal commands and the termination signal
+// down) replaces the in-process steal master and MaybeFinish.
+//
+// Termination-detection contract (the engine's drain invariant across
+// processes): a rank publishes {pending, spawn_done, data_frames_sent,
+// data_frames_processed, pending_big}. The coordinator may declare global
+// termination only after two consecutive sweeps in which every rank
+// reported pending == 0 and spawn_done, the totals of sent and processed
+// frames match, and no rank's counters moved between the sweeps (each rank
+// must have published a fresh, unchanged status in between). Senders
+// count a data frame as sent *before* it can possibly be processed, and
+// receivers fold a frame's pending-task delta into `pending` *before*
+// counting it processed, so any in-flight or unprocessed frame shows up
+// as either sent > processed or pending > 0 in every consistent snapshot.
+
+#ifndef QCM_NET_TRANSPORT_H_
+#define QCM_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace qcm {
+
+/// One rank's termination-detection inputs (see file comment).
+struct RankStatus {
+  /// Tasks alive in this process (queued, running, parked, spilled).
+  int64_t pending = 0;
+  /// Every owned vertex has been offered to Spawn and no spawner is mid-
+  /// batch.
+  bool spawn_done = false;
+  /// Data frames handed to the wire by this rank (counted pre-write).
+  uint64_t data_frames_sent = 0;
+  /// Data frames fully folded into this rank's state (counted after any
+  /// pending-task delta was applied).
+  uint64_t data_frames_processed = 0;
+  /// Big tasks available for stealing (global queue + L_big), the input
+  /// of the coordinator's balancing plan.
+  uint64_t pending_big = 0;
+};
+
+class Transport {
+ public:
+  /// Invoked on a receive thread for every arriving fabric data frame.
+  using DataHandler =
+      std::function<void(int src, uint8_t type, std::string payload)>;
+
+  /// Control-plane callbacks, invoked on a receive thread.
+  struct ControlHooks {
+    /// Global quiescence was declared; the engine must shut down.
+    std::function<void()> on_terminate;
+    /// The coordinator's balancing plan wants `want` big tasks moved from
+    /// this rank to `receiver`.
+    std::function<void(int receiver, uint64_t want)> on_steal_command;
+  };
+
+  virtual ~Transport() = default;
+
+  /// This process's machine id / total machine count.
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+
+  /// Installs the handlers. Must be called before Start(); frames never
+  /// arrive earlier.
+  virtual void SetDataHandler(DataHandler handler) = 0;
+  virtual void SetControlHooks(ControlHooks hooks) = 0;
+
+  /// Releases the receive path (and, for the TCP transport, the cluster
+  /// start barrier). Returns once data and control frames may flow.
+  virtual Status Start() = 0;
+
+  /// Ships one fabric message to `dst`'s process. Increments the
+  /// sent-frame counter before the bytes can reach the destination.
+  virtual Status SendData(int dst, uint8_t type,
+                          const std::string& payload) = 0;
+
+  /// Data frames handed to the wire so far.
+  virtual uint64_t DataFramesSent() const = 0;
+
+  /// Publishes this rank's termination-detection inputs to whoever runs
+  /// detection (the cluster coordinator).
+  virtual void PublishStatus(const RankStatus& status) = 0;
+
+  /// False once a connection failed before clean termination; the engine
+  /// then reports an error instead of pretending its partial state is a
+  /// completed run.
+  virtual bool healthy() const { return true; }
+};
+
+}  // namespace qcm
+
+#endif  // QCM_NET_TRANSPORT_H_

@@ -1,0 +1,292 @@
+#include "net/wire.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/serde.h"
+
+namespace qcm {
+
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello:
+      return "hello";
+    case FrameKind::kAssign:
+      return "assign";
+    case FrameKind::kListening:
+      return "listening";
+    case FrameKind::kPeers:
+      return "peers";
+    case FrameKind::kPeerHello:
+      return "peer-hello";
+    case FrameKind::kReady:
+      return "ready";
+    case FrameKind::kStart:
+      return "start";
+    case FrameKind::kStatus:
+      return "status";
+    case FrameKind::kStealCmd:
+      return "steal-cmd";
+    case FrameKind::kTerminate:
+      return "terminate";
+    case FrameKind::kReport:
+      return "report";
+    case FrameKind::kData:
+      return "data";
+    case FrameKind::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendFrameHeader(FrameKind kind, uint32_t src, uint32_t len,
+                       std::string* out) {
+  out->append(kWireMagic, sizeof(kWireMagic));
+  out->push_back(static_cast<char>(kind));
+  out->append(reinterpret_cast<const char*>(&src), sizeof(src));
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+}
+
+void AppendChecksum(uint64_t sum, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&sum), sizeof(sum));
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + frame.payload.size() + kWireTrailerBytes);
+  AppendFrameHeader(frame.kind, frame.src,
+                    static_cast<uint32_t>(frame.payload.size()), &out);
+  out.append(frame.payload);
+  AppendChecksum(Fingerprint(frame.payload), &out);
+  return out;
+}
+
+std::string EncodeDataFrame(uint32_t src, uint8_t type,
+                            const std::string& body) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + 1 + body.size() + kWireTrailerBytes);
+  AppendFrameHeader(FrameKind::kData, src,
+                    static_cast<uint32_t>(body.size() + 1), &out);
+  const char type_byte = static_cast<char>(type);
+  out.push_back(type_byte);
+  out.append(body);
+  // Checksum covers the frame payload = type byte + body; FNV-1a streams,
+  // so no concatenated copy is needed.
+  AppendChecksum(
+      ExtendFingerprint(ExtendFingerprint(kFingerprintSeed, &type_byte, 1),
+                        body.data(), body.size()),
+      &out);
+  return out;
+}
+
+Status DecodeFrame(const std::string& buf, size_t* pos, Frame* frame) {
+  const size_t avail = buf.size() - *pos;
+  if (avail < kWireHeaderBytes) {
+    return Status::IOError("frame header truncated");
+  }
+  const char* p = buf.data() + *pos;
+  if (std::memcmp(p, kWireMagic, sizeof(kWireMagic)) != 0) {
+    return Status::Corruption("bad frame magic");
+  }
+  const uint8_t kind = static_cast<uint8_t>(p[4]);
+  if (kind > static_cast<uint8_t>(FrameKind::kAbort)) {
+    return Status::Corruption("unknown frame kind " + std::to_string(kind));
+  }
+  uint32_t src = 0;
+  uint32_t len = 0;
+  std::memcpy(&src, p + 5, sizeof(src));
+  std::memcpy(&len, p + 9, sizeof(len));
+  if (len > kMaxFramePayload) {
+    return Status::Corruption("frame payload length " + std::to_string(len) +
+                              " exceeds cap");
+  }
+  if (avail < kWireHeaderBytes + len + kWireTrailerBytes) {
+    return Status::IOError("frame body truncated");
+  }
+  frame->kind = static_cast<FrameKind>(kind);
+  frame->src = src;
+  frame->payload.assign(p + kWireHeaderBytes, len);
+  uint64_t sum = 0;
+  std::memcpy(&sum, p + kWireHeaderBytes + len, sizeof(sum));
+  if (sum != Fingerprint(frame->payload)) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  *pos += kWireHeaderBytes + len + kWireTrailerBytes;
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  // Enforce the cap at the sender, where the error can name the real
+  // cause -- the receiver would only see an unexplained oversized frame
+  // from an apparently-dead peer.
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(frame.payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte wire cap");
+  }
+  return WriteFrameBytes(fd, EncodeFrame(frame));
+}
+
+Status WriteFrameBytes(int fd, const std::string& bytes) {
+  size_t off = 0;
+  bool use_send = true;  // MSG_NOSIGNAL: a closed peer must surface as
+                         // EPIPE, never as a process-killing SIGPIPE
+  while (off < bytes.size()) {
+    ssize_t n;
+    if (use_send) {
+      n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        use_send = false;  // pipe/file fd (tests): plain write
+        continue;
+      }
+    } else {
+      n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("frame write failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. An EOF before the first byte returns
+/// Aborted("connection closed") when `clean_eof_ok` (a frame boundary is
+/// a legitimate place for the peer to close); any other EOF is
+/// Corruption -- the peer died mid-frame.
+Status ReadExactly(int fd, char* out, size_t n, bool clean_eof_ok) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, out + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("frame read failed: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      if (off == 0 && clean_eof_ok) {
+        return Status::Aborted("connection closed");
+      }
+      return Status::Corruption("EOF inside a frame");
+    }
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, Frame* frame) {
+  // Only the framing itself (magic + length, needed to know how many
+  // bytes to pull off the socket) is interpreted here; everything else
+  // is validated by the one DecodeFrame implementation the byte-pinning
+  // tests exercise.
+  std::string buf(kWireHeaderBytes, '\0');
+  QCM_RETURN_IF_ERROR(
+      ReadExactly(fd, buf.data(), kWireHeaderBytes, /*clean_eof_ok=*/true));
+  if (std::memcmp(buf.data(), kWireMagic, sizeof(kWireMagic)) != 0) {
+    return Status::Corruption("bad frame magic");
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, buf.data() + 9, sizeof(len));
+  if (len > kMaxFramePayload) {
+    return Status::Corruption("frame payload length " + std::to_string(len) +
+                              " exceeds cap");
+  }
+  buf.resize(kWireHeaderBytes + len + kWireTrailerBytes);
+  QCM_RETURN_IF_ERROR(ReadExactly(fd, buf.data() + kWireHeaderBytes,
+                                  len + kWireTrailerBytes,
+                                  /*clean_eof_ok=*/false));
+  size_t pos = 0;
+  return DecodeFrame(buf, &pos, frame);
+}
+
+// ---------------------------------------------------------------------------
+// Typed payloads.
+// ---------------------------------------------------------------------------
+
+std::string EncodeRankStatus(const WireRankStatus& status) {
+  Encoder enc;
+  enc.PutI64(status.pending);
+  enc.PutU8(status.spawn_done);
+  enc.PutU64(status.data_frames_sent);
+  enc.PutU64(status.data_frames_processed);
+  enc.PutU64(status.pending_big);
+  return enc.Release();
+}
+
+Status DecodeRankStatus(const std::string& payload, WireRankStatus* status) {
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetI64(&status->pending));
+  QCM_RETURN_IF_ERROR(dec.GetU8(&status->spawn_done));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&status->data_frames_sent));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&status->data_frames_processed));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&status->pending_big));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in status");
+  return Status::OK();
+}
+
+std::string EncodeHello(uint64_t pid) {
+  Encoder enc;
+  enc.PutU32(kWireProtocolVersion);
+  enc.PutU64(pid);
+  return enc.Release();
+}
+
+Status DecodeHello(const std::string& payload, uint32_t* version,
+                   uint64_t* pid) {
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetU32(version));
+  QCM_RETURN_IF_ERROR(dec.GetU64(pid));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in hello");
+  return Status::OK();
+}
+
+std::string EncodeAssign(uint32_t rank, uint32_t world_size,
+                         const std::string& config_blob) {
+  Encoder enc;
+  enc.PutU32(rank);
+  enc.PutU32(world_size);
+  enc.PutString(config_blob);
+  return enc.Release();
+}
+
+Status DecodeAssign(const std::string& payload, uint32_t* rank,
+                    uint32_t* world_size, std::string* config_blob) {
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetU32(rank));
+  QCM_RETURN_IF_ERROR(dec.GetU32(world_size));
+  QCM_RETURN_IF_ERROR(dec.GetString(config_blob));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in assign");
+  return Status::OK();
+}
+
+std::string EncodeStealCmd(uint32_t receiver, uint64_t want) {
+  Encoder enc;
+  enc.PutU32(receiver);
+  enc.PutU64(want);
+  return enc.Release();
+}
+
+Status DecodeStealCmd(const std::string& payload, uint32_t* receiver,
+                      uint64_t* want) {
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetU32(receiver));
+  QCM_RETURN_IF_ERROR(dec.GetU64(want));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in steal-cmd");
+  return Status::OK();
+}
+
+}  // namespace qcm

@@ -1,0 +1,161 @@
+// Wire protocol of the multi-process deployment: length-prefixed frames
+// with an integrity checksum, plus the handshake / rank-assignment control
+// vocabulary spoken between the cluster coordinator (tools/qcm_cluster)
+// and its worker processes (tools/qcm_worker).
+//
+// Every frame on a connection is
+//
+//   offset  size  field
+//   0       4     magic "QCMW" (bytes 'Q','C','M','W')
+//   4       1     kind (FrameKind)
+//   5       4     src rank, u32 (kUnassignedRank before the coordinator
+//                 has assigned one; the coordinator itself sends
+//                 kCoordinatorRank)
+//   9       4     payload length n, u32
+//   13      n     payload bytes
+//   13+n    8     FNV-1a fingerprint of the payload, u64
+//
+// Multi-byte fields are in host byte order, like every other codec in
+// util/serde.h -- the deployment targets same-architecture clusters
+// (little-endian on every supported platform; the byte pins in
+// tests/wire_serde_test.cc assume it). A mixed-endianness cluster is out
+// of contract and fails safely: the length/checksum mismatch rejects the
+// first frame.
+//
+// and is rejected as Corruption on bad magic, an oversized length, or a
+// checksum mismatch -- a worker never mines on a frame it cannot prove it
+// received intact. This framing is the process-boundary twin of the
+// CommFabric message contract: a kData frame carries exactly one fabric
+// message (MessageType byte + the same serialized payload the in-process
+// fabric would enqueue), so simulated and distributed runs share one
+// payload format end to end.
+//
+// Connection bring-up (the rank-assignment protocol):
+//   1. worker -> coordinator  kHello     {protocol version, pid}
+//   2. coordinator -> worker  kAssign    {rank, world size, config blob}
+//   3. worker -> coordinator  kListening {port of the worker's peer
+//                                         listener}
+//   4. coordinator -> worker  kPeers     {peer listener port of every rank}
+//   5. workers connect to every lower rank and identify themselves with
+//      kPeerHello (src = their rank); the mesh is complete
+//   6. worker -> coordinator  kReady; once all ranks are ready the
+//      coordinator releases the barrier with kStart
+// After kStart the data plane (kData) flows rank-to-rank while the control
+// plane (kStatus up, kStealCmd / kTerminate down, kReport up at the end)
+// stays on the coordinator connection.
+
+#ifndef QCM_NET_WIRE_H_
+#define QCM_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace qcm {
+
+/// First four bytes of every frame.
+inline constexpr char kWireMagic[4] = {'Q', 'C', 'M', 'W'};
+/// Bump on any incompatible frame/payload change; checked in kHello.
+inline constexpr uint32_t kWireProtocolVersion = 1;
+/// Frame header bytes before the payload (magic + kind + src + length).
+inline constexpr size_t kWireHeaderBytes = 13;
+/// Trailing checksum bytes after the payload.
+inline constexpr size_t kWireTrailerBytes = 8;
+/// Hard cap on a single frame payload; anything larger is Corruption
+/// (protects a reader from a garbage length field allocating gigabytes).
+inline constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+/// `src` value of a worker that has not been assigned a rank yet.
+inline constexpr uint32_t kUnassignedRank = 0xFFFFFFFFu;
+/// `src` value of the coordinator on control frames it originates.
+inline constexpr uint32_t kCoordinatorRank = 0xFFFFFFFEu;
+
+/// Every frame is exactly one of these.
+enum class FrameKind : uint8_t {
+  kHello = 0,      // worker -> coordinator: {version u32, pid u64}
+  kAssign = 1,     // coordinator -> worker: {rank u32, world u32, config}
+  kListening = 2,  // worker -> coordinator: {peer listener port u32}
+  kPeers = 3,      // coordinator -> worker: {port u32 per rank}
+  kPeerHello = 4,  // worker -> worker: empty (src carries the rank)
+  kReady = 5,      // worker -> coordinator: empty
+  kStart = 6,      // coordinator -> worker: empty (mining barrier release)
+  kStatus = 7,     // worker -> coordinator: RankStatus (termination input)
+  kStealCmd = 8,   // coordinator -> worker: {receiver u32, want u64}
+  kTerminate = 9,  // coordinator -> worker: empty (global quiescence)
+  kReport = 10,    // worker -> coordinator: serialized EngineReport+results
+  kData = 11,      // worker -> worker: {MessageType u8, fabric payload}
+  kAbort = 12,     // either direction: {human-readable reason}
+};
+
+const char* FrameKindName(FrameKind kind);
+
+/// One parsed frame.
+struct Frame {
+  FrameKind kind = FrameKind::kHello;
+  uint32_t src = kUnassignedRank;
+  std::string payload;
+};
+
+/// Serializes a frame into its exact wire bytes (header + payload +
+/// checksum). The byte layout is pinned by tests/wire_serde_test.cc.
+std::string EncodeFrame(const Frame& frame);
+
+/// Exact wire bytes of a kData frame whose payload is [type byte][body],
+/// built in one buffer so the hot data path (pull responses can carry
+/// megabytes of adjacency) never materializes the concatenated payload
+/// separately. Byte-identical to EncodeFrame on the equivalent Frame.
+std::string EncodeDataFrame(uint32_t src, uint8_t type,
+                            const std::string& body);
+
+/// Parses one frame starting at `*pos` of `buf`; advances `*pos` past it.
+/// Returns Corruption on bad magic / length / checksum, and IOError when
+/// `buf` ends before the frame does (caller should read more bytes).
+Status DecodeFrame(const std::string& buf, size_t* pos, Frame* frame);
+
+/// Blocking write of one frame to a socket/pipe fd, looping over partial
+/// writes. Not synchronized -- callers serialize per-fd access.
+Status WriteFrame(int fd, const Frame& frame);
+
+/// Blocking write of pre-encoded frame bytes (EncodeFrame /
+/// EncodeDataFrame output). Same contract as WriteFrame.
+Status WriteFrameBytes(int fd, const std::string& bytes);
+
+/// Blocking read of one frame from a socket/pipe fd. A clean EOF before
+/// the first header byte returns Aborted("connection closed"); EOF inside
+/// a frame is Corruption.
+Status ReadFrame(int fd, Frame* frame);
+
+// ---------------------------------------------------------------------------
+// Typed payload helpers for the control vocabulary.
+// ---------------------------------------------------------------------------
+
+/// kStatus payload: one rank's termination-detection inputs. See
+/// Transport::PublishStatus for field semantics.
+struct WireRankStatus {
+  int64_t pending = 0;
+  uint8_t spawn_done = 0;
+  uint64_t data_frames_sent = 0;
+  uint64_t data_frames_processed = 0;
+  uint64_t pending_big = 0;
+};
+
+std::string EncodeRankStatus(const WireRankStatus& status);
+Status DecodeRankStatus(const std::string& payload, WireRankStatus* status);
+
+std::string EncodeHello(uint64_t pid);
+Status DecodeHello(const std::string& payload, uint32_t* version,
+                   uint64_t* pid);
+
+std::string EncodeAssign(uint32_t rank, uint32_t world_size,
+                         const std::string& config_blob);
+Status DecodeAssign(const std::string& payload, uint32_t* rank,
+                    uint32_t* world_size, std::string* config_blob);
+
+std::string EncodeStealCmd(uint32_t receiver, uint64_t want);
+Status DecodeStealCmd(const std::string& payload, uint32_t* receiver,
+                      uint64_t* want);
+
+}  // namespace qcm
+
+#endif  // QCM_NET_WIRE_H_

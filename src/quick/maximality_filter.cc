@@ -1,7 +1,10 @@
 #include "quick/maximality_filter.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
+
+#include "util/serde.h"
 
 namespace qcm {
 
@@ -50,6 +53,42 @@ std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets) {
   }
   std::sort(kept.begin(), kept.end());
   return kept;
+}
+
+void CanonicalizeResults(std::vector<VertexSet>* sets) {
+  for (VertexSet& s : *sets) std::sort(s.begin(), s.end());
+  std::sort(sets->begin(), sets->end());
+}
+
+uint64_t ResultSetDigest(const std::vector<VertexSet>& sets) {
+  Encoder enc;
+  enc.PutU64(sets.size());
+  for (const VertexSet& s : sets) enc.PutU32Vector(s);
+  return Fingerprint(enc.buffer());
+}
+
+StatusOr<uint64_t> EmitCanonicalResults(std::vector<VertexSet>* sets,
+                                        const std::string& output_path) {
+  CanonicalizeResults(sets);
+  const uint64_t digest = ResultSetDigest(*sets);
+  std::fprintf(stderr, "result-digest: %016llx\n",
+               static_cast<unsigned long long>(digest));
+  if (!output_path.empty()) {
+    FILE* f = output_path == "-" ? stdout
+                                 : std::fopen(output_path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IOError("cannot open " + output_path +
+                             " for writing");
+    }
+    for (const VertexSet& s : *sets) {
+      for (size_t i = 0; i < s.size(); ++i) {
+        std::fprintf(f, "%s%u", i ? " " : "", s[i]);
+      }
+      std::fprintf(f, "\n");
+    }
+    if (f != stdout) std::fclose(f);
+  }
+  return digest;
 }
 
 }  // namespace qcm

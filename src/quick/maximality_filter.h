@@ -18,6 +18,27 @@ namespace qcm {
 /// sorted lexicographically for determinism.
 std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets);
 
+/// Canonical form for comparing result sets across runs and deployments:
+/// sorts every set ascending, then sorts the sets lexicographically.
+/// FilterMaximal output is already canonical; raw candidate dumps are not.
+void CanonicalizeResults(std::vector<VertexSet>* sets);
+
+/// Order-sensitive FNV-1a digest over a canonical result set; two runs
+/// mined the same quasi-cliques iff their digests match (used by the
+/// cluster launcher and the smoke check to compare a multi-process run
+/// against single-process simulated mode).
+uint64_t ResultSetDigest(const std::vector<VertexSet>& sets);
+
+/// The one implementation of canonical result emission shared by
+/// qcm_mine and qcm_cluster: canonicalizes `*sets` in place, prints
+/// "result-digest: <16 hex>" on stderr, and -- when `output_path` is
+/// non-empty -- writes one space-separated set per line ("-" = stdout).
+/// check_smoke.sh and the cluster e2e test compare these exact bytes
+/// across the two tools, so the format must never drift between them.
+/// Returns the digest, or IOError when the output file cannot be opened.
+StatusOr<uint64_t> EmitCanonicalResults(std::vector<VertexSet>* sets,
+                                        const std::string& output_path);
+
 }  // namespace qcm
 
 #endif  // QCM_QUICK_MAXIMALITY_FILTER_H_

@@ -6,13 +6,12 @@ namespace {
 constexpr uint32_t kBlobMagic = 0x51434d42;  // "QCMB"
 }
 
-uint64_t Fingerprint(const char* data, size_t size) {
-  uint64_t h = 0xcbf29ce484222325ULL;
+uint64_t ExtendFingerprint(uint64_t state, const char* data, size_t size) {
   for (size_t i = 0; i < size; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x100000001b3ULL;
+    state ^= static_cast<unsigned char>(data[i]);
+    state *= 0x100000001b3ULL;
   }
-  return h;
+  return state;
 }
 
 void AppendFramedBlob(const std::string& payload, std::string* out) {

@@ -126,7 +126,12 @@ class Decoder {
 };
 
 /// FNV-1a checksum over a byte buffer; cheap integrity guard for spill blobs.
-uint64_t Fingerprint(const char* data, size_t size);
+/// Streamable: Fingerprint(a+b) == ExtendFingerprint(Fingerprint(a), b).
+inline constexpr uint64_t kFingerprintSeed = 0xcbf29ce484222325ULL;
+uint64_t ExtendFingerprint(uint64_t state, const char* data, size_t size);
+inline uint64_t Fingerprint(const char* data, size_t size) {
+  return ExtendFingerprint(kFingerprintSeed, data, size);
+}
 inline uint64_t Fingerprint(const std::string& s) {
   return Fingerprint(s.data(), s.size());
 }

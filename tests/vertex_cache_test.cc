@@ -124,6 +124,72 @@ TEST(VertexCacheTest, ClockCapacityZeroDisablesCaching) {
   EXPECT_EQ(cache.ApproxSize(), 0u);
 }
 
+TEST(VertexCacheTest, TinyLfuAdmitsFrequentOverScan) {
+  EngineCounters counters;
+  // Single shard so the admission duel is against the true global LRU
+  // victim.
+  VertexCache cache(3, &counters, CachePolicy::kTinyLFU);
+  cache.Insert(10, Adj({1}));
+  cache.Insert(20, Adj({2}));
+  cache.Insert(30, Adj({3}));
+  // Warm the working set: several counted demands per resident vertex.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(cache.Lookup(10), nullptr);
+    EXPECT_NE(cache.Lookup(20), nullptr);
+    EXPECT_NE(cache.Lookup(30), nullptr);
+  }
+  // A one-shot scan of cold vertices loses every admission duel: the
+  // working set survives untouched and the rejections are counted.
+  for (VertexId v = 100; v < 120; ++v) {
+    cache.Insert(v, Adj({v}));
+  }
+  EXPECT_EQ(counters.cache_admit_rejects.load(), 20u);
+  EXPECT_EQ(counters.cache_evictions.load(), 0u);
+  EXPECT_NE(cache.Lookup(10), nullptr);
+  EXPECT_NE(cache.Lookup(20), nullptr);
+  EXPECT_NE(cache.Lookup(30), nullptr);
+  EXPECT_EQ(cache.ApproxSize(), 3u);
+}
+
+TEST(VertexCacheTest, TinyLfuAdmitsWhenNewcomerIsAtLeastAsFrequent) {
+  EngineCounters counters;
+  VertexCache cache(2, &counters, CachePolicy::kTinyLFU);
+  cache.Insert(1, Adj({1}));
+  cache.Insert(2, Adj({2}));
+  // Build demand for 9 (two counted misses) while the victim-to-be (the
+  // LRU tail, vertex 1) has only its insert-time touch.
+  EXPECT_EQ(cache.Lookup(9), nullptr);
+  EXPECT_EQ(cache.Lookup(9), nullptr);
+  EXPECT_NE(cache.Lookup(2), nullptr);  // 1 becomes the LRU victim
+  cache.Insert(9, Adj({9}));
+  EXPECT_NE(cache.Lookup(9), nullptr);  // admitted
+  EXPECT_EQ(cache.Lookup(1), nullptr);  // evicted
+  EXPECT_EQ(counters.cache_evictions.load(), 1u);
+}
+
+TEST(VertexCacheTest, TinyLfuRefreshOfResidentEntryIsNotADuel) {
+  EngineCounters counters;
+  VertexCache cache(2, &counters, CachePolicy::kTinyLFU);
+  cache.Insert(1, Adj({1}));
+  cache.Insert(2, Adj({2}));
+  // Re-inserting a resident vertex (a pull response refreshing an entry)
+  // just updates it -- never a rejection, never an eviction.
+  cache.Insert(1, Adj({1, 5}));
+  EXPECT_EQ(counters.cache_admit_rejects.load(), 0u);
+  EXPECT_EQ(counters.cache_evictions.load(), 0u);
+  auto hit = cache.Lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, (std::vector<VertexId>{1, 5}));
+}
+
+TEST(VertexCacheTest, TinyLfuCapacityZeroDisablesCaching) {
+  EngineCounters counters;
+  VertexCache cache(0, &counters, CachePolicy::kTinyLFU);
+  cache.Insert(1, Adj({2}));
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.ApproxSize(), 0u);
+}
+
 TEST(VertexCacheTest, ShardedCacheStaysNearCapacity) {
   EngineCounters counters;
   VertexCache cache(2048, &counters);  // sharded regime
@@ -435,6 +501,21 @@ TEST(PullPathTest, ClockPolicyMatchesDirectReadPath) {
   EXPECT_EQ(clocked, direct);
   EXPECT_GT(report.counters.cache_hits, 0u);
   EXPECT_GT(report.counters.cache_evictions, 0u);
+}
+
+TEST(PullPathTest, TinyLfuPolicyMatchesDirectReadPath) {
+  Graph g = PlantedGraph();
+  auto direct = MineWith(g, 1, {});
+  ASSERT_FALSE(direct.empty());
+
+  // A tiny cache under a multi-machine pull workload: the admission
+  // filter rejects and admits aggressively, results must not move.
+  EngineReport report;
+  auto filtered = MineWith(
+      g, 4, {.cache_capacity = 16, .policy = CachePolicy::kTinyLFU},
+      &report);
+  EXPECT_EQ(filtered, direct);
+  EXPECT_GT(report.counters.cache_hits, 0u);
 }
 
 }  // namespace

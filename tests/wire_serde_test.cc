@@ -1,0 +1,387 @@
+// Wire-stability tests: the payload of every CommFabric message type and
+// the frame format that carries them across process boundaries are pinned
+// byte-for-byte. These bytes ARE the deployment contract between
+// qcm_cluster, qcm_worker, and any future remote peer -- a change that
+// flips one of the asserts below is a wire-protocol break and must bump
+// kWireProtocolVersion.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gthinker/comm.h"
+#include "gthinker/engine_config.h"
+#include "gthinker/metrics.h"
+#include "mining/qc_task.h"
+#include "net/job_spec.h"
+#include "net/wire.h"
+#include "util/serde.h"
+
+namespace qcm {
+namespace {
+
+std::string Hex(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// kPullRequest payload: a U32Vector of wanted vertex ids.
+// ---------------------------------------------------------------------------
+
+TEST(MessagePayloadTest, PullRequestRoundTripAndExactBytes) {
+  Encoder enc;
+  enc.PutU32Vector({7, 260, 0xDEADBEEF});
+  const std::string payload = enc.Release();
+
+  // [count u64 LE][ids u32 LE each] -- 8 + 3*4 bytes.
+  EXPECT_EQ(Hex(payload),
+            "0300000000000000"   // count = 3
+            "07000000"           // 7
+            "04010000"           // 260
+            "efbeadde");         // 0xDEADBEEF
+  Decoder dec(payload);
+  std::vector<uint32_t> ids;
+  ASSERT_TRUE(dec.GetU32Vector(&ids).ok());
+  EXPECT_EQ(ids, (std::vector<uint32_t>{7, 260, 0xDEADBEEF}));
+  EXPECT_TRUE(dec.Done());
+}
+
+// ---------------------------------------------------------------------------
+// kPullResponse payload: the requested ids followed by one adjacency list
+// per id (PullBroker::ServeRequest / AcceptResponse framing).
+// ---------------------------------------------------------------------------
+
+TEST(MessagePayloadTest, PullResponseRoundTripAndExactBytes) {
+  Encoder enc;
+  enc.PutU32Vector({5, 9});
+  const std::vector<uint32_t> adj5 = {1, 2};
+  const std::vector<uint32_t> adj9 = {4};
+  enc.PutU32Span(adj5.data(), adj5.size());
+  enc.PutU32Span(adj9.data(), adj9.size());
+  const std::string payload = enc.Release();
+
+  EXPECT_EQ(Hex(payload),
+            "0200000000000000"  // 2 ids
+            "05000000"          // id 5
+            "09000000"          // id 9
+            "0200000000000000"  // |adj(5)| = 2
+            "01000000"          // 1
+            "02000000"          // 2
+            "0100000000000000"  // |adj(9)| = 1
+            "04000000");        // 4
+  Decoder dec(payload);
+  std::vector<uint32_t> ids, a5, a9;
+  ASSERT_TRUE(dec.GetU32Vector(&ids).ok());
+  ASSERT_TRUE(dec.GetU32Vector(&a5).ok());
+  ASSERT_TRUE(dec.GetU32Vector(&a9).ok());
+  EXPECT_EQ(ids, (std::vector<uint32_t>{5, 9}));
+  EXPECT_EQ(a5, adj5);
+  EXPECT_EQ(a9, adj9);
+  EXPECT_TRUE(dec.Done());
+}
+
+// ---------------------------------------------------------------------------
+// kStealBatch payload: task count + concatenated QCTask encodings. Tasks
+// now cross process boundaries, so both the round trip and the exact
+// bytes of a spawn-task encoding are pinned.
+// ---------------------------------------------------------------------------
+
+TEST(MessagePayloadTest, StealBatchRoundTrip) {
+  Encoder enc;
+  enc.PutU32(2);
+  QCTask::MakeSpawn(11, 42)->Encode(&enc);
+  QCTask::MakeSpawn(12, 7)->Encode(&enc);
+  const std::string payload = enc.Release();
+
+  auto count = StealBatchTaskCount(payload);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 2u);
+
+  Decoder dec(payload);
+  uint32_t n = 0;
+  ASSERT_TRUE(dec.GetU32(&n).ok());
+  ASSERT_EQ(n, 2u);
+  auto t1 = QCTask::Decode(&dec);
+  auto t2 = QCTask::Decode(&dec);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ((*t1)->root(), 11u);
+  EXPECT_EQ((*t1)->SizeHint(), 42u);
+  EXPECT_EQ((*t2)->root(), 12u);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(MessagePayloadTest, SpawnTaskEncodingExactBytes) {
+  Encoder enc;
+  QCTask::MakeSpawn(11, 42)->Encode(&enc);
+  // [root u32][iteration u8][size_hint u64][|S| u64][|ext| u64]
+  // [LocalGraph: vids / offsets / adjacency as empty U32Vectors].
+  EXPECT_EQ(Hex(enc.buffer()),
+            "0b000000"            // root = 11
+            "01"                  // iteration = 1
+            "2a00000000000000"    // size hint = 42
+            "0000000000000000"    // S empty
+            "0000000000000000"    // ext empty
+            "0000000000000000"    // LocalGraph vids empty
+            "0000000000000000"    // LocalGraph offsets empty
+            "0000000000000000");  // LocalGraph adjacency empty
+}
+
+TEST(MessagePayloadTest, CorruptStealBatchIsRejected) {
+  EXPECT_FALSE(StealBatchTaskCount("ab").ok());  // < 4 bytes
+}
+
+// ---------------------------------------------------------------------------
+// Wire frames.
+// ---------------------------------------------------------------------------
+
+TEST(WireFrameTest, ExactBytes) {
+  Frame frame;
+  frame.kind = FrameKind::kData;
+  frame.src = 2;
+  frame.payload = "hi";
+  const std::string bytes = EncodeFrame(frame);
+  // magic "QCMW" | kind 0x0b | src 2 | len 2 | "hi" | fnv64("hi").
+  const uint64_t sum = Fingerprint(std::string("hi"));
+  Encoder trailer;
+  trailer.PutU64(sum);
+  EXPECT_EQ(Hex(bytes.substr(0, 13)),
+            "51434d57"   // 'Q' 'C' 'M' 'W'
+            "0b"         // FrameKind::kData
+            "02000000"   // src rank 2
+            "02000000")  // payload length 2
+      << Hex(bytes);
+  EXPECT_EQ(bytes.substr(13, 2), "hi");
+  EXPECT_EQ(Hex(bytes.substr(15)), Hex(trailer.buffer()));
+  EXPECT_EQ(bytes.size(), kWireHeaderBytes + 2 + kWireTrailerBytes);
+}
+
+TEST(WireFrameTest, DataFrameFastPathMatchesGenericEncoding) {
+  // The single-buffer kData encoder (the hot pull path) must be
+  // byte-identical to EncodeFrame on the equivalent Frame, including the
+  // streamed checksum.
+  const std::string body = "adjacency-bytes\x00\x01\x02";
+  Frame generic;
+  generic.kind = FrameKind::kData;
+  generic.src = 1;
+  generic.payload = std::string(1, static_cast<char>(2)) + body;
+  EXPECT_EQ(Hex(EncodeDataFrame(1, 2, body)),
+            Hex(EncodeFrame(generic)));
+  EXPECT_EQ(Hex(EncodeDataFrame(3, 0, "")),
+            Hex(EncodeFrame(Frame{FrameKind::kData, 3,
+                                  std::string(1, '\0')})));
+}
+
+TEST(WireFrameTest, RoundTripAllKinds) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FrameKind::kAbort); ++k) {
+    Frame in;
+    in.kind = static_cast<FrameKind>(k);
+    in.src = 7;
+    in.payload = std::string("payload-") + std::to_string(k);
+    const std::string bytes = EncodeFrame(in);
+    Frame out;
+    size_t pos = 0;
+    ASSERT_TRUE(DecodeFrame(bytes, &pos, &out).ok());
+    EXPECT_EQ(pos, bytes.size());
+    EXPECT_EQ(out.kind, in.kind);
+    EXPECT_EQ(out.src, in.src);
+    EXPECT_EQ(out.payload, in.payload);
+  }
+}
+
+TEST(WireFrameTest, CorruptionIsDetected) {
+  Frame frame;
+  frame.kind = FrameKind::kStatus;
+  frame.src = 1;
+  frame.payload = "abcdef";
+  std::string bytes = EncodeFrame(frame);
+
+  // Flipped payload byte -> checksum mismatch.
+  std::string flipped = bytes;
+  flipped[kWireHeaderBytes + 2] ^= 0x40;
+  size_t pos = 0;
+  Frame out;
+  EXPECT_EQ(DecodeFrame(flipped, &pos, &out).code(),
+            StatusCode::kCorruption);
+
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  pos = 0;
+  EXPECT_EQ(DecodeFrame(bad_magic, &pos, &out).code(),
+            StatusCode::kCorruption);
+
+  // Truncation -> IOError (caller should read more).
+  pos = 0;
+  EXPECT_EQ(DecodeFrame(bytes.substr(0, bytes.size() - 1), &pos, &out)
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST(WireFrameTest, ControlPayloadsRoundTrip) {
+  WireRankStatus status;
+  status.pending = -3;
+  status.spawn_done = 1;
+  status.data_frames_sent = 100;
+  status.data_frames_processed = 99;
+  status.pending_big = 12;
+  WireRankStatus status2;
+  ASSERT_TRUE(DecodeRankStatus(EncodeRankStatus(status), &status2).ok());
+  EXPECT_EQ(status2.pending, -3);
+  EXPECT_EQ(status2.spawn_done, 1);
+  EXPECT_EQ(status2.data_frames_sent, 100u);
+  EXPECT_EQ(status2.data_frames_processed, 99u);
+  EXPECT_EQ(status2.pending_big, 12u);
+
+  uint32_t version = 0, rank = 0, world = 0, receiver = 0;
+  uint64_t pid = 0, want = 0;
+  std::string blob;
+  ASSERT_TRUE(DecodeHello(EncodeHello(4242), &version, &pid).ok());
+  EXPECT_EQ(version, kWireProtocolVersion);
+  EXPECT_EQ(pid, 4242u);
+  ASSERT_TRUE(
+      DecodeAssign(EncodeAssign(2, 3, "cfg"), &rank, &world, &blob).ok());
+  EXPECT_EQ(rank, 2u);
+  EXPECT_EQ(world, 3u);
+  EXPECT_EQ(blob, "cfg");
+  ASSERT_TRUE(DecodeStealCmd(EncodeStealCmd(1, 16), &receiver, &want).ok());
+  EXPECT_EQ(receiver, 1u);
+  EXPECT_EQ(want, 16u);
+
+  // Trailing garbage is corruption, not silence.
+  EXPECT_EQ(DecodeRankStatus(EncodeRankStatus(status) + "x", &status2)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Job spec / engine config / engine report round trips (the other blobs
+// that cross process boundaries).
+// ---------------------------------------------------------------------------
+
+TEST(JobSpecTest, RoundTripPreservesEveryField) {
+  ClusterJobSpec spec;
+  spec.gen_planted = "n=100,communities=2";
+  spec.seed = 77;
+  spec.config.num_machines = 3;
+  spec.config.threads_per_machine = 4;
+  spec.config.tau_split = 55;
+  spec.config.tau_time = 0.125;
+  spec.config.mode = DecomposeMode::kSizeThreshold;
+  spec.config.local_queue_capacity = 128;
+  spec.config.global_queue_capacity = 512;
+  spec.config.batch_size = 8;
+  spec.config.spill_dir = "/tmp/x";
+  spec.config.steal_period_sec = 0.5;
+  spec.config.enable_stealing = false;
+  spec.config.vertex_cache_capacity = 999;
+  spec.config.max_pull_batch = 33;
+  spec.config.cache_policy = CachePolicy::kTinyLFU;
+  spec.config.net_latency_ticks = 2;
+  spec.config.net_latency_sec = 0.001;
+  spec.config.record_task_log = true;
+  spec.config.mining.gamma = 0.75;
+  spec.config.mining.min_size = 6;
+  spec.config.mining.use_lookahead = false;
+  spec.config.mining.quick_compat = true;
+
+  ClusterJobSpec out;
+  ASSERT_TRUE(DecodeJobSpec(EncodeJobSpec(spec), &out).ok());
+  EXPECT_EQ(out.gen_planted, spec.gen_planted);
+  EXPECT_EQ(out.input, "");
+  EXPECT_EQ(out.seed, 77u);
+  EXPECT_EQ(out.config.num_machines, 3);
+  EXPECT_EQ(out.config.threads_per_machine, 4);
+  EXPECT_EQ(out.config.tau_split, 55u);
+  EXPECT_EQ(out.config.tau_time, 0.125);
+  EXPECT_EQ(out.config.mode, DecomposeMode::kSizeThreshold);
+  EXPECT_EQ(out.config.local_queue_capacity, 128u);
+  EXPECT_EQ(out.config.global_queue_capacity, 512u);
+  EXPECT_EQ(out.config.batch_size, 8u);
+  EXPECT_EQ(out.config.spill_dir, "/tmp/x");
+  EXPECT_EQ(out.config.steal_period_sec, 0.5);
+  EXPECT_FALSE(out.config.enable_stealing);
+  EXPECT_EQ(out.config.vertex_cache_capacity, 999u);
+  EXPECT_EQ(out.config.max_pull_batch, 33u);
+  EXPECT_EQ(out.config.cache_policy, CachePolicy::kTinyLFU);
+  EXPECT_EQ(out.config.net_latency_ticks, 2u);
+  EXPECT_EQ(out.config.net_latency_sec, 0.001);
+  EXPECT_TRUE(out.config.record_task_log);
+  EXPECT_EQ(out.config.mining.gamma, 0.75);
+  EXPECT_EQ(out.config.mining.min_size, 6u);
+  EXPECT_FALSE(out.config.mining.use_lookahead);
+  EXPECT_TRUE(out.config.mining.quick_compat);
+}
+
+TEST(JobSpecTest, RejectsAmbiguousGraphSource) {
+  ClusterJobSpec spec;  // neither input nor gen_planted
+  ClusterJobSpec out;
+  EXPECT_FALSE(DecodeJobSpec(EncodeJobSpec(spec), &out).ok());
+}
+
+TEST(EngineReportSerdeTest, RoundTripAndMerge) {
+  EngineReport a;
+  a.wall_seconds = 1.5;
+  a.peak_rss_bytes = 1000;
+  a.counters.tasks_completed = 10;
+  a.counters.msg_sent[0] = 4;
+  a.counters.msg_inflight_bytes_peak = 77;
+  a.counters.msg_latency_hist[2] = 3;
+  a.mining.nodes_explored = 42;
+  a.threads.push_back(ThreadSummary{.machine = 0,
+                                    .thread = 1,
+                                    .busy_seconds = 0.5,
+                                    .idle_seconds = 0.1,
+                                    .mining_seconds = 0.4,
+                                    .materialize_seconds = 0.05,
+                                    .tasks_processed = 9});
+  a.results.push_back({1, 2, 3});
+  a.results.push_back({4, 5});
+
+  Encoder enc;
+  EncodeEngineReport(a, &enc);
+  const std::string blob = enc.Release();
+  Decoder dec(blob);
+  EngineReport b;
+  ASSERT_TRUE(DecodeEngineReport(&dec, &b).ok());
+  EXPECT_TRUE(dec.Done());
+  EXPECT_EQ(b.wall_seconds, 1.5);
+  EXPECT_EQ(b.peak_rss_bytes, 1000u);
+  EXPECT_EQ(b.counters.tasks_completed, 10u);
+  EXPECT_EQ(b.counters.msg_sent[0], 4u);
+  EXPECT_EQ(b.counters.msg_inflight_bytes_peak, 77u);
+  EXPECT_EQ(b.counters.msg_latency_hist[2], 3u);
+  EXPECT_EQ(b.mining.nodes_explored, 42u);
+  ASSERT_EQ(b.threads.size(), 1u);
+  EXPECT_EQ(b.threads[0].tasks_processed, 9u);
+  ASSERT_EQ(b.results.size(), 2u);
+  EXPECT_EQ(b.results[0], (VertexSet{1, 2, 3}));
+
+  EngineReport c;
+  c.wall_seconds = 0.5;
+  c.counters.tasks_completed = 5;
+  c.counters.msg_inflight_bytes_peak = 200;
+  c.results.push_back({6});
+  EngineReport merged = MergeEngineReports({b, c});
+  EXPECT_EQ(merged.wall_seconds, 1.5);  // max
+  EXPECT_EQ(merged.counters.tasks_completed, 15u);  // sum
+  EXPECT_EQ(merged.counters.msg_inflight_bytes_peak, 200u);  // peak: max
+  EXPECT_EQ(merged.results.size(), 3u);
+  EXPECT_EQ(merged.threads.size(), 1u);
+
+  // Truncated blobs must be rejected, never read past the end.
+  Decoder short_dec(blob.data(), blob.size() - 3);
+  EngineReport d;
+  EXPECT_FALSE(DecodeEngineReport(&short_dec, &d).ok());
+}
+
+}  // namespace
+}  // namespace qcm

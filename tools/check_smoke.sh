@@ -4,6 +4,13 @@
 # maximal result count. A miner that silently finds nothing is as broken
 # as one that crashes.
 #
+# If a qcm_cluster binary sits next to qcm_mine, the check also runs a
+# real 3-process cluster (qcm_cluster + 3 forked qcm_worker ranks over
+# loopback TCP) on the same graph and fails loudly unless every worker
+# exits cleanly AND the cluster's result digest is bit-identical to the
+# single-process run's. Worker logs land in QCM_SMOKE_LOG_DIR (default
+# /tmp/qcm_smoke_logs) so CI can upload them when something breaks.
+#
 # Usage: tools/check_smoke.sh [path/to/qcm_mine] [extra miner flags...]
 # Extra flags are appended to the miner invocation, e.g.
 #   tools/check_smoke.sh ./build/qcm_mine --net-latency 0.002
@@ -41,3 +48,49 @@ if [[ "$count" -eq 0 ]]; then
 fi
 
 echo "check_smoke: OK -- $count maximal quasi-cliques"
+
+# ---- 3-process cluster phase -------------------------------------------
+# Same graph, same parameters: the multi-process deployment must mine the
+# bit-identical maximal set (compared via the canonical result digest both
+# tools print).
+CLUSTER_BIN="$(dirname "$BIN")/qcm_cluster"
+if [[ ! -x "$CLUSTER_BIN" ]]; then
+  echo "check_smoke: NOTE -- $CLUSTER_BIN not built, skipping cluster phase"
+  exit 0
+fi
+
+single_digest=$(printf '%s\n' "$out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ -z "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- qcm_mine printed no result-digest line" >&2
+  exit 1
+fi
+
+LOG_DIR="${QCM_SMOKE_LOG_DIR:-/tmp/qcm_smoke_logs}"
+mkdir -p "$LOG_DIR"
+cluster_out=$("$CLUSTER_BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --workers 3 --threads 2 --stats \
+  --log-dir "$LOG_DIR" "$@" 2>&1)
+cluster_status=$?
+echo "$cluster_out"
+
+if [[ $cluster_status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- qcm_cluster exited with status $cluster_status" \
+    "(worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+
+cluster_digest=$(printf '%s\n' "$cluster_out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ -z "$cluster_digest" ]]; then
+  echo "check_smoke: FAIL -- qcm_cluster printed no result-digest line" >&2
+  exit 1
+fi
+if [[ "$cluster_digest" != "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- cluster digest $cluster_digest !=" \
+    "single-process digest $single_digest (worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+
+echo "check_smoke: OK -- 3-process cluster digest matches ($cluster_digest)"

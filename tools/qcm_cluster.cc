@@ -1,0 +1,429 @@
+// qcm_cluster: launcher for the real multi-process deployment.
+//
+// Spawns N qcm_worker processes (one per machine), distributes the run
+// configuration over the wire handshake, masters load balancing and
+// distributed termination detection from the coordinator side, then
+// merges every rank's EngineReport and raw candidate results, applies
+// the maximality postprocessing once over the union, and prints the
+// canonical result digest -- which must be bit-identical to a
+// single-process `qcm_mine` run on the same input (asserted by
+// tests/cluster_e2e_test.cc and tools/check_smoke.sh).
+//
+// Usage:
+//   qcm_cluster (--input PATH | --gen-planted SPEC) --workers N
+//               [--threads N] [--gamma F] [--min-size N] [--tau-split N]
+//               [--tau-time F] [--mode none|size|time]
+//               [--cache-capacity N] [--cache-policy lru|clock|tinylfu]
+//               [--pull-batch N] [--net-latency F] [--net-latency-ticks N]
+//               [--seed N] [--output PATH] [--no-filter] [--stats]
+//               [--stats-json PATH] [--worker-bin PATH] [--log-dir DIR]
+//
+// Worker stdout/stderr are redirected to <log-dir>/worker<rank>.log
+// (default: a fresh temp dir, path printed) so a crashed rank's last
+// words are always on disk for CI to upload.
+
+#include <libgen.h>
+#include <limits.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gthinker/metrics.h"
+#include "net/coordinator.h"
+#include "net/job_spec.h"
+#include "quick/maximality_filter.h"
+#include "util/serde.h"
+
+namespace {
+
+using namespace qcm;
+
+struct Args {
+  ClusterJobSpec spec;
+  int workers = 3;
+  std::string output;
+  bool no_filter = false;
+  bool stats = false;
+  std::string stats_json;
+  std::string worker_bin;
+  std::string log_dir;
+  std::string cache_policy = "lru";
+  std::string mode = "time";
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: qcm_cluster (--input PATH | --gen-planted SPEC) "
+               "--workers N [--threads N]\n"
+               "                   [mining/engine flags, see file header] "
+               "[--output PATH]\n"
+               "                   [--worker-bin PATH] [--log-dir DIR]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  EngineConfig& config = args->spec.config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (a == "--input") {
+      if ((v = next("--input")) == nullptr) return false;
+      args->spec.input = v;
+    } else if (a == "--gen-planted") {
+      if ((v = next("--gen-planted")) == nullptr) return false;
+      args->spec.gen_planted = v;
+    } else if (a == "--workers") {
+      if ((v = next("--workers")) == nullptr) return false;
+      args->workers = std::atoi(v);
+    } else if (a == "--threads") {
+      if ((v = next("--threads")) == nullptr) return false;
+      config.threads_per_machine = std::atoi(v);
+    } else if (a == "--gamma") {
+      if ((v = next("--gamma")) == nullptr) return false;
+      config.mining.gamma = std::atof(v);
+    } else if (a == "--min-size") {
+      if ((v = next("--min-size")) == nullptr) return false;
+      config.mining.min_size = static_cast<uint32_t>(std::atoi(v));
+    } else if (a == "--tau-split") {
+      if ((v = next("--tau-split")) == nullptr) return false;
+      config.tau_split = static_cast<uint32_t>(std::atoi(v));
+    } else if (a == "--tau-time") {
+      if ((v = next("--tau-time")) == nullptr) return false;
+      config.tau_time = std::atof(v);
+    } else if (a == "--mode") {
+      if ((v = next("--mode")) == nullptr) return false;
+      args->mode = v;
+    } else if (a == "--cache-capacity") {
+      if ((v = next("--cache-capacity")) == nullptr) return false;
+      config.vertex_cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (a == "--cache-policy") {
+      if ((v = next("--cache-policy")) == nullptr) return false;
+      args->cache_policy = v;
+    } else if (a == "--pull-batch") {
+      if ((v = next("--pull-batch")) == nullptr) return false;
+      config.max_pull_batch = static_cast<size_t>(std::atoll(v));
+    } else if (a == "--net-latency") {
+      if ((v = next("--net-latency")) == nullptr) return false;
+      config.net_latency_sec = std::atof(v);
+    } else if (a == "--net-latency-ticks") {
+      if ((v = next("--net-latency-ticks")) == nullptr) return false;
+      config.net_latency_ticks = static_cast<uint64_t>(std::atoll(v));
+    } else if (a == "--seed") {
+      if ((v = next("--seed")) == nullptr) return false;
+      args->spec.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (a == "--output") {
+      if ((v = next("--output")) == nullptr) return false;
+      args->output = v;
+    } else if (a == "--no-filter") {
+      args->no_filter = true;
+    } else if (a == "--stats") {
+      args->stats = true;
+    } else if (a == "--stats-json") {
+      if ((v = next("--stats-json")) == nullptr) return false;
+      args->stats_json = v;
+    } else if (a == "--worker-bin") {
+      if ((v = next("--worker-bin")) == nullptr) return false;
+      args->worker_bin = v;
+    } else if (a == "--log-dir") {
+      if ((v = next("--log-dir")) == nullptr) return false;
+      args->log_dir = v;
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args->spec.input.empty() == args->spec.gen_planted.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --input / --gen-planted is required\n");
+    return false;
+  }
+  if (args->workers < 1 || args->workers > 64) {
+    std::fprintf(stderr, "--workers must be in [1, 64]\n");
+    return false;
+  }
+  if (!ParseCachePolicy(args->cache_policy, &config.cache_policy).ok()) {
+    std::fprintf(stderr, "unknown --cache-policy %s\n",
+                 args->cache_policy.c_str());
+    return false;
+  }
+  if (args->mode == "none") {
+    config.mode = DecomposeMode::kNone;
+  } else if (args->mode == "size") {
+    config.mode = DecomposeMode::kSizeThreshold;
+  } else if (args->mode == "time") {
+    config.mode = DecomposeMode::kTimeDelayed;
+  } else {
+    std::fprintf(stderr, "unknown --mode %s\n", args->mode.c_str());
+    return false;
+  }
+  config.num_machines = args->workers;
+  return true;
+}
+
+/// Default worker binary: qcm_worker next to this executable.
+std::string DefaultWorkerBin() {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "./qcm_worker";
+  buf[n] = '\0';
+  return std::string(::dirname(buf)) + "/qcm_worker";
+}
+
+struct WorkerProcess {
+  pid_t pid = -1;
+  std::string log_path;
+  bool reaped = false;
+  int wstatus = 0;
+};
+
+void KillAll(std::vector<WorkerProcess>* workers) {
+  for (WorkerProcess& w : *workers) {
+    if (w.pid > 0 && !w.reaped) ::kill(w.pid, SIGKILL);
+  }
+}
+
+void PrintLogTails(const std::vector<WorkerProcess>& workers) {
+  for (const WorkerProcess& w : workers) {
+    std::fprintf(stderr, "---- %s ----\n", w.log_path.c_str());
+    if (FILE* f = std::fopen(w.log_path.c_str(), "r")) {
+      // Last 2 KiB is plenty for a crash message.
+      std::fseek(f, 0, SEEK_END);
+      const long size = std::ftell(f);
+      std::fseek(f, size > 2048 ? size - 2048 : 0, SEEK_SET);
+      char buf[2049];
+      const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+      buf[n] = '\0';
+      std::fputs(buf, stderr);
+      std::fclose(f);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  const std::string worker_bin =
+      args.worker_bin.empty() ? DefaultWorkerBin() : args.worker_bin;
+  if (::access(worker_bin.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "worker binary not executable: %s\n",
+                 worker_bin.c_str());
+    return 2;
+  }
+  std::string log_dir = args.log_dir;
+  if (log_dir.empty()) {
+    char templ[] = "/tmp/qcm_cluster_XXXXXX";
+    char* dir = ::mkdtemp(templ);
+    if (dir == nullptr) {
+      std::fprintf(stderr, "cannot create log directory\n");
+      return 1;
+    }
+    log_dir = dir;
+  } else {
+    ::mkdir(log_dir.c_str(), 0755);
+  }
+
+  // Bind the control-plane listener before spawning anyone.
+  CoordinatorConfig coord_config;
+  coord_config.world_size = args.workers;
+  coord_config.config_blob = EncodeJobSpec(args.spec);
+  coord_config.steal_period_sec =
+      args.spec.config.enable_stealing && args.workers >= 2
+          ? args.spec.config.steal_period_sec
+          : 0.0;
+  coord_config.steal_batch_cap = args.spec.config.batch_size;
+  auto listening = Coordinator::Listen(std::move(coord_config));
+  if (!listening.ok()) {
+    std::fprintf(stderr, "coordinator listen failed: %s\n",
+                 listening.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Coordinator> coordinator = std::move(listening).value();
+  std::fprintf(stderr,
+               "qcm_cluster: coordinator on 127.0.0.1:%u, spawning %d "
+               "workers (logs in %s)\n",
+               coordinator->port(), args.workers, log_dir.c_str());
+
+  // Spawn one worker process per machine, logs redirected per rank.
+  const std::string port_str = std::to_string(coordinator->port());
+  std::vector<WorkerProcess> workers(args.workers);
+  for (int i = 0; i < args.workers; ++i) {
+    workers[i].log_path = log_dir + "/worker" + std::to_string(i) + ".log";
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
+      KillAll(&workers);
+      return 1;
+    }
+    if (pid == 0) {
+      if (FILE* log = std::fopen(workers[i].log_path.c_str(), "w")) {
+        ::dup2(::fileno(log), STDOUT_FILENO);
+        ::dup2(::fileno(log), STDERR_FILENO);
+      }
+      ::execl(worker_bin.c_str(), worker_bin.c_str(), "--coordinator-port",
+              port_str.c_str(), static_cast<char*>(nullptr));
+      std::fprintf(stderr, "execl %s failed: %s\n", worker_bin.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    workers[i].pid = pid;
+  }
+
+  // Child watchdog: a worker that dies mid-run (or before connecting)
+  // must fail the whole run promptly, not after a network timeout.
+  std::atomic<bool> run_done{false};
+  std::thread watchdog([&] {
+    while (!run_done.load()) {
+      for (size_t i = 0; i < workers.size(); ++i) {
+        WorkerProcess& w = workers[i];
+        if (w.pid <= 0 || w.reaped) continue;
+        int wstatus = 0;
+        if (::waitpid(w.pid, &wstatus, WNOHANG) == w.pid) {
+          w.reaped = true;
+          w.wstatus = wstatus;
+          if (!(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)) {
+            coordinator->Abort(
+                "worker process for connection slot " + std::to_string(i) +
+                " died (" +
+                (WIFSIGNALED(wstatus)
+                     ? "signal " + std::to_string(WTERMSIG(wstatus))
+                     : "status " + std::to_string(WEXITSTATUS(wstatus))) +
+                ")");
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  // Handshake, then drive the run to global termination.
+  Status run_status = coordinator->RunHandshake();
+  std::vector<std::string> report_blobs;
+  if (run_status.ok()) {
+    auto reports = coordinator->RunToCompletion();
+    run_status = reports.status();
+    if (reports.ok()) report_blobs = std::move(reports).value();
+  }
+  const uint64_t steal_commands = coordinator->steal_commands_issued();
+  run_done.store(true);
+  watchdog.join();
+  coordinator->Close();
+
+  // Reap every worker; any nonzero exit fails the run.
+  bool workers_ok = true;
+  for (int i = 0; i < args.workers; ++i) {
+    WorkerProcess& w = workers[i];
+    if (!w.reaped) {
+      if (!run_status.ok()) ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, &w.wstatus, 0);
+      w.reaped = true;
+    }
+    const bool clean = WIFEXITED(w.wstatus) && WEXITSTATUS(w.wstatus) == 0;
+    if (!clean && run_status.ok()) {
+      std::fprintf(stderr, "qcm_cluster: rank %d exited abnormally (%s)\n",
+                   i,
+                   WIFSIGNALED(w.wstatus)
+                       ? ("signal " + std::to_string(WTERMSIG(w.wstatus)))
+                             .c_str()
+                       : ("status " +
+                          std::to_string(WEXITSTATUS(w.wstatus)))
+                             .c_str());
+      workers_ok = false;
+    }
+  }
+  if (!run_status.ok() || !workers_ok) {
+    std::fprintf(stderr, "qcm_cluster: FAILED -- %s\n",
+                 run_status.ok() ? "worker exit failure"
+                                 : run_status.ToString().c_str());
+    PrintLogTails(workers);
+    return 1;
+  }
+
+  // Merge the per-rank reports and postprocess the union of candidates.
+  std::vector<EngineReport> rank_reports(report_blobs.size());
+  for (size_t r = 0; r < report_blobs.size(); ++r) {
+    Decoder dec(report_blobs[r]);
+    Status s = DecodeEngineReport(&dec, &rank_reports[r]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "qcm_cluster: corrupt report from rank %zu: %s\n",
+                   r, s.ToString().c_str());
+      return 1;
+    }
+  }
+  EngineReport merged = MergeEngineReports(rank_reports);
+  const size_t raw_candidates = merged.results.size();
+  std::vector<VertexSet> results =
+      args.no_filter ? std::move(merged.results)
+                     : FilterMaximal(std::move(merged.results));
+
+  std::fprintf(stderr, "%zu %s quasi-cliques in %.3f s\n", results.size(),
+               args.no_filter ? "candidate" : "maximal",
+               merged.wall_seconds);
+  // Canonical order + digest + output file, shared with qcm_mine so the
+  // digest-parity gate compares one implementation against itself.
+  auto digest = EmitCanonicalResults(&results, args.output);
+  if (!digest.ok()) {
+    std::fprintf(stderr, "%s\n", digest.status().ToString().c_str());
+    return 1;
+  }
+  if (args.stats) {
+    std::fprintf(
+        stderr,
+        "cluster: %d workers, %llu tasks, %llu stolen (%llu steal "
+        "commands), %llu pulled vertices, %llu raw candidates\n",
+        args.workers,
+        static_cast<unsigned long long>(merged.counters.tasks_completed),
+        static_cast<unsigned long long>(merged.counters.stolen_tasks),
+        static_cast<unsigned long long>(steal_commands),
+        static_cast<unsigned long long>(merged.counters.pulled_vertices),
+        static_cast<unsigned long long>(raw_candidates));
+  }
+
+  if (!args.stats_json.empty()) {
+    // One JSON object per rank plus the merged totals, so CI can chart
+    // per-rank balance without re-deriving it.
+    std::string json = "{\n  \"ranks\": [\n";
+    for (size_t r = 0; r < rank_reports.size(); ++r) {
+      json += EngineReportJson(rank_reports[r]);
+      if (r + 1 < rank_reports.size()) json += ",";
+      json += "\n";
+    }
+    json += "  ],\n  \"merged\": " + EngineReportJson(merged) + "}\n";
+    FILE* f = args.stats_json == "-"
+                  ? stdout
+                  : std::fopen(args.stats_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   args.stats_json.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    if (f != stdout) std::fclose(f);
+  }
+  return 0;
+}

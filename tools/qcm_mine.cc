@@ -22,16 +22,23 @@
 //   --mode M              none | size | time                (default time)
 //   --cache-capacity N    per-machine vertex-cache entries; 0 disables
 //                         caching                           (default 65536)
-//   --cache-policy P      eviction policy: lru | clock      (default lru)
+//   --cache-policy P      eviction policy: lru | clock | tinylfu
+//                                                           (default lru)
 //   --pull-batch N        max vertex ids per batched pull   (default 2048)
 //   --net-latency F       modeled delivery delay in seconds applied to
 //                         every cross-machine message       (default 0)
 //   --net-latency-ticks N delivery delay in destination service ticks
 //                                                           (default 0)
-//   --output PATH         write one result per line ("v1 v2 ...")
+//   --output PATH         write one result per line ("v1 v2 ..."), in
+//                         canonical order (sets sorted lexicographically)
 //   --no-filter           report raw candidates (skip maximality filter)
 //   --stats               print engine/pruning statistics
+//   --stats-json PATH     write the EngineReport as JSON ("-" = stdout)
 //   --seed N              generator seed                    (default 1)
+//
+// The stderr summary always includes "result-digest: <16 hex>" -- the
+// canonical-order FNV digest of the result set, comparable across serial,
+// simulated and multi-process (qcm_cluster) runs.
 //
 // SPEC for --gen-planted: comma-separated key=value pairs --
 //   n, communities, size=LO..HI, density, overlap, edges (ER background).
@@ -72,6 +79,7 @@ struct Args {
   std::string output;
   bool no_filter = false;
   bool stats = false;
+  std::string stats_json;
   uint64_t seed = 1;
 };
 
@@ -170,6 +178,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->no_filter = true;
     } else if (a == "--stats") {
       args->stats = true;
+    } else if (a == "--stats-json") {
+      const char* v = next("--stats-json");
+      if (!v) return false;
+      args->stats_json = v;
     } else if (a == "--seed") {
       const char* v = next("--seed");
       if (!v) return false;
@@ -187,74 +199,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                  "exactly one of --input / --gen-planted is required\n");
     return false;
   }
-  return true;
-}
-
-/// Parses "n=5000,communities=10,size=16..20,density=0.95,overlap=0.3,
-/// edges=12000" into a PlantedConfig.
-bool ParsePlantedSpec(const std::string& spec, uint64_t seed,
-                      PlantedConfig* config) {
-  config->seed = seed;
-  size_t pos = 0;
-  while (pos < spec.size()) {
-    size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    std::string kv = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    size_t eq = kv.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "bad spec entry: %s\n", kv.c_str());
-      return false;
-    }
-    std::string key = kv.substr(0, eq);
-    std::string value = kv.substr(eq + 1);
-    if (key == "n") {
-      config->num_vertices = static_cast<uint32_t>(std::atoi(value.c_str()));
-    } else if (key == "communities") {
-      config->num_communities =
-          static_cast<uint32_t>(std::atoi(value.c_str()));
-    } else if (key == "size") {
-      size_t dots = value.find("..");
-      if (dots == std::string::npos) {
-        config->community_min = config->community_max =
-            static_cast<uint32_t>(std::atoi(value.c_str()));
-      } else {
-        config->community_min =
-            static_cast<uint32_t>(std::atoi(value.substr(0, dots).c_str()));
-        config->community_max =
-            static_cast<uint32_t>(std::atoi(value.substr(dots + 2).c_str()));
-      }
-    } else if (key == "density") {
-      config->intra_density = std::atof(value.c_str());
-    } else if (key == "overlap") {
-      config->overlap_fraction = std::atof(value.c_str());
-    } else if (key == "edges") {
-      config->background = BackgroundModel::kErdosRenyi;
-      config->background_edges =
-          static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else {
-      std::fprintf(stderr, "unknown spec key: %s\n", key.c_str());
-      return false;
-    }
+  if (args->serial && !args->stats_json.empty()) {
+    std::fprintf(stderr,
+                 "--stats-json requires the engine (not --serial)\n");
+    return false;
   }
   return true;
-}
-
-int WriteResults(const std::vector<VertexSet>& results,
-                 const std::string& path) {
-  FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return 1;
-  }
-  for (const VertexSet& s : results) {
-    for (size_t i = 0; i < s.size(); ++i) {
-      std::fprintf(f, "%s%u", i ? " " : "", s[i]);
-    }
-    std::fprintf(f, "\n");
-  }
-  if (f != stdout) std::fclose(f);
-  return 0;
 }
 
 }  // namespace
@@ -277,9 +227,12 @@ int main(int argc, char** argv) {
     }
     graph = std::move(loaded->graph);
   } else {
-    PlantedConfig config;
-    if (!ParsePlantedSpec(args.gen_planted, args.seed, &config)) return 2;
-    auto generated = GenPlantedCommunities(config);
+    auto spec = ParsePlantedSpec(args.gen_planted, args.seed);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    auto generated = GenPlantedCommunities(spec.value());
     if (!generated.ok()) {
       std::fprintf(stderr, "generation failed: %s\n",
                    generated.status().ToString().c_str());
@@ -296,6 +249,7 @@ int main(int argc, char** argv) {
   mining.min_size = args.min_size;
 
   std::vector<VertexSet> candidates;
+  std::string stats_json;
   double seconds = 0;
   if (args.serial) {
     VectorSink sink;
@@ -329,11 +283,7 @@ int main(int argc, char** argv) {
     config.max_pull_batch = args.pull_batch;
     config.net_latency_sec = args.net_latency_sec;
     config.net_latency_ticks = args.net_latency_ticks;
-    if (args.cache_policy == "lru") {
-      config.cache_policy = CachePolicy::kLRU;
-    } else if (args.cache_policy == "clock") {
-      config.cache_policy = CachePolicy::kClock;
-    } else {
+    if (!ParseCachePolicy(args.cache_policy, &config.cache_policy).ok()) {
       std::fprintf(stderr, "unknown --cache-policy %s\n",
                    args.cache_policy.c_str());
       return 2;
@@ -357,6 +307,9 @@ int main(int argc, char** argv) {
     }
     candidates = std::move(result->report.results);
     seconds = result->report.wall_seconds;
+    if (!args.stats_json.empty()) {
+      stats_json = EngineReportJson(result->report);
+    }
     if (args.stats) {
       const EngineReport& r = result->report;
       std::fprintf(stderr,
@@ -410,9 +363,25 @@ int main(int argc, char** argv) {
                      : FilterMaximal(std::move(candidates));
   std::fprintf(stderr, "%zu %s quasi-cliques in %.3f s\n", results.size(),
                args.no_filter ? "candidate" : "maximal", seconds);
+  // Canonical order + digest + output file, shared with qcm_cluster so
+  // the two tools' bytes are comparable by construction.
+  auto digest = EmitCanonicalResults(&results, args.output);
+  if (!digest.ok()) {
+    std::fprintf(stderr, "%s\n", digest.status().ToString().c_str());
+    return 1;
+  }
 
-  if (!args.output.empty()) {
-    return WriteResults(results, args.output);
+  if (!args.stats_json.empty()) {
+    FILE* f = args.stats_json == "-" ? stdout
+                                     : std::fopen(args.stats_json.c_str(),
+                                                  "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   args.stats_json.c_str());
+      return 1;
+    }
+    std::fputs(stats_json.c_str(), f);
+    if (f != stdout) std::fclose(f);
   }
   return 0;
 }

@@ -1,0 +1,169 @@
+// qcm_worker: one machine of a real multi-process mining cluster.
+//
+// Spawned by qcm_cluster (one process per machine), it connects to the
+// coordinator, receives its rank and the job spec over the wire
+// handshake, rebuilds the input graph deterministically, keeps ONLY its
+// own hash partition (plus replicated degree metadata) in its
+// VertexTable, and runs the G-thinker engine over the TCP-backed
+// CommFabric: vertex pulls and stolen big-task batches are the same typed
+// messages as in simulated mode, but they cross process boundaries as
+// length-prefixed kData frames. Termination arrives from the
+// coordinator's distributed detection; the final EngineReport and raw
+// candidate results ship back as the kReport payload.
+//
+// Usage (normally via qcm_cluster):
+//   qcm_worker --coordinator-port P [--coordinator-host H]
+//              [--stats-json PATH]
+//
+// Exit status: 0 only for a clean run (connected, mined, reported);
+// anything else is a loud failure the launcher must surface.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "graph/edge_io.h"
+#include "graph/generators.h"
+#include "gthinker/engine.h"
+#include "mining/qc_app.h"
+#include "net/job_spec.h"
+#include "net/tcp_transport.h"
+#include "util/serde.h"
+
+namespace {
+
+using namespace qcm;
+
+int Fail(TcpTransport* transport, const std::string& message) {
+  std::fprintf(stderr, "qcm_worker: %s\n", message.c_str());
+  if (transport != nullptr) transport->SendAbort(message);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string stats_json;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--coordinator-port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (a == "--coordinator-host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (a == "--stats-json" && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: qcm_worker --coordinator-port P "
+                   "[--coordinator-host H] [--stats-json PATH]\n");
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "qcm_worker: --coordinator-port is required\n");
+    return 2;
+  }
+
+  // Handshake: rank assignment + job spec + peer mesh.
+  auto connected =
+      TcpTransport::ConnectWorker(host, static_cast<uint16_t>(port));
+  if (!connected.ok()) {
+    return Fail(nullptr,
+                "cluster handshake failed: " +
+                    connected.status().ToString());
+  }
+  std::unique_ptr<TcpTransport> transport = std::move(connected).value();
+  const int rank = transport->rank();
+
+  ClusterJobSpec spec;
+  {
+    Status s = DecodeJobSpec(transport->config_blob(), &spec);
+    if (!s.ok()) {
+      return Fail(transport.get(), "bad job spec: " + s.ToString());
+    }
+  }
+  if (spec.config.num_machines != transport->world_size()) {
+    return Fail(transport.get(), "job spec world size mismatch");
+  }
+
+  // Rebuild the graph deterministically, then keep only this rank's
+  // partition (the full graph is dropped before mining starts).
+  std::unique_ptr<VertexTable> table;
+  {
+    Graph full;
+    if (!spec.input.empty()) {
+      auto loaded = LoadEdgeList(spec.input);
+      if (!loaded.ok()) {
+        return Fail(transport.get(),
+                    "graph load failed: " + loaded.status().ToString());
+      }
+      full = std::move(loaded->graph);
+    } else {
+      auto parsed = ParsePlantedSpec(spec.gen_planted, spec.seed);
+      if (!parsed.ok()) {
+        return Fail(transport.get(),
+                    "bad planted spec: " + parsed.status().ToString());
+      }
+      auto generated = GenPlantedCommunities(parsed.value());
+      if (!generated.ok()) {
+        return Fail(transport.get(),
+                    "graph generation failed: " +
+                        generated.status().ToString());
+      }
+      full = std::move(generated).value();
+    }
+    table = std::make_unique<VertexTable>(full, transport->world_size(),
+                                          rank);
+    std::fprintf(stderr,
+                 "qcm_worker rank %d/%d: %u vertices total, %zu owned\n",
+                 rank, transport->world_size(), table->NumVertices(),
+                 table->OwnedVertices(rank).size());
+  }
+
+  QCApp app(spec.config);
+  Engine engine(std::move(table), spec.config, &app, transport.get());
+  auto report = engine.Run();
+  if (!report.ok()) {
+    return Fail(transport.get(),
+                "engine failed: " + report.status().ToString());
+  }
+
+  // Ship the report + raw candidates to the coordinator for merging.
+  {
+    Encoder enc;
+    EncodeEngineReport(report.value(), &enc);
+    Status s = transport->SendReport(enc.Release());
+    if (!s.ok()) {
+      return Fail(transport.get(),
+                  "report send failed: " + s.ToString());
+    }
+  }
+
+  if (!stats_json.empty()) {
+    const std::string json = EngineReportJson(report.value());
+    if (FILE* f = std::fopen(stats_json.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "qcm_worker: cannot write %s\n",
+                   stats_json.c_str());
+    }
+  }
+
+  std::fprintf(stderr,
+               "qcm_worker rank %d: done, %zu raw candidates, "
+               "%llu tasks completed\n",
+               rank, report->results.size(),
+               static_cast<unsigned long long>(
+                   report->counters.tasks_completed));
+  const bool ok = transport->terminated() && !transport->failed();
+  if (!ok) {
+    std::fprintf(stderr, "qcm_worker rank %d: transport failure: %s\n",
+                 rank, transport->failure().c_str());
+  }
+  transport->Shutdown();
+  return ok ? 0 : 1;
+}
