@@ -134,6 +134,16 @@ void CommFabric::Enqueue(Message m, bool count_send) {
 }
 
 void CommFabric::CountDelivery(const Message& m, double now) {
+  // Feed the steal planner's RTT EWMAs only when the fabric actually
+  // models latency: enqueue->delivery time always includes inbox dwell
+  // (the gap between a message coming due and the next service tick),
+  // and at zero modeled latency that dwell is pure service-cadence noise
+  // which would nudge the planner off the legacy flat plan. With
+  // latency modeled, dwell is part of the effective transfer delay the
+  // policy is supposed to amortize.
+  if (rtt_ != nullptr && (latency_ticks_ > 0 || latency_sec_ > 0.0)) {
+    rtt_->RecordOneWay(m.src, m.dst, std::max(0.0, now - m.enqueue_sec));
+  }
   if (counters_ == nullptr) return;
   const int t = static_cast<int>(m.type);
   counters_->msg_delivered[t].fetch_add(1, std::memory_order_relaxed);

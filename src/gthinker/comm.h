@@ -48,6 +48,7 @@
 
 #include "gthinker/metrics.h"
 #include "net/transport.h"
+#include "sched/rtt.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -103,6 +104,12 @@ class CommFabric {
   /// mining; sampled at enqueue time for the overlap-ratio metric.
   void SetBusyProbe(std::function<int(int machine)> probe);
 
+  /// Optional per-link latency tracker (sched/rtt.h): every delivery
+  /// folds its observed enqueue->delivery latency into the (src, dst)
+  /// EWMA, which is what the latency-aware steal planner reads. Must
+  /// outlive the fabric.
+  void SetRttTracker(LinkRttTracker* tracker) { rtt_ = tracker; }
+
   /// Enqueues a message. Never blocks; the destination's next due
   /// service tick will deliver it. In process-per-machine mode a remote
   /// destination ships the message over the transport instead.
@@ -149,6 +156,7 @@ class CommFabric {
   double latency_sec_;
   EngineCounters* counters_;
   Transport* transport_;
+  LinkRttTracker* rtt_ = nullptr;
   /// The one machine hosted by this process (-1 in simulated mode).
   int local_rank_;
   std::function<int(int)> busy_probe_;

@@ -5,9 +5,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
 #include <thread>
 
+#include "sched/steal_planner.h"
 #include "util/logging.h"
 #include "util/mem.h"
 #include "util/timer.h"
@@ -25,7 +25,7 @@ struct Engine::Worker {
   std::unique_ptr<SpillManager> small_spill;  // L_small
   std::unique_ptr<SpillManager> big_spill;    // L_big
   std::unique_ptr<GlobalQueue> global_queue;  // Q_global
-  std::atomic<size_t> spawn_cursor{0};
+  std::unique_ptr<Scheduler> sched;           // the machine's policy object
   /// Compers of this machine currently inside App::Compute; sampled by
   /// the CommFabric at enqueue time for the overlap-ratio metric.
   std::atomic<int> busy_compers{0};
@@ -38,8 +38,11 @@ struct Engine::Worker {
 };
 
 // ---------------------------------------------------------------------------
-// Comper: one mining thread; owns its local queue and implements the
-// ComputeContext the application UDFs run against.
+// Comper: one mining thread. A thin driver of the machine's Scheduler --
+// it owns the thread-local LocalQueue and implements the ComputeContext
+// the application UDFs run against; every scheduling decision (routing,
+// spawn batching, prefetch, park/resume, spilling, lifecycle) happens in
+// the sched layer.
 // ---------------------------------------------------------------------------
 
 class Engine::Comper : public ComputeContext {
@@ -54,38 +57,22 @@ class Engine::Comper : public ComputeContext {
   }
 
   void Run() {
+    Scheduler* sched = worker_->sched.get();
     while (!engine_->done_.load()) {
-      ServiceComm();
-      TaskPtr task = PopBig();
-      if (task == nullptr) task = PopLocal();
+      sched->ServiceFabric(engine_->fabric_.get(), local_);
+      TaskPtr task = sched->NextTask(local_, *this);
       if (task != nullptr) {
         WallTimer busy;
+        const bool first_round = !task->sched_info().computed_once;
         active_task_ = task.get();
+        active_task_first_round_ = first_round;
         worker_->busy_compers.fetch_add(1, std::memory_order_relaxed);
         ComputeStatus status = engine_->app_->Compute(*task, *this);
         worker_->busy_compers.fetch_sub(1, std::memory_order_relaxed);
         active_task_ = nullptr;
         metrics_.busy_seconds += busy.Seconds();
         ++metrics_.tasks_processed;
-        if (status == ComputeStatus::kRequeue) {
-          Enqueue(std::move(task));  // still counted in pending_
-        } else if (status == ComputeStatus::kSuspended &&
-                   task->pulls().HasWanted()) {
-          // The task's pull is outstanding: yield the comper (Alg. 3's
-          // "add t back to the queue"). The task stays counted in
-          // pending_ while it is parked, so termination cannot race past
-          // it; a broker flush re-enqueues it.
-          engine_->counters_.task_suspensions.fetch_add(
-              1, std::memory_order_relaxed);
-          worker_->broker->Park(std::move(task));
-        } else if (status == ComputeStatus::kSuspended) {
-          // Nothing actually outstanding: degenerate to a requeue.
-          Enqueue(std::move(task));
-        } else {
-          engine_->counters_.tasks_completed.fetch_add(
-              1, std::memory_order_relaxed);
-          engine_->pending_.fetch_sub(1);
-        }
+        sched->OnComputeResult(std::move(task), status, local_);
         continue;
       }
       // No work found anywhere: maybe everything is finished; otherwise
@@ -104,7 +91,7 @@ class Engine::Comper : public ComputeContext {
   AdjRef Fetch(VertexId v) override {
     if (active_task_ != nullptr && !worker_->data->IsLocal(v)) {
       if (const auto* pin = active_task_->pulls().Find(v)) {
-        engine_->counters_.pin_hits.fetch_add(1, std::memory_order_relaxed);
+        CountPinHit();
         return AdjRef{
             std::span<const VertexId>((*pin)->data(), (*pin)->size()), *pin};
       }
@@ -118,7 +105,7 @@ class Engine::Comper : public ComputeContext {
     if (worker_->data->IsLocal(v)) return true;
     TaskPullState& pulls = active_task_->pulls();
     if (pulls.Find(v) != nullptr) {
-      engine_->counters_.pin_hits.fetch_add(1, std::memory_order_relaxed);
+      CountPinHit();
       return true;
     }
     if (auto cached = worker_->data->TryCached(v)) {
@@ -133,8 +120,7 @@ class Engine::Comper : public ComputeContext {
   uint32_t Degree(VertexId v) override { return worker_->data->Degree(v); }
 
   void AddTask(TaskPtr task) override {
-    engine_->pending_.fetch_add(1);
-    Enqueue(std::move(task));
+    worker_->sched->SubmitNew(std::move(task), local_);
   }
 
   ResultSink& sink() override { return sink_; }
@@ -146,137 +132,43 @@ class Engine::Comper : public ComputeContext {
   VectorSink sink_;
 
  private:
-  /// Routes a task that is already counted in pending_ (big tasks to the
-  /// machine's global queue, small ones to this thread's local queue).
-  void Enqueue(TaskPtr task) {
-    if (task->SizeHint() > engine_->config_.tau_split) {
-      engine_->counters_.big_tasks.fetch_add(1, std::memory_order_relaxed);
-      worker_->global_queue->Push(std::move(task));
-    } else {
-      engine_->counters_.small_tasks.fetch_add(1, std::memory_order_relaxed);
-      PushLocal(std::move(task));
+  /// A read served by a task-held pin; when it happens in the first
+  /// compute round of a prefetched task, it is a read the spawn-time
+  /// prefetch turned from a suspension-and-transfer into a pin hit.
+  void CountPinHit() {
+    engine_->counters_.pin_hits.fetch_add(1, std::memory_order_relaxed);
+    if (active_task_first_round_ && active_task_->sched_info().prefetched) {
+      engine_->counters_.prefetch_hits.fetch_add(1,
+                                                 std::memory_order_relaxed);
     }
-  }
-
-  /// One fabric service tick for this machine: deliver every due message
-  /// (serve peer pull requests, accept pull responses, inject stolen big
-  /// tasks), then pump the broker's outstanding vertex requests onto the
-  /// fabric. Tasks resumed here never left pending_, so routing does not
-  /// re-count them.
-  void ServiceComm() {
-    CommFabric* fabric = engine_->fabric_.get();
-    for (Message& m : fabric->Service(worker_->id)) {
-      switch (m.type) {
-        case MessageType::kPullRequest:
-          // We own the requested vertices; serve from the local table and
-          // send the adjacency batch back through the modeled network.
-          fabric->Send(MessageType::kPullResponse, worker_->id, m.src,
-                       worker_->broker->ServeRequest(m.payload));
-          break;
-        case MessageType::kPullResponse:
-          for (TaskPtr& task : worker_->broker->AcceptResponse(m.payload)) {
-            Enqueue(std::move(task));
-          }
-          break;
-        case MessageType::kStealBatch: {
-          // Stolen big tasks arrive as prefetched work for this machine's
-          // global queue; they stayed counted in pending_ during flight.
-          Decoder dec(m.payload);
-          uint32_t count = 0;
-          Status s = dec.GetU32(&count);
-          QCM_CHECK(s.ok()) << "corrupt steal batch: " << s.ToString();
-          std::vector<TaskPtr> tasks;
-          tasks.reserve(count);
-          for (uint32_t i = 0; i < count; ++i) {
-            auto task = engine_->app_->DecodeTask(&dec);
-            QCM_CHECK(task.ok()) << "steal transfer decode failed: "
-                                 << task.status().ToString();
-            tasks.push_back(std::move(task).value());
-          }
-          worker_->global_queue->PushStolenFront(std::move(tasks));
-          break;
-        }
-      }
-    }
-    for (TaskPtr& task : worker_->broker->PumpRequests(fabric)) {
-      Enqueue(std::move(task));
-    }
-  }
-
-  void PushLocal(TaskPtr task) {
-    local_.push_back(std::move(task));
-    if (local_.size() > engine_->config_.local_queue_capacity) {
-      // Spill a batch of C tasks from the tail of the queue.
-      std::vector<std::string> blobs;
-      blobs.reserve(engine_->config_.batch_size);
-      while (blobs.size() < engine_->config_.batch_size &&
-             local_.size() > 1) {
-        Encoder enc;
-        local_.back()->Encode(&enc);
-        blobs.push_back(enc.Release());
-        local_.pop_back();
-      }
-      Status s = worker_->small_spill->SpillBatch(blobs);
-      QCM_CHECK(s.ok()) << "local queue spill failed: " << s.ToString();
-    }
-  }
-
-  TaskPtr PopBig() { return worker_->global_queue->TryPop(); }
-
-  TaskPtr PopLocal() {
-    if (local_.size() < engine_->config_.batch_size) RefillLocal();
-    if (local_.empty()) return nullptr;
-    TaskPtr t = std::move(local_.front());
-    local_.pop_front();
-    return t;
-  }
-
-  /// Refill priority (paper §5 "third change"): L_small first, then spawn
-  /// a batch of fresh tasks, stopping as soon as a spawned task is big.
-  void RefillLocal() {
-    auto blobs = worker_->small_spill->PopBatch();
-    QCM_CHECK(blobs.ok()) << "L_small refill failed: "
-                          << blobs.status().ToString();
-    if (!blobs->empty()) {
-      for (const std::string& blob : blobs.value()) {
-        Decoder dec(blob);
-        auto task = engine_->app_->DecodeTask(&dec);
-        QCM_CHECK(task.ok()) << "task decode from L_small failed: "
-                             << task.status().ToString();
-        local_.push_back(std::move(task).value());
-      }
-      return;
-    }
-    // Spawn from the machine's unspawned vertices.
-    const std::vector<VertexId>& owned =
-        engine_->table_->OwnedVertices(worker_->id);
-    engine_->active_spawners_.fetch_add(1);
-    size_t spawned_small = 0;
-    while (spawned_small < engine_->config_.batch_size) {
-      const size_t idx = worker_->spawn_cursor.fetch_add(1);
-      if (idx >= owned.size()) break;
-      TaskPtr task = engine_->app_->Spawn(owned[idx], *this);
-      if (task == nullptr) continue;
-      ++metrics_.tasks_spawned;
-      engine_->pending_.fetch_add(1);
-      if (task->SizeHint() > engine_->config_.tau_split) {
-        engine_->counters_.big_tasks.fetch_add(1, std::memory_order_relaxed);
-        worker_->global_queue->Push(std::move(task));
-        break;  // avoid generating many big tasks out of one refill
-      }
-      engine_->counters_.small_tasks.fetch_add(1, std::memory_order_relaxed);
-      local_.push_back(std::move(task));
-      ++spawned_small;
-    }
-    engine_->active_spawners_.fetch_sub(1);
   }
 
   Engine* engine_;
   Worker* worker_;
   Task* active_task_ = nullptr;  // task currently in Compute (pull target)
-  std::deque<TaskPtr> local_;
+  bool active_task_first_round_ = false;
+  LocalQueue local_;
   EgoScratch ego_scratch_;
 };
+
+namespace {
+
+/// Serializes a stolen batch into a kStealBatch payload, moving each
+/// task's lifecycle to kStolen (the receiver rehydrates kStolen->kReady).
+/// Shared by the in-process steal master and the coordinator-commanded
+/// steal path so the wire format and lifecycle recording cannot drift.
+std::string EncodeStealBatchPayload(const std::vector<TaskPtr>& tasks,
+                                    EngineCounters* counters) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(tasks.size()));
+  for (const TaskPtr& t : tasks) {
+    AdvanceTaskState(*t, TaskState::kStolen, &counters->lifecycle);
+    t->Encode(&enc);
+  }
+  return enc.Release();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -301,10 +193,7 @@ Engine::~Engine() {
 
 bool Engine::SpawnExhausted() const {
   for (const auto& worker : workers_) {
-    if (worker->spawn_cursor.load() <
-        table_->OwnedVertices(worker->id).size()) {
-      return false;
-    }
+    if (!worker->sched->SpawnExhausted()) return false;
   }
   return true;
 }
@@ -337,6 +226,17 @@ void Engine::StatusLoop() {
     status.pending = pending_.load();
     status.data_frames_sent = transport_->DataFramesSent();
     status.pending_big = workers_[0]->PendingBig();
+    // Mean observed delivery latency so far: the coordinator's input to
+    // latency-aware steal planning (it cannot see our fabric directly).
+    uint64_t delivered = 0;
+    for (int t = 0; t < kNumMessageTypes; ++t) {
+      delivered += counters_.msg_delivered[t].load(std::memory_order_relaxed);
+    }
+    status.delivery_latency_usec =
+        delivered == 0
+            ? 0
+            : counters_.msg_latency_usec_sum.load(std::memory_order_relaxed) /
+                  delivered;
     transport_->PublishStatus(status);
     if (done_.load()) return;
     std::this_thread::sleep_for(std::chrono::microseconds(500));
@@ -367,16 +267,14 @@ void Engine::OnStealCommand(int receiver, uint64_t want) {
   if (want == 0 || done_.load()) return;
   std::vector<TaskPtr> tasks = workers_[0]->global_queue->StealBatch(want);
   if (tasks.empty()) return;  // the coordinator's estimate was stale
-  Encoder enc;
-  enc.PutU32(static_cast<uint32_t>(tasks.size()));
-  for (const TaskPtr& t : tasks) t->Encode(&enc);
-  const uint64_t bytes = enc.size();
+  std::string payload = EncodeStealBatchPayload(tasks, &counters_);
+  const uint64_t bytes = payload.size();
   // Send first (the frame is counted as sent before the wire write), only
   // then drop the tasks from this process's pending accounting: the
   // coordinator always sees the batch as either local work or an
   // unprocessed frame, never as nothing.
   fabric_->Send(MessageType::kStealBatch, first_machine(), receiver,
-                enc.Release());
+                std::move(payload));
   pending_.fetch_sub(static_cast<int64_t>(tasks.size()));
   counters_.steal_events.fetch_add(1, std::memory_order_relaxed);
   counters_.stolen_tasks.fetch_add(tasks.size(), std::memory_order_relaxed);
@@ -402,51 +300,37 @@ void Engine::StealLoop() {
     }
     if (done_.load()) break;
 
-    // Periodic balancing plan (paper: master collects per-machine pending
-    // big-task counts, computes the average, and moves at most one batch
-    // per machine per period toward the average).
+    // Periodic balancing round: the shared steal planner (the same plan
+    // the cluster Coordinator runs, paper §5) computes the moves, sized
+    // per link by the RTT EWMAs the fabric feeds -- larger, rarer
+    // batches on slow links.
     WallTimer active;
-    const size_t n = workers_.size();
-    std::vector<uint64_t> counts(n);
-    uint64_t total = 0;
-    for (size_t i = 0; i < n; ++i) {
+    std::vector<uint64_t> counts(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
       counts[i] = workers_[i]->PendingBig();
-      total += counts[i];
     }
-    const uint64_t avg = total / n;
-    for (size_t donor = 0; donor < n; ++donor) {
-      if (counts[donor] <= avg + 1) continue;
-      // Most starved receiver.
-      size_t receiver = donor;
-      for (size_t r = 0; r < n; ++r) {
-        if (counts[r] < counts[receiver]) receiver = r;
-      }
-      if (receiver == donor || counts[receiver] >= avg) continue;
-      const uint64_t want =
-          std::min<uint64_t>({counts[donor] - avg, avg - counts[receiver],
-                              config_.batch_size});
-      if (want == 0) continue;
+    StealPlannerOptions opts;
+    opts.base_batch = config_.batch_size;
+    opts.rtt_reference_sec = config_.steal_rtt_reference_sec;
+    opts.max_batch_factor = config_.steal_max_batch_factor;
+    for (const StealMove& move : PlanSteals(counts, opts, rtt_.get())) {
       std::vector<TaskPtr> tasks =
-          workers_[donor]->global_queue->StealBatch(want);
-      if (tasks.empty()) continue;
+          workers_[move.donor]->global_queue->StealBatch(move.want);
+      if (tasks.empty()) continue;  // the plan's estimate was stale
 
       // Serialize the batch into one kStealBatch message; the fabric
       // delivers it into the receiver's global queue on a later service
       // tick, so the transfer overlaps with mining on both ends instead
       // of blocking this thread. The tasks remain counted in pending_
       // throughout the flight, so termination cannot race past them.
-      Encoder enc;
-      enc.PutU32(static_cast<uint32_t>(tasks.size()));
-      for (const TaskPtr& t : tasks) t->Encode(&enc);
-      const uint64_t bytes = enc.size();
-      fabric_->Send(MessageType::kStealBatch, static_cast<int>(donor),
-                    static_cast<int>(receiver), enc.Release());
+      std::string payload = EncodeStealBatchPayload(tasks, &counters_);
+      const uint64_t bytes = payload.size();
+      fabric_->Send(MessageType::kStealBatch, move.donor, move.receiver,
+                    std::move(payload));
       counters_.steal_events.fetch_add(1, std::memory_order_relaxed);
       counters_.stolen_tasks.fetch_add(tasks.size(),
                                        std::memory_order_relaxed);
       counters_.steal_bytes.fetch_add(bytes, std::memory_order_relaxed);
-      counts[donor] -= tasks.size();
-      counts[receiver] += tasks.size();
     }
     active_seconds += active.Seconds();
   }
@@ -499,6 +383,11 @@ StatusOr<EngineReport> Engine::Run() {
   fabric_ = std::make_unique<CommFabric>(
       config_.num_machines, config_.net_latency_ticks,
       config_.net_latency_sec, &counters_, transport_);
+  // Per-link delivery-latency EWMAs, measured off fabric message
+  // timestamps; the steal planner sizes batches from them. Alpha 0.25:
+  // converge within a few deliveries yet absorb one-off stalls.
+  rtt_ = std::make_unique<LinkRttTracker>(config_.num_machines, 0.25);
+  fabric_->SetRttTracker(rtt_.get());
   // Machines hosted by this process: all of them when simulated, exactly
   // the transport's rank when distributed.
   std::vector<int> local_machines;
@@ -525,6 +414,19 @@ StatusOr<EngineReport> Engine::Run() {
     w->global_queue = std::make_unique<GlobalQueue>(
         config_.global_queue_capacity, config_.batch_size,
         w->big_spill.get(), app_, &counters_);
+    Scheduler::Deps deps;
+    deps.machine = m;
+    deps.config = &config_;
+    deps.app = app_;
+    deps.table = table_.get();
+    deps.data = w->data.get();
+    deps.broker = w->broker.get();
+    deps.global_queue = w->global_queue.get();
+    deps.small_spill = w->small_spill.get();
+    deps.counters = &counters_;
+    deps.pending = &pending_;
+    deps.active_spawners = &active_spawners_;
+    w->sched = std::make_unique<Scheduler>(deps);
     workers_.push_back(std::move(w));
   }
   fabric_->SetBusyProbe([this](int machine) {

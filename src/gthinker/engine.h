@@ -5,18 +5,23 @@
 // batched task spawning, and master-coordinated stealing of big tasks
 // between machines.
 //
-// Scheduling discipline per mining thread (the paper's reforged Alg. 3):
-//   0. Service the machine's CommFabric inbox: advance the service tick,
+// Scheduling policy -- task lifecycle, admission/routing, the spawn-time
+// prefetch pipeline, local-queue spill/refill, park/resume -- lives in
+// the src/sched/ layer (one Scheduler per machine); the compute loop
+// here is a thin driver of it (the paper's reforged Alg. 3):
+//   0. Scheduler::ServiceFabric: advance the machine's service tick,
 //      deliver every due message (serve peer pull requests, accept pull
 //      responses and re-enqueue the tasks that were suspended on them,
 //      inject stolen big-task batches into the global queue), then pump
 //      the broker's outstanding vertex requests onto the fabric.
-//   1. Try to pop a big task from this machine's global queue (try-lock;
-//      refill from L_big when low).
-//   2. Otherwise pop from the thread's local queue; when low, refill from
-//      L_small, else spawn a fresh batch of tasks from the machine's
-//      unspawned vertices -- stopping early if a spawned task is big.
-//   3. Otherwise idle briefly and re-check for termination.
+//   1. Scheduler::NextTask: the machine's global big-task queue first
+//      (try-lock; refill from L_big when low), then the thread's local
+//      queue -- refilled from L_small, else by spawning a fresh batch
+//      from the machine's unspawned vertices (where the spawn-time
+//      prefetch stage runs) -- stopping early if a spawned task is big.
+//   2. Scheduler::OnComputeResult folds the round's outcome back into
+//      the lifecycle.
+//   3. No work anywhere: idle briefly and re-check for termination.
 //
 // A task whose compute round Request()ed vertices that are neither local,
 // pinned, nor cached returns kSuspended: it yields its comper and parks in
@@ -24,7 +29,10 @@
 // messages -- delayed by the fabric's modeled network latency -- have
 // delivered (and pinned) every missing adjacency. Steal transfers ride
 // the same fabric as kStealBatch messages, so transfer time overlaps
-// with mining on both machines instead of blocking the steal master.
+// with mining on both machines instead of blocking the steal master; the
+// balancing plan itself (shared with the cluster Coordinator) comes from
+// sched/steal_planner.h, sized per link by the RTT EWMAs the fabric
+// feeds into a LinkRttTracker.
 //
 // Process-per-machine mode: constructed with a Transport and a
 // partitioned VertexTable, the engine hosts exactly ONE machine (the
@@ -58,6 +66,8 @@
 #include "gthinker/vertex_table.h"
 #include "graph/graph.h"
 #include "net/transport.h"
+#include "sched/rtt.h"
+#include "sched/scheduler.h"
 #include "util/status.h"
 
 namespace qcm {
@@ -109,6 +119,9 @@ class Engine {
 
   std::unique_ptr<VertexTable> table_;
   std::unique_ptr<CommFabric> fabric_;
+  /// Per-link delivery-latency EWMAs (fed by the fabric, read by the
+  /// steal planner).
+  std::unique_ptr<LinkRttTracker> rtt_;
   std::vector<std::unique_ptr<Worker>> workers_;
   EngineCounters counters_;
 

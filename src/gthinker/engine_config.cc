@@ -28,6 +28,13 @@ const char* CachePolicyName(CachePolicy policy) {
   return "?";
 }
 
+// Every config rejection names the exact check that fired: a bad flag
+// should cost one glance at engine_config.cc, not a bisection of
+// defaults that silently papered over it.
+#define QCM_CONFIG_ERROR(msg)                                         \
+  Status::InvalidArgument(std::string("engine_config.cc:") +          \
+                          std::to_string(__LINE__) + ": " + (msg))
+
 Status ParseCachePolicy(const std::string& name, CachePolicy* policy) {
   if (name == "lru") {
     *policy = CachePolicy::kLRU;
@@ -36,43 +43,59 @@ Status ParseCachePolicy(const std::string& name, CachePolicy* policy) {
   } else if (name == "tinylfu") {
     *policy = CachePolicy::kTinyLFU;
   } else {
-    return Status::InvalidArgument("unknown cache policy: " + name);
+    return QCM_CONFIG_ERROR("unknown cache policy: \"" + name +
+                            "\" (expected lru | clock | tinylfu)");
   }
   return Status::OK();
 }
 
 Status EngineConfig::Validate() const {
   if (num_machines < 1) {
-    return Status::InvalidArgument("num_machines must be >= 1");
+    return QCM_CONFIG_ERROR("num_machines must be >= 1");
   }
   if (threads_per_machine < 1) {
-    return Status::InvalidArgument("threads_per_machine must be >= 1");
+    return QCM_CONFIG_ERROR("threads_per_machine must be >= 1");
   }
   if (batch_size < 1) {
-    return Status::InvalidArgument("batch_size must be >= 1");
+    return QCM_CONFIG_ERROR("batch_size must be >= 1");
   }
   if (local_queue_capacity < batch_size) {
-    return Status::InvalidArgument(
-        "local_queue_capacity must be >= batch_size");
+    return QCM_CONFIG_ERROR("local_queue_capacity must be >= batch_size");
   }
   if (global_queue_capacity < batch_size) {
-    return Status::InvalidArgument(
-        "global_queue_capacity must be >= batch_size");
+    return QCM_CONFIG_ERROR("global_queue_capacity must be >= batch_size");
   }
   if (mode == DecomposeMode::kTimeDelayed && tau_time < 0) {
-    return Status::InvalidArgument("tau_time must be >= 0");
+    return QCM_CONFIG_ERROR("tau_time must be >= 0");
   }
   if (steal_period_sec <= 0) {
-    return Status::InvalidArgument("steal_period_sec must be > 0");
+    return QCM_CONFIG_ERROR("steal_period_sec must be > 0");
   }
   if (max_pull_batch < 1) {
-    return Status::InvalidArgument("max_pull_batch must be >= 1");
+    return QCM_CONFIG_ERROR("max_pull_batch must be >= 1");
   }
   if (net_latency_sec < 0) {
-    return Status::InvalidArgument("net_latency_sec must be >= 0");
+    return QCM_CONFIG_ERROR("net_latency_sec must be >= 0 (negative "
+                            "latency is not a thing)");
+  }
+  if (spawn_prefetch && prefetch_limit == 0) {
+    return QCM_CONFIG_ERROR(
+        "contradictory: spawn_prefetch is on but prefetch_limit is 0 (a "
+        "zero-depth prefetch pipeline admits nothing; raise the limit or "
+        "disable prefetch)");
+  }
+  if (steal_rtt_reference_sec <= 0) {
+    return QCM_CONFIG_ERROR("steal_rtt_reference_sec must be > 0");
+  }
+  if (steal_max_batch_factor < 1) {
+    return QCM_CONFIG_ERROR(
+        "contradictory: steal_max_batch_factor 0 would cap every steal "
+        "batch at nothing; use 1 to disable latency scaling");
   }
   return mining.Validate();
 }
+
+#undef QCM_CONFIG_ERROR
 
 void EncodeEngineConfig(const EngineConfig& config, Encoder* enc) {
   enc->PutU32(static_cast<uint32_t>(config.num_machines));
@@ -91,6 +114,10 @@ void EncodeEngineConfig(const EngineConfig& config, Encoder* enc) {
   enc->PutU8(static_cast<uint8_t>(config.cache_policy));
   enc->PutU64(config.net_latency_ticks);
   enc->PutDouble(config.net_latency_sec);
+  enc->PutU8(config.spawn_prefetch ? 1 : 0);
+  enc->PutU64(config.prefetch_limit);
+  enc->PutDouble(config.steal_rtt_reference_sec);
+  enc->PutU64(config.steal_max_batch_factor);
   enc->PutU8(config.record_task_log ? 1 : 0);
   enc->PutDouble(config.mining.gamma);
   enc->PutU32(config.mining.min_size);
@@ -139,6 +166,12 @@ Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
   config->cache_policy = static_cast<CachePolicy>(u8);
   QCM_RETURN_IF_ERROR(dec->GetU64(&config->net_latency_ticks));
   QCM_RETURN_IF_ERROR(dec->GetDouble(&config->net_latency_sec));
+  QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
+  config->spawn_prefetch = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetU64(&u64));
+  config->prefetch_limit = u64;
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&config->steal_rtt_reference_sec));
+  QCM_RETURN_IF_ERROR(dec->GetU64(&config->steal_max_batch_factor));
   QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
   config->record_task_log = u8 != 0;
   QCM_RETURN_IF_ERROR(dec->GetDouble(&config->mining.gamma));

@@ -94,6 +94,27 @@ struct EngineConfig {
   /// VertexCache eviction policy.
   CachePolicy cache_policy = CachePolicy::kLRU;
 
+  /// Spawn-time pull prefetch (sched/scheduler.h pipeline stage): a newly
+  /// spawned task Want()s its first compute round's vertices through the
+  /// fabric BEFORE its first schedule, so the first round finds pinned
+  /// entries instead of suspending on a pull. Results are bit-identical
+  /// with the stage on or off (prefetch only changes availability).
+  bool spawn_prefetch = false;
+  /// Max tasks parked in the kPrefetching stage per machine at once (the
+  /// pipeline depth; backpressure falls back to non-prefetched admission).
+  /// Must be >= 1 while spawn_prefetch is on -- a zero-depth prefetch
+  /// pipeline is a contradiction Validate() rejects.
+  size_t prefetch_limit = 64;
+
+  /// Latency-aware steal planning (sched/steal_planner.h): per-move batch
+  /// caps scale with the link's RTT EWMA in units of this reference RTT;
+  /// links at or above it also suppress sub-half-cap moves ("larger,
+  /// rarer batches on slow links"). Must be > 0.
+  double steal_rtt_reference_sec = 1e-3;
+  /// Hard cap multiplier: one steal move never exceeds
+  /// batch_size * steal_max_batch_factor tasks. Must be >= 1.
+  uint64_t steal_max_batch_factor = 8;
+
   /// Modeled network latency of every CommFabric message (pull requests,
   /// pull responses, steal batches). A message enqueued while the
   /// destination machine is at service tick T becomes deliverable at tick

@@ -43,6 +43,11 @@ EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
   s.pin_hits = c.pin_hits.load(std::memory_order_relaxed);
   s.remote_bytes = c.remote_bytes.load(std::memory_order_relaxed);
   s.task_suspensions = c.task_suspensions.load(std::memory_order_relaxed);
+  s.prefetch_tasks = c.prefetch_tasks.load(std::memory_order_relaxed);
+  s.prefetch_issued = c.prefetch_issued.load(std::memory_order_relaxed);
+  s.prefetch_hits = c.prefetch_hits.load(std::memory_order_relaxed);
+  s.first_schedule_pins =
+      c.first_schedule_pins.load(std::memory_order_relaxed);
   s.pull_rounds = c.pull_rounds.load(std::memory_order_relaxed);
   s.pull_batches = c.pull_batches.load(std::memory_order_relaxed);
   s.pulled_vertices = c.pulled_vertices.load(std::memory_order_relaxed);
@@ -67,6 +72,12 @@ EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
   s.msg_overlapped = c.msg_overlapped.load(std::memory_order_relaxed);
   s.steal_idle_usec = c.steal_idle_usec.load(std::memory_order_relaxed);
   s.steal_active_usec = c.steal_active_usec.load(std::memory_order_relaxed);
+  for (int from = 0; from < kNumTaskStates; ++from) {
+    for (int to = 0; to < kNumTaskStates; ++to) {
+      s.lifecycle_transitions[from][to] =
+          c.lifecycle.transitions[from][to].load(std::memory_order_relaxed);
+    }
+  }
   return s;
 }
 
@@ -134,6 +145,11 @@ constexpr CounterField kCounterFields[] = {
     {"pin_hits", &EngineCountersSnapshot::pin_hits, false},
     {"remote_bytes", &EngineCountersSnapshot::remote_bytes, false},
     {"task_suspensions", &EngineCountersSnapshot::task_suspensions, false},
+    {"prefetch_tasks", &EngineCountersSnapshot::prefetch_tasks, false},
+    {"prefetch_issued", &EngineCountersSnapshot::prefetch_issued, false},
+    {"prefetch_hits", &EngineCountersSnapshot::prefetch_hits, false},
+    {"first_schedule_pins", &EngineCountersSnapshot::first_schedule_pins,
+     false},
     {"pull_rounds", &EngineCountersSnapshot::pull_rounds, false},
     {"pull_batches", &EngineCountersSnapshot::pull_batches, false},
     {"pulled_vertices", &EngineCountersSnapshot::pulled_vertices, false},
@@ -207,6 +223,11 @@ void EncodeEngineReport(const EngineReport& report, Encoder* enc) {
   for (int b = 0; b < kMsgLatencyBuckets; ++b) {
     enc->PutU64(report.counters.msg_latency_hist[b]);
   }
+  for (int from = 0; from < kNumTaskStates; ++from) {
+    for (int to = 0; to < kNumTaskStates; ++to) {
+      enc->PutU64(report.counters.lifecycle_transitions[from][to]);
+    }
+  }
   for (auto field : kMiningFields) enc->PutU64(report.mining.*field);
   enc->PutU64(report.threads.size());
   for (const ThreadSummary& t : report.threads) {
@@ -241,6 +262,12 @@ Status DecodeEngineReport(Decoder* dec, EngineReport* report) {
   }
   for (int b = 0; b < kMsgLatencyBuckets; ++b) {
     QCM_RETURN_IF_ERROR(dec->GetU64(&report->counters.msg_latency_hist[b]));
+  }
+  for (int from = 0; from < kNumTaskStates; ++from) {
+    for (int to = 0; to < kNumTaskStates; ++to) {
+      QCM_RETURN_IF_ERROR(
+          dec->GetU64(&report->counters.lifecycle_transitions[from][to]));
+    }
   }
   for (auto field : kMiningFields) {
     QCM_RETURN_IF_ERROR(dec->GetU64(&(report->mining.*field)));
@@ -304,6 +331,12 @@ EngineReport MergeEngineReports(const std::vector<EngineReport>& reports) {
     for (int b = 0; b < kMsgLatencyBuckets; ++b) {
       merged.counters.msg_latency_hist[b] += r.counters.msg_latency_hist[b];
     }
+    for (int from = 0; from < kNumTaskStates; ++from) {
+      for (int to = 0; to < kNumTaskStates; ++to) {
+        merged.counters.lifecycle_transitions[from][to] +=
+            r.counters.lifecycle_transitions[from][to];
+      }
+    }
     merged.mining.Add(r.mining);
     merged.threads.insert(merged.threads.end(), r.threads.begin(),
                           r.threads.end());
@@ -349,6 +382,23 @@ std::string EngineReportJson(const EngineReport& report) {
           std::to_string(report.mining.nodes_explored) + ",\n";
   json += "    \"mining_emitted\": " +
           std::to_string(report.mining.emitted) + "\n";
+  json += "  },\n";
+  json += "  \"lifecycle\": {\n";
+  {
+    std::string rows;
+    for (int from = 0; from < kNumTaskStates; ++from) {
+      for (int to = 0; to < kNumTaskStates; ++to) {
+        const uint64_t n = report.counters.lifecycle_transitions[from][to];
+        if (n == 0) continue;  // the matrix is sparse; omit silent rows
+        if (!rows.empty()) rows += ",\n";
+        rows += std::string("    \"") +
+                TaskStateName(static_cast<TaskState>(from)) + "->" +
+                TaskStateName(static_cast<TaskState>(to)) +
+                "\": " + std::to_string(n);
+      }
+    }
+    json += rows.empty() ? "" : rows + "\n";
+  }
   json += "  },\n";
   json += "  \"derived\": {\n";
   json += "    \"cache_hit_ratio\": " +

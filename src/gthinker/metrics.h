@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "quick/mining_context.h"
 #include "quick/quasi_clique.h"
+#include "sched/lifecycle.h"
 
 namespace qcm {
 
@@ -94,6 +95,20 @@ struct EngineCounters {
   /// Compute rounds that ended in ComputeStatus::kSuspended (the paper's
   /// "add t back to the queue" while its vertex pull is outstanding).
   std::atomic<uint64_t> task_suspensions{0};
+
+  // -- Spawn-time prefetch (sched/scheduler.h pipeline stage) --
+
+  /// Tasks that entered the kPrefetching stage (parked on a spawn-time
+  /// pull before their first schedule).
+  std::atomic<uint64_t> prefetch_tasks{0};
+  /// Vertex ids queued for a spawn-time pull (a transfer was needed).
+  std::atomic<uint64_t> prefetch_issued{0};
+  /// Pin hits during the FIRST compute round of a prefetched task -- the
+  /// reads the prefetch pipeline turned from transfers into pins.
+  std::atomic<uint64_t> prefetch_hits{0};
+  /// Adjacencies already pinned when a prefetched task became kReady for
+  /// its first schedule (the "first compute round finds pins" evidence).
+  std::atomic<uint64_t> first_schedule_pins{0};
   /// Broker flushes that transferred at least one batched request.
   std::atomic<uint64_t> pull_rounds{0};
   /// Machine-to-machine batched pull messages (one per remote machine per
@@ -135,6 +150,10 @@ struct EngineCounters {
   /// vs. actively planning/serializing steals (microseconds).
   std::atomic<uint64_t> steal_idle_usec{0};
   std::atomic<uint64_t> steal_active_usec{0};
+
+  /// Task lifecycle transition matrix (sched/lifecycle.h): every state
+  /// move of every task, recorded by AdvanceTaskState.
+  LifecycleCounters lifecycle;
 };
 
 /// Plain-value snapshot of EngineCounters for reports.
@@ -155,6 +174,10 @@ struct EngineCountersSnapshot {
   uint64_t pin_hits = 0;
   uint64_t remote_bytes = 0;
   uint64_t task_suspensions = 0;
+  uint64_t prefetch_tasks = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t first_schedule_pins = 0;
   uint64_t pull_rounds = 0;
   uint64_t pull_batches = 0;
   uint64_t pulled_vertices = 0;
@@ -174,7 +197,15 @@ struct EngineCountersSnapshot {
   uint64_t steal_idle_usec = 0;
   uint64_t steal_active_usec = 0;
 
+  /// Plain-value copy of the lifecycle transition matrix.
+  uint64_t lifecycle_transitions[kNumTaskStates][kNumTaskStates] = {};
+
   static EngineCountersSnapshot From(const EngineCounters& c);
+
+  uint64_t LifecycleTransitions(TaskState from, TaskState to) const {
+    return lifecycle_transitions[static_cast<int>(from)]
+                                [static_cast<int>(to)];
+  }
 
   /// Fraction of remote-adjacency demands served without a transfer
   /// (cache or pin); 1.0 when there was no remote traffic at all.

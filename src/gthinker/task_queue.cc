@@ -1,5 +1,6 @@
 #include "gthinker/task_queue.h"
 
+#include "sched/lifecycle.h"
 #include "util/logging.h"
 
 namespace qcm {
@@ -16,6 +17,8 @@ void GlobalQueue::SpillTailLocked() {
   std::vector<std::string> blobs;
   blobs.reserve(batch_);
   while (blobs.size() < batch_ && q_.size() > 1) {
+    AdvanceTaskState(*q_.back(), TaskState::kSpilled,
+                     counters_ != nullptr ? &counters_->lifecycle : nullptr);
     Encoder enc;
     q_.back()->Encode(&enc);
     blobs.push_back(enc.Release());
@@ -39,6 +42,9 @@ void GlobalQueue::RefillLocked() {
     auto task = app_->DecodeTask(&dec);
     QCM_CHECK(task.ok()) << "task decode from L_big failed: "
                          << task.status().ToString();
+    RehydrateTaskState(*task.value(), TaskState::kSpilled,
+                       counters_ != nullptr ? &counters_->lifecycle
+                                            : nullptr);
     q_.push_back(std::move(task).value());
   }
   size_.store(q_.size(), std::memory_order_relaxed);

@@ -22,6 +22,9 @@ StatusOr<std::unique_ptr<Coordinator>> Coordinator::Listen(
   c->listen_fd_ = fd.value();
   c->port_ = bound;
   c->workers_.resize(c->config_.world_size);
+  // Alpha 0.5: status-borne latency estimates are already EWMAs of many
+  // deliveries, so the coordinator tracks them tightly.
+  c->rtt_ = std::make_unique<LinkRttTracker>(c->config_.world_size, 0.5);
   return c;
 }
 
@@ -256,40 +259,36 @@ StatusOr<std::vector<std::string>> Coordinator::RunToCompletion() {
     }
     have_candidate = false;
 
-    // Steal mastering (the simulated engine's balancing plan, §5): move
-    // at most one batch per donor per period toward the average.
+    // Steal mastering: the shared sched/steal_planner.h plan (identical
+    // to the simulated engine's steal master), with link RTTs estimated
+    // from the per-rank delivery latencies the workers publish.
     if (config_.steal_period_sec > 0 && world >= 2 &&
         steal_timer.Seconds() >= config_.steal_period_sec) {
       steal_timer.Reset();
       std::vector<uint64_t> counts(world);
-      uint64_t total = 0;
       for (int r = 0; r < world; ++r) {
         counts[r] = statuses[r].pending_big;
-        total += counts[r];
-      }
-      const uint64_t avg = total / world;
-      for (int donor = 0; donor < world; ++donor) {
-        if (counts[donor] <= avg + 1) continue;
-        int receiver = donor;
-        for (int r = 0; r < world; ++r) {
-          if (counts[r] < counts[receiver]) receiver = r;
+        if (statuses[r].delivery_latency_usec != 0) {
+          rtt_->RecordInbound(
+              r, 1e-6 * static_cast<double>(
+                            statuses[r].delivery_latency_usec));
         }
-        if (receiver == donor || counts[receiver] >= avg) continue;
-        const uint64_t want =
-            std::min({counts[donor] - avg, avg - counts[receiver],
-                      config_.steal_batch_cap});
-        if (want == 0) continue;
-        Status s = SendTo(donor, FrameKind::kStealCmd,
-                          EncodeStealCmd(static_cast<uint32_t>(receiver),
-                                         want));
+      }
+      StealPlannerOptions opts;
+      opts.base_batch = config_.steal_batch_cap;
+      opts.rtt_reference_sec = config_.steal_rtt_reference_sec;
+      opts.max_batch_factor = config_.steal_max_batch_factor;
+      for (const StealMove& move : PlanSteals(counts, opts, rtt_.get())) {
+        Status s = SendTo(
+            move.donor, FrameKind::kStealCmd,
+            EncodeStealCmd(static_cast<uint32_t>(move.receiver),
+                           move.want));
         if (!s.ok()) {
-          Fail("steal command to rank " + std::to_string(donor) +
+          Fail("steal command to rank " + std::to_string(move.donor) +
                " failed: " + s.ToString());
           break;
         }
         ++steal_commands_;
-        counts[donor] -= want;
-        counts[receiver] += want;
       }
     }
   }

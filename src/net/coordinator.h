@@ -15,11 +15,15 @@
 //     guarantees any in-flight or unprocessed frame breaks one of the two
 //     sweeps, so the drain invariant holds across processes.
 //
-//   * Steal mastering. The same balancing plan as the simulated engine's
-//     steal master (move at most one batch per donor per period toward
-//     the average pending-big count), except the move is a kStealCmd to
-//     the donor, which ships the batch rank-to-rank as a kStealBatch
-//     fabric message.
+//   * Steal mastering. THE SAME balancing plan object as the simulated
+//     engine's steal master (sched/steal_planner.h: move at most one
+//     batch per donor per period toward the average pending-big count,
+//     with per-link batch caps scaled by RTT estimates -- larger, rarer
+//     batches on slow links), except the move is a kStealCmd to the
+//     donor, which ships the batch rank-to-rank as a kStealBatch fabric
+//     message. The coordinator cannot observe fabric timestamps itself,
+//     so its RTT input is the per-rank mean delivery latency every
+//     worker publishes in its kStatus stream.
 //
 // After kTerminate it collects one kReport per rank and hands the payloads
 // to the caller (tools/qcm_cluster merges them). Any worker failure --
@@ -38,6 +42,8 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "sched/rtt.h"
+#include "sched/steal_planner.h"
 #include "util/status.h"
 
 namespace qcm {
@@ -51,8 +57,15 @@ struct CoordinatorConfig {
   double sweep_period_sec = 0.001;
   /// Steal-mastering period; <= 0 disables stealing.
   double steal_period_sec = 0.02;
-  /// Max tasks per steal command (the engine's batch size C).
+  /// Base tasks per steal command (the engine's batch size C); the
+  /// latency-aware planner may grow a command up to
+  /// steal_batch_cap * steal_max_batch_factor on slow links.
   uint64_t steal_batch_cap = 16;
+  /// Link RTT granting one extra base batch (EngineConfig::
+  /// steal_rtt_reference_sec's cluster-side twin).
+  double steal_rtt_reference_sec = 1e-3;
+  /// Hard cap multiplier for latency-scaled steal commands.
+  uint64_t steal_max_batch_factor = 8;
   /// Bring-up / report-collection guard.
   double timeout_sec = 120.0;
 };
@@ -123,6 +136,9 @@ class Coordinator {
   std::atomic<bool> terminate_sent_{false};
   std::atomic<bool> failed_{false};
   uint64_t steal_commands_ = 0;
+  /// Per-rank delivery-latency EWMAs assembled from kStatus publications
+  /// (the planner's RTT input). Created by Listen().
+  std::unique_ptr<LinkRttTracker> rtt_;
 
   mutable std::mutex mu_;
   std::string failure_;

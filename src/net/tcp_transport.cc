@@ -201,6 +201,7 @@ void TcpTransport::PublishStatus(const RankStatus& status) {
   wire.data_frames_sent = status.data_frames_sent;
   wire.data_frames_processed = status.data_frames_processed;
   wire.pending_big = status.pending_big;
+  wire.delivery_latency_usec = status.delivery_latency_usec;
   // Failures surface through the coordinator receive loop; a lost status
   // frame only delays detection.
   (void)WriteTo(coord_fd_, coord_mu_,

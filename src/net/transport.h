@@ -49,6 +49,14 @@ struct RankStatus {
   /// Big tasks available for stealing (global queue + L_big), the input
   /// of the coordinator's balancing plan.
   uint64_t pending_big = 0;
+  /// Mean observed fabric delivery latency at this rank (microseconds;
+  /// 0 = nothing delivered yet). The coordinator's input to latency-
+  /// aware steal planning: it approximates the RTT of a link as the sum
+  /// of the two endpoint ranks' delivery latencies. Measured off inbox
+  /// timestamps, so in process-per-machine mode it covers the modeled
+  /// latency plus inbox dwell but NOT raw wire transit -- data frames
+  /// carry no send timestamp yet (a multi-host-mode gap; see ROADMAP).
+  uint64_t delivery_latency_usec = 0;
 };
 
 class Transport {

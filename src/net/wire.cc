@@ -224,6 +224,7 @@ std::string EncodeRankStatus(const WireRankStatus& status) {
   enc.PutU64(status.data_frames_sent);
   enc.PutU64(status.data_frames_processed);
   enc.PutU64(status.pending_big);
+  enc.PutU64(status.delivery_latency_usec);
   return enc.Release();
 }
 
@@ -234,6 +235,7 @@ Status DecodeRankStatus(const std::string& payload, WireRankStatus* status) {
   QCM_RETURN_IF_ERROR(dec.GetU64(&status->data_frames_sent));
   QCM_RETURN_IF_ERROR(dec.GetU64(&status->data_frames_processed));
   QCM_RETURN_IF_ERROR(dec.GetU64(&status->pending_big));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&status->delivery_latency_usec));
   if (!dec.Done()) return Status::Corruption("trailing bytes in status");
   return Status::OK();
 }

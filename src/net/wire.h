@@ -57,7 +57,9 @@ namespace qcm {
 /// First four bytes of every frame.
 inline constexpr char kWireMagic[4] = {'Q', 'C', 'M', 'W'};
 /// Bump on any incompatible frame/payload change; checked in kHello.
-inline constexpr uint32_t kWireProtocolVersion = 1;
+// v2: WireRankStatus grew delivery_latency_usec (latency-aware steal
+// planning input).
+inline constexpr uint32_t kWireProtocolVersion = 2;
 /// Frame header bytes before the payload (magic + kind + src + length).
 inline constexpr size_t kWireHeaderBytes = 13;
 /// Trailing checksum bytes after the payload.
@@ -138,6 +140,9 @@ struct WireRankStatus {
   uint64_t data_frames_sent = 0;
   uint64_t data_frames_processed = 0;
   uint64_t pending_big = 0;
+  /// Mean fabric delivery latency observed at the rank (microseconds) --
+  /// the coordinator's latency-aware steal-planning input.
+  uint64_t delivery_latency_usec = 0;
 };
 
 std::string EncodeRankStatus(const WireRankStatus& status);

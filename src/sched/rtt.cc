@@ -1,0 +1,64 @@
+#include "sched/rtt.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace qcm {
+
+namespace {
+
+// 0.0 bit-casts to 0, so zero-initialized cells read as "unmeasured".
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+double Value(uint64_t bits) { return std::bit_cast<double>(bits); }
+
+}  // namespace
+
+LinkRttTracker::LinkRttTracker(int num_machines, double alpha)
+    : n_(num_machines),
+      alpha_(alpha),
+      links_(static_cast<size_t>(num_machines) * num_machines),
+      inbound_(num_machines) {
+  QCM_CHECK(num_machines >= 1) << "LinkRttTracker needs >= 1 machine";
+  QCM_CHECK(alpha > 0.0 && alpha <= 1.0)
+      << "EWMA alpha must be in (0, 1], got " << alpha;
+}
+
+void LinkRttTracker::Ewma(std::atomic<uint64_t>* cell, double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  uint64_t seen = cell->load(std::memory_order_relaxed);
+  for (;;) {
+    const double prev = Value(seen);
+    // First sample seeds the average (0.0 means "never observed").
+    const double next =
+        prev == 0.0 ? seconds : alpha_ * seconds + (1.0 - alpha_) * prev;
+    if (cell->compare_exchange_weak(seen, Bits(next),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+    // CAS failure reloaded `seen`; retry against the fresher average.
+  }
+}
+
+double LinkRttTracker::Load(const std::atomic<uint64_t>& cell) {
+  return Value(cell.load(std::memory_order_relaxed));
+}
+
+void LinkRttTracker::RecordOneWay(int src, int dst, double seconds) {
+  if (src < 0 || src >= n_ || dst < 0 || dst >= n_) return;
+  Ewma(&links_[static_cast<size_t>(src) * n_ + dst], seconds);
+}
+
+void LinkRttTracker::RecordInbound(int dst, double seconds) {
+  if (dst < 0 || dst >= n_) return;
+  Ewma(&inbound_[dst], seconds);
+}
+
+double LinkRttTracker::OneWay(int src, int dst) const {
+  if (src < 0 || src >= n_ || dst < 0 || dst >= n_) return 0.0;
+  const double link = Load(links_[static_cast<size_t>(src) * n_ + dst]);
+  if (link > 0.0) return link;
+  return Load(inbound_[dst]);
+}
+
+}  // namespace qcm

@@ -14,6 +14,7 @@
 #include "gthinker/task_queue.h"
 #include "gthinker/vertex_table.h"
 #include "mining/qc_task.h"
+#include "sched/lifecycle.h"
 
 namespace qcm {
 namespace {
@@ -22,6 +23,15 @@ std::string TempSpillDir() {
   std::string dir = testing::TempDir() + "/qcm_spill_test";
   mkdir(dir.c_str(), 0755);
   return dir;
+}
+
+/// GlobalQueue's contract (enforced by the lifecycle state machine) is
+/// that entering tasks are kReady -- the scheduler admits every task
+/// before routing it. Mirror that admission here.
+TaskPtr ReadyTask(VertexId root, uint64_t hint) {
+  TaskPtr t = QCTask::MakeSpawn(root, hint);
+  AdvanceTaskState(*t, TaskState::kReady, nullptr);
+  return t;
 }
 
 TEST(SpillManagerTest, BatchRoundTripLifo) {
@@ -186,8 +196,8 @@ TEST(GlobalQueueTest, FifoWithinCapacity) {
   SpillManager spill(TempSpillDir(), "q1", &counters);
   QueueApp app;
   GlobalQueue q(/*capacity=*/100, /*batch=*/4, &spill, &app, &counters);
-  q.Push(QCTask::MakeSpawn(1, 10));
-  q.Push(QCTask::MakeSpawn(2, 10));
+  q.Push(ReadyTask(1, 10));
+  q.Push(ReadyTask(2, 10));
   TaskPtr t = q.TryPop();
   ASSERT_NE(t, nullptr);
   EXPECT_EQ(t->root(), 1u);
@@ -203,7 +213,7 @@ TEST(GlobalQueueTest, OverflowSpillsAndRefills) {
   QueueApp app;
   GlobalQueue q(/*capacity=*/8, /*batch=*/4, &spill, &app, &counters);
   for (VertexId v = 0; v < 32; ++v) {
-    q.Push(QCTask::MakeSpawn(v, 10));
+    q.Push(ReadyTask(v, 10));
   }
   EXPECT_GT(spill.FileCount(), 0u);
   // Draining the queue must recover every task exactly once.
@@ -224,13 +234,13 @@ TEST(GlobalQueueTest, StealBatchMovesTail) {
   SpillManager spill(TempSpillDir(), "q3", &counters);
   QueueApp app;
   GlobalQueue q(100, 4, &spill, &app, &counters);
-  for (VertexId v = 0; v < 10; ++v) q.Push(QCTask::MakeSpawn(v, 10));
+  for (VertexId v = 0; v < 10; ++v) q.Push(ReadyTask(v, 10));
   auto stolen = q.StealBatch(3);
   EXPECT_EQ(stolen.size(), 3u);
   EXPECT_EQ(q.ApproxSize(), 7u);
 
   GlobalQueue q2(100, 4, &spill, &app, &counters);
-  q2.Push(QCTask::MakeSpawn(99, 10));
+  q2.Push(ReadyTask(99, 10));
   q2.PushStolenFront(std::move(stolen));
   // Stolen tasks are prioritized: popped before the resident task.
   TaskPtr t = q2.TryPop();
@@ -243,7 +253,7 @@ TEST(GlobalQueueTest, StealRoundTripPreservesTaskOrder) {
   SpillManager spill(TempSpillDir(), "q4", &counters);
   QueueApp app;
   GlobalQueue donor(100, 4, &spill, &app, &counters);
-  for (VertexId v = 0; v < 8; ++v) donor.Push(QCTask::MakeSpawn(v, 10));
+  for (VertexId v = 0; v < 8; ++v) donor.Push(ReadyTask(v, 10));
 
   // StealBatch removes from the tail, most-recent first: 7, 6, 5.
   auto stolen = donor.StealBatch(3);
@@ -262,7 +272,7 @@ TEST(GlobalQueueTest, StealRoundTripPreservesTaskOrder) {
   // PushStolenFront preserves the batch's order ahead of resident tasks:
   // the receiver pops 7, 6, 5, then its own.
   GlobalQueue receiver(100, 4, &spill, &app, &counters);
-  receiver.Push(QCTask::MakeSpawn(99, 10));
+  receiver.Push(ReadyTask(99, 10));
   receiver.PushStolenFront(std::move(stolen));
   const VertexId expected[] = {7, 6, 5, 99};
   for (VertexId want : expected) {

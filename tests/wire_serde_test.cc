@@ -233,6 +233,7 @@ TEST(WireFrameTest, ControlPayloadsRoundTrip) {
   status.data_frames_sent = 100;
   status.data_frames_processed = 99;
   status.pending_big = 12;
+  status.delivery_latency_usec = 1500;
   WireRankStatus status2;
   ASSERT_TRUE(DecodeRankStatus(EncodeRankStatus(status), &status2).ok());
   EXPECT_EQ(status2.pending, -3);
@@ -240,6 +241,7 @@ TEST(WireFrameTest, ControlPayloadsRoundTrip) {
   EXPECT_EQ(status2.data_frames_sent, 100u);
   EXPECT_EQ(status2.data_frames_processed, 99u);
   EXPECT_EQ(status2.pending_big, 12u);
+  EXPECT_EQ(status2.delivery_latency_usec, 1500u);
 
   uint32_t version = 0, rank = 0, world = 0, receiver = 0;
   uint64_t pid = 0, want = 0;
@@ -287,6 +289,10 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   spec.config.cache_policy = CachePolicy::kTinyLFU;
   spec.config.net_latency_ticks = 2;
   spec.config.net_latency_sec = 0.001;
+  spec.config.spawn_prefetch = true;
+  spec.config.prefetch_limit = 21;
+  spec.config.steal_rtt_reference_sec = 0.002;
+  spec.config.steal_max_batch_factor = 5;
   spec.config.record_task_log = true;
   spec.config.mining.gamma = 0.75;
   spec.config.mining.min_size = 6;
@@ -314,6 +320,10 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(out.config.cache_policy, CachePolicy::kTinyLFU);
   EXPECT_EQ(out.config.net_latency_ticks, 2u);
   EXPECT_EQ(out.config.net_latency_sec, 0.001);
+  EXPECT_TRUE(out.config.spawn_prefetch);
+  EXPECT_EQ(out.config.prefetch_limit, 21u);
+  EXPECT_EQ(out.config.steal_rtt_reference_sec, 0.002);
+  EXPECT_EQ(out.config.steal_max_batch_factor, 5u);
   EXPECT_TRUE(out.config.record_task_log);
   EXPECT_EQ(out.config.mining.gamma, 0.75);
   EXPECT_EQ(out.config.mining.min_size, 6u);

@@ -49,6 +49,51 @@ fi
 
 echo "check_smoke: OK -- $count maximal quasi-cliques"
 
+single_digest=$(printf '%s\n' "$out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ -z "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- qcm_mine printed no result-digest line" >&2
+  exit 1
+fi
+
+# ---- Spawn-time prefetch phase -----------------------------------------
+# The prefetch pipeline stage only changes vertex AVAILABILITY, never
+# results: the same run with --prefetch must produce the bit-identical
+# digest, and its stats must show the stage actually staged tasks.
+prefetch_out=$("$BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --machines 2 --threads 2 --stats --prefetch \
+  "$@" 2>&1)
+prefetch_status=$?
+echo "$prefetch_out"
+
+if [[ $prefetch_status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- qcm_mine --prefetch exited with status" \
+    "$prefetch_status" >&2
+  exit 1
+fi
+prefetch_digest=$(printf '%s\n' "$prefetch_out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ "$prefetch_digest" != "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- prefetch digest $prefetch_digest !=" \
+    "default digest $single_digest (prefetch must not change results)" >&2
+  exit 1
+fi
+staged=$(printf '%s\n' "$prefetch_out" |
+  sed -n 's/^prefetch: \([0-9][0-9]*\) tasks staged.*/\1/p' | tail -1)
+if [[ -z "$staged" ]]; then
+  echo "check_smoke: FAIL -- no prefetch stats line in --prefetch run" >&2
+  exit 1
+fi
+if [[ "$staged" -eq 0 ]]; then
+  # The 2-machine planted graph always has remote frontier vertices; a
+  # run that staged nothing means the prefetch stage silently stopped
+  # running, which is exactly what this phase exists to catch.
+  echo "check_smoke: FAIL -- --prefetch run staged 0 tasks" >&2
+  exit 1
+fi
+echo "check_smoke: OK -- prefetch digest matches ($staged tasks staged)"
+
 # ---- 3-process cluster phase -------------------------------------------
 # Same graph, same parameters: the multi-process deployment must mine the
 # bit-identical maximal set (compared via the canonical result digest both
@@ -57,13 +102,6 @@ CLUSTER_BIN="$(dirname "$BIN")/qcm_cluster"
 if [[ ! -x "$CLUSTER_BIN" ]]; then
   echo "check_smoke: NOTE -- $CLUSTER_BIN not built, skipping cluster phase"
   exit 0
-fi
-
-single_digest=$(printf '%s\n' "$out" |
-  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
-if [[ -z "$single_digest" ]]; then
-  echo "check_smoke: FAIL -- qcm_mine printed no result-digest line" >&2
-  exit 1
 fi
 
 LOG_DIR="${QCM_SMOKE_LOG_DIR:-/tmp/qcm_smoke_logs}"

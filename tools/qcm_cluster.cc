@@ -15,6 +15,8 @@
 //               [--tau-time F] [--mode none|size|time]
 //               [--cache-capacity N] [--cache-policy lru|clock|tinylfu]
 //               [--pull-batch N] [--net-latency F] [--net-latency-ticks N]
+//               [--prefetch] [--prefetch-limit N] [--steal-rtt-ref F]
+//               [--steal-batch-factor N]
 //               [--seed N] [--output PATH] [--no-filter] [--stats]
 //               [--stats-json PATH] [--worker-bin PATH] [--log-dir DIR]
 //
@@ -123,9 +125,41 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (a == "--net-latency") {
       if ((v = next("--net-latency")) == nullptr) return false;
       config.net_latency_sec = std::atof(v);
+      if (config.net_latency_sec < 0) {
+        std::fprintf(stderr, "--net-latency must be >= 0\n");
+        return false;
+      }
     } else if (a == "--net-latency-ticks") {
       if ((v = next("--net-latency-ticks")) == nullptr) return false;
-      config.net_latency_ticks = static_cast<uint64_t>(std::atoll(v));
+      const long long ticks = std::atoll(v);
+      if (ticks < 0) {
+        // A blind cast would wrap to a near-infinite delay and hang the
+        // cluster; reject loudly instead.
+        std::fprintf(stderr, "--net-latency-ticks must be >= 0\n");
+        return false;
+      }
+      config.net_latency_ticks = static_cast<uint64_t>(ticks);
+    } else if (a == "--prefetch") {
+      config.spawn_prefetch = true;
+    } else if (a == "--prefetch-limit") {
+      if ((v = next("--prefetch-limit")) == nullptr) return false;
+      const long long limit = std::atoll(v);
+      if (limit < 0) {
+        std::fprintf(stderr, "--prefetch-limit must be >= 0\n");
+        return false;
+      }
+      config.prefetch_limit = static_cast<size_t>(limit);
+    } else if (a == "--steal-rtt-ref") {
+      if ((v = next("--steal-rtt-ref")) == nullptr) return false;
+      config.steal_rtt_reference_sec = std::atof(v);
+    } else if (a == "--steal-batch-factor") {
+      if ((v = next("--steal-batch-factor")) == nullptr) return false;
+      const long long factor = std::atoll(v);
+      if (factor < 1) {
+        std::fprintf(stderr, "--steal-batch-factor must be >= 1\n");
+        return false;
+      }
+      config.steal_max_batch_factor = static_cast<uint64_t>(factor);
     } else if (a == "--seed") {
       if ((v = next("--seed")) == nullptr) return false;
       args->spec.seed = static_cast<uint64_t>(std::atoll(v));
@@ -162,9 +196,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--workers must be in [1, 64]\n");
     return false;
   }
-  if (!ParseCachePolicy(args->cache_policy, &config.cache_policy).ok()) {
-    std::fprintf(stderr, "unknown --cache-policy %s\n",
-                 args->cache_policy.c_str());
+  Status policy = ParseCachePolicy(args->cache_policy,
+                                   &config.cache_policy);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "--cache-policy: %s\n", policy.ToString().c_str());
+    return false;
+  }
+  // Surface contradictory settings here with the validator's file:line
+  // message instead of shipping them to every worker first.
+  Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 valid.ToString().c_str());
     return false;
   }
   if (args->mode == "none") {
@@ -257,6 +300,10 @@ int main(int argc, char** argv) {
           ? args.spec.config.steal_period_sec
           : 0.0;
   coord_config.steal_batch_cap = args.spec.config.batch_size;
+  coord_config.steal_rtt_reference_sec =
+      args.spec.config.steal_rtt_reference_sec;
+  coord_config.steal_max_batch_factor =
+      args.spec.config.steal_max_batch_factor;
   auto listening = Coordinator::Listen(std::move(coord_config));
   if (!listening.ok()) {
     std::fprintf(stderr, "coordinator listen failed: %s\n",

@@ -29,6 +29,16 @@
 //                         every cross-machine message       (default 0)
 //   --net-latency-ticks N delivery delay in destination service ticks
 //                                                           (default 0)
+//   --prefetch            spawn-time pull prefetch: spawned tasks request
+//                         their 1-hop frontier through the fabric before
+//                         first schedule (results are bit-identical with
+//                         the stage on or off)              (default off)
+//   --prefetch-limit N    max tasks parked in the prefetch stage per
+//                         machine                           (default 64)
+//   --steal-rtt-ref F     link RTT (seconds) granting the steal planner
+//                         one extra batch of per-move cap   (default 1e-3)
+//   --steal-batch-factor N  hard cap multiplier for latency-scaled steal
+//                         batches                           (default 8)
 //   --output PATH         write one result per line ("v1 v2 ..."), in
 //                         canonical order (sets sorted lexicographically)
 //   --no-filter           report raw candidates (skip maximality filter)
@@ -76,6 +86,10 @@ struct Args {
   size_t pull_batch = 2048;
   double net_latency_sec = 0.0;
   uint64_t net_latency_ticks = 0;
+  bool prefetch = false;
+  size_t prefetch_limit = 64;
+  double steal_rtt_ref = 1e-3;
+  uint64_t steal_batch_factor = 8;
   std::string output;
   bool no_filter = false;
   bool stats = false;
@@ -170,6 +184,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--pull-batch");
       if (!v) return false;
       args->pull_batch = static_cast<size_t>(std::atoll(v));
+    } else if (a == "--prefetch") {
+      args->prefetch = true;
+    } else if (a == "--prefetch-limit") {
+      const char* v = next("--prefetch-limit");
+      if (!v) return false;
+      const long long limit = std::atoll(v);
+      if (limit < 0) {
+        std::fprintf(stderr, "--prefetch-limit must be >= 0\n");
+        return false;
+      }
+      args->prefetch_limit = static_cast<size_t>(limit);
+    } else if (a == "--steal-rtt-ref") {
+      const char* v = next("--steal-rtt-ref");
+      if (!v) return false;
+      args->steal_rtt_ref = std::atof(v);
+    } else if (a == "--steal-batch-factor") {
+      const char* v = next("--steal-batch-factor");
+      if (!v) return false;
+      const long long factor = std::atoll(v);
+      if (factor < 1) {
+        std::fprintf(stderr, "--steal-batch-factor must be >= 1\n");
+        return false;
+      }
+      args->steal_batch_factor = static_cast<uint64_t>(factor);
     } else if (a == "--output") {
       const char* v = next("--output");
       if (!v) return false;
@@ -283,9 +321,14 @@ int main(int argc, char** argv) {
     config.max_pull_batch = args.pull_batch;
     config.net_latency_sec = args.net_latency_sec;
     config.net_latency_ticks = args.net_latency_ticks;
-    if (!ParseCachePolicy(args.cache_policy, &config.cache_policy).ok()) {
-      std::fprintf(stderr, "unknown --cache-policy %s\n",
-                   args.cache_policy.c_str());
+    config.spawn_prefetch = args.prefetch;
+    config.prefetch_limit = args.prefetch_limit;
+    config.steal_rtt_reference_sec = args.steal_rtt_ref;
+    config.steal_max_batch_factor = args.steal_batch_factor;
+    Status policy = ParseCachePolicy(args.cache_policy, &config.cache_policy);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "--cache-policy: %s\n",
+                   policy.ToString().c_str());
       return 2;
     }
     if (args.mode == "none") {
@@ -336,6 +379,14 @@ int main(int argc, char** argv) {
                    HumanBytes(r.counters.pull_bytes).c_str(),
                    static_cast<unsigned long>(r.counters.pin_hits),
                    HumanBytes(r.counters.remote_bytes).c_str());
+      std::fprintf(
+          stderr,
+          "prefetch: %lu tasks staged, %lu vertices issued, %lu pins at "
+          "first schedule, %lu first-round pin hits\n",
+          static_cast<unsigned long>(r.counters.prefetch_tasks),
+          static_cast<unsigned long>(r.counters.prefetch_issued),
+          static_cast<unsigned long>(r.counters.first_schedule_pins),
+          static_cast<unsigned long>(r.counters.prefetch_hits));
       const int req = static_cast<int>(MessageType::kPullRequest);
       const int resp = static_cast<int>(MessageType::kPullResponse);
       const int steal = static_cast<int>(MessageType::kStealBatch);
