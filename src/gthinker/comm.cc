@@ -70,7 +70,7 @@ void CommFabric::Send(MessageType type, int src, int dst,
                                         std::memory_order_relaxed);
     }
     Status s = transport_->SendData(dst, static_cast<uint8_t>(type),
-                                    payload);
+                                    std::move(payload));
     // A failed wire send means a lost message, which the termination
     // protocol can never recover from: fail loudly, never silently.
     QCM_CHECK(s.ok()) << "wire send of " << MessageTypeName(type)
@@ -85,7 +85,8 @@ void CommFabric::Send(MessageType type, int src, int dst,
   Enqueue(std::move(m), /*count_send=*/true);
 }
 
-void CommFabric::Inject(MessageType type, int src, std::string payload) {
+void CommFabric::Inject(MessageType type, int src, std::string payload,
+                        uint64_t wire_transit_usec) {
   QCM_CHECK(transport_ != nullptr && local_rank_ >= 0)
       << "Inject without a transport";
   Message m;
@@ -93,6 +94,7 @@ void CommFabric::Inject(MessageType type, int src, std::string payload) {
   m.src = src;
   m.dst = local_rank_;
   m.payload = std::move(payload);
+  m.wire_transit_usec = wire_transit_usec;
   // The sender counted msg_sent in its own process; here the message
   // (re-)enters a latency-modeled inbox, so in-flight/depth/overlap
   // accounting resumes as if it had been enqueued locally.
@@ -134,22 +136,28 @@ void CommFabric::Enqueue(Message m, bool count_send) {
 }
 
 void CommFabric::CountDelivery(const Message& m, double now) {
-  // Feed the steal planner's RTT EWMAs only when the fabric actually
-  // models latency: enqueue->delivery time always includes inbox dwell
-  // (the gap between a message coming due and the next service tick),
-  // and at zero modeled latency that dwell is pure service-cadence noise
-  // which would nudge the planner off the legacy flat plan. With
-  // latency modeled, dwell is part of the effective transfer delay the
-  // policy is supposed to amortize.
-  if (rtt_ != nullptr && (latency_ticks_ > 0 || latency_sec_ > 0.0)) {
-    rtt_->RecordOneWay(m.src, m.dst, std::max(0.0, now - m.enqueue_sec));
+  // Observed delivery latency: inbox time (enqueue to this service) plus
+  // any wire transit the transport measured before injection. In
+  // simulated mode wire_transit_usec is always 0 and this reduces to the
+  // pre-wire accounting bit for bit.
+  const double latency = std::max(0.0, now - m.enqueue_sec) +
+                         static_cast<double>(m.wire_transit_usec) * 1e-6;
+  // Feed the steal planner's RTT EWMAs only when there is real transfer
+  // delay to learn: modeled latency, or measured wire transit (which
+  // includes coalescing dwell). At zero modeled latency and zero wire
+  // transit, enqueue->delivery time is pure service-cadence noise that
+  // would nudge the planner off the legacy flat plan; with either source
+  // of delay present, inbox dwell is part of the effective transfer
+  // delay the policy is supposed to amortize.
+  if (rtt_ != nullptr && (latency_ticks_ > 0 || latency_sec_ > 0.0 ||
+                          m.wire_transit_usec > 0)) {
+    rtt_->RecordOneWay(m.src, m.dst, latency);
   }
   if (counters_ == nullptr) return;
   const int t = static_cast<int>(m.type);
   counters_->msg_delivered[t].fetch_add(1, std::memory_order_relaxed);
   counters_->msg_inflight_bytes.fetch_sub(m.payload.size(),
                                           std::memory_order_relaxed);
-  const double latency = std::max(0.0, now - m.enqueue_sec);
   counters_->msg_latency_hist[MsgLatencyBucketIndex(latency)].fetch_add(
       1, std::memory_order_relaxed);
   counters_->msg_latency_usec_sum.fetch_add(

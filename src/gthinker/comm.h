@@ -85,6 +85,11 @@ struct Message {
   /// wall-clock delivery.
   double enqueue_sec = 0.0;
   double due_sec = 0.0;
+  /// Process-per-machine mode only: receiver-measured wire transit
+  /// (sender stamp to receive thread, microseconds) of a message that
+  /// arrived over the transport -- coalescing dwell plus wire time.
+  /// Zero for in-process messages.
+  uint64_t wire_transit_usec = 0;
 };
 
 class CommFabric {
@@ -119,7 +124,12 @@ class CommFabric {
   /// over the transport into the local machine's inbox under the same
   /// latency model as an in-process send. Called by the transport's
   /// receive thread (via the engine's data handler).
-  void Inject(MessageType type, int src, std::string payload);
+  /// `wire_transit_usec` is the receiver-measured transit time of the
+  /// frame (sender send-timestamp to receive thread): it is added to the
+  /// message's observed delivery latency so the latency metrics and the
+  /// steal planner's RTT EWMAs see real wire time, not just inbox dwell.
+  void Inject(MessageType type, int src, std::string payload,
+              uint64_t wire_transit_usec = 0);
 
   /// Advances `dst`'s service tick and pops every message now due, in
   /// enqueue order. Called by the destination machine's compers once per

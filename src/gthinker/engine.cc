@@ -243,7 +243,8 @@ void Engine::StatusLoop() {
   }
 }
 
-void Engine::OnWireData(int src, uint8_t type, std::string payload) {
+void Engine::OnWireData(int src, uint8_t type, std::string payload,
+                        uint64_t wire_transit_usec) {
   QCM_CHECK(type <= static_cast<uint8_t>(MessageType::kStealBatch))
       << "unknown fabric message type " << static_cast<int>(type)
       << " from rank " << src;
@@ -257,7 +258,7 @@ void Engine::OnWireData(int src, uint8_t type, std::string payload) {
     pending_.fetch_add(count.value());
   }
   frames_processed_.fetch_add(1, std::memory_order_acq_rel);
-  fabric_->Inject(mtype, src, std::move(payload));
+  fabric_->Inject(mtype, src, std::move(payload), wire_transit_usec);
 }
 
 void Engine::OnStealCommand(int receiver, uint64_t want) {
@@ -440,8 +441,9 @@ StatusOr<EngineReport> Engine::Run() {
 
   if (distributed()) {
     transport_->SetDataHandler(
-        [this](int src, uint8_t type, std::string payload) {
-          OnWireData(src, type, std::move(payload));
+        [this](int src, uint8_t type, std::string payload,
+               uint64_t wire_transit_usec) {
+          OnWireData(src, type, std::move(payload), wire_transit_usec);
         });
     Transport::ControlHooks hooks;
     hooks.on_terminate = [this] { done_.store(true); };
@@ -449,6 +451,8 @@ StatusOr<EngineReport> Engine::Run() {
       OnStealCommand(receiver, want);
     };
     transport_->SetControlHooks(std::move(hooks));
+    transport_->ConfigureCoalescing(
+        {config_.net_coalesce_bytes, config_.net_linger_usec});
     QCM_RETURN_IF_ERROR(transport_->Start());
   }
 
@@ -498,6 +502,12 @@ StatusOr<EngineReport> Engine::Run() {
   EngineReport report;
   report.wall_seconds = wall.Seconds();
   report.counters = EngineCountersSnapshot::From(counters_);
+  if (distributed()) {
+    // Shutdown's forced flush has not run yet, but the engine only gets
+    // here after termination drained every frame, so the buffers are
+    // already empty and the stats are final.
+    report.counters.AddFlushStats(transport_->FlushStats());
+  }
   report.peak_rss_bytes = PeakRssBytes();
 
   std::unordered_map<VertexId, RootTaskAgg> root_aggs;

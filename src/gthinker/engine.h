@@ -107,7 +107,8 @@ class Engine {
 
   void StealLoop();
   void StatusLoop();
-  void OnWireData(int src, uint8_t type, std::string payload);
+  void OnWireData(int src, uint8_t type, std::string payload,
+                  uint64_t wire_transit_usec);
   void OnStealCommand(int receiver, uint64_t want);
   void MaybeFinish();
   bool SpawnExhausted() const;

@@ -1,5 +1,6 @@
 #include "gthinker/engine_config.h"
 
+#include "net/wire.h"
 #include "util/serde.h"
 
 namespace qcm {
@@ -78,6 +79,32 @@ Status EngineConfig::Validate() const {
     return QCM_CONFIG_ERROR("net_latency_sec must be >= 0 (negative "
                             "latency is not a thing)");
   }
+  if (net_coalesce_bytes < 0) {
+    return QCM_CONFIG_ERROR("net_coalesce_bytes must be >= 0");
+  }
+  if (net_linger_usec < 0) {
+    return QCM_CONFIG_ERROR("net_linger_usec must be >= 0 (a negative "
+                            "linger is not a thing)");
+  }
+  if (net_coalesce_bytes >
+      static_cast<int64_t>(kMaxFramePayload)) {
+    return QCM_CONFIG_ERROR(
+        "net_coalesce_bytes exceeds the wire frame cap (" +
+        std::to_string(kMaxFramePayload) +
+        "); no single buffer may out-size the largest legal frame");
+  }
+  if (net_linger_usec > 0 && net_coalesce_bytes == 0) {
+    return QCM_CONFIG_ERROR(
+        "contradictory: net_linger_usec is set but net_coalesce_bytes is "
+        "0 (a linger bound without a coalescing buffer bounds nothing; "
+        "set both or neither)");
+  }
+  if (net_coalesce_bytes > 0 && net_linger_usec == 0) {
+    return QCM_CONFIG_ERROR(
+        "contradictory: net_coalesce_bytes is set but net_linger_usec is "
+        "0 (an unbounded linger would park a lone frame forever; set "
+        "both or neither)");
+  }
   if (spawn_prefetch && prefetch_limit == 0) {
     return QCM_CONFIG_ERROR(
         "contradictory: spawn_prefetch is on but prefetch_limit is 0 (a "
@@ -114,6 +141,8 @@ void EncodeEngineConfig(const EngineConfig& config, Encoder* enc) {
   enc->PutU8(static_cast<uint8_t>(config.cache_policy));
   enc->PutU64(config.net_latency_ticks);
   enc->PutDouble(config.net_latency_sec);
+  enc->PutI64(config.net_coalesce_bytes);
+  enc->PutI64(config.net_linger_usec);
   enc->PutU8(config.spawn_prefetch ? 1 : 0);
   enc->PutU64(config.prefetch_limit);
   enc->PutDouble(config.steal_rtt_reference_sec);
@@ -166,6 +195,8 @@ Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
   config->cache_policy = static_cast<CachePolicy>(u8);
   QCM_RETURN_IF_ERROR(dec->GetU64(&config->net_latency_ticks));
   QCM_RETURN_IF_ERROR(dec->GetDouble(&config->net_latency_sec));
+  QCM_RETURN_IF_ERROR(dec->GetI64(&config->net_coalesce_bytes));
+  QCM_RETURN_IF_ERROR(dec->GetI64(&config->net_linger_usec));
   QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
   config->spawn_prefetch = u8 != 0;
   QCM_RETURN_IF_ERROR(dec->GetU64(&u64));

@@ -127,6 +127,18 @@ struct EngineConfig {
   uint64_t net_latency_ticks = 0;
   double net_latency_sec = 0.0;
 
+  /// Transport send aggregation (process-per-machine mode; see
+  /// net/transport.h CoalesceConfig). Data frames park in a per-peer
+  /// buffer until it holds net_coalesce_bytes or the oldest frame has
+  /// waited net_linger_usec, then the buffer flushes as one writev.
+  /// Both 0 = coalescing off (every frame flushes immediately; the
+  /// default, preserving pre-coalescing flush behavior bit for bit).
+  /// Enabling one knob without the other is a contradiction Validate()
+  /// rejects: a threshold with no linger bound could park a frame
+  /// forever, a linger with no threshold never aggregates anything.
+  int64_t net_coalesce_bytes = 0;
+  int64_t net_linger_usec = 0;
+
   /// Record per-root task aggregates (subgraph size, accumulated mining
   /// time) for the figure-reproduction benches.
   bool record_task_log = false;

@@ -107,6 +107,32 @@ double EngineCountersSnapshot::MeanDeliveryLatencySeconds() const {
          static_cast<double>(delivered);
 }
 
+void EngineCountersSnapshot::AddFlushStats(const TransportFlushStats& fs) {
+  net_flushes += fs.flushes;
+  net_flush_frames += fs.flushed_frames;
+  net_flush_bytes += fs.flushed_bytes;
+  net_flush_size += fs.flush_size;
+  net_flush_linger += fs.flush_linger;
+  net_flush_forced += fs.flush_forced;
+  net_flush_direct += fs.flush_direct;
+  net_flush_park_usec += fs.park_usec_sum;
+  for (int b = 0; b < kFlushBytesBuckets; ++b) {
+    net_flush_bytes_hist[b] += fs.bytes_hist[b];
+  }
+}
+
+double EngineCountersSnapshot::FramesPerFlush() const {
+  if (net_flushes == 0) return 0.0;
+  return static_cast<double>(net_flush_frames) /
+         static_cast<double>(net_flushes);
+}
+
+double EngineCountersSnapshot::MeanFlushParkUsec() const {
+  if (net_flush_frames == 0) return 0.0;
+  return static_cast<double>(net_flush_park_usec) /
+         static_cast<double>(net_flush_frames);
+}
+
 double EngineCountersSnapshot::CacheHitRatio() const {
   const uint64_t served = cache_hits + pin_hits;
   const uint64_t demanded = served + cache_misses;
@@ -165,6 +191,15 @@ constexpr CounterField kCounterFields[] = {
     {"msg_overlapped", &EngineCountersSnapshot::msg_overlapped, false},
     {"steal_idle_usec", &EngineCountersSnapshot::steal_idle_usec, false},
     {"steal_active_usec", &EngineCountersSnapshot::steal_active_usec, false},
+    {"net_flushes", &EngineCountersSnapshot::net_flushes, false},
+    {"net_flush_frames", &EngineCountersSnapshot::net_flush_frames, false},
+    {"net_flush_bytes", &EngineCountersSnapshot::net_flush_bytes, false},
+    {"net_flush_size", &EngineCountersSnapshot::net_flush_size, false},
+    {"net_flush_linger", &EngineCountersSnapshot::net_flush_linger, false},
+    {"net_flush_forced", &EngineCountersSnapshot::net_flush_forced, false},
+    {"net_flush_direct", &EngineCountersSnapshot::net_flush_direct, false},
+    {"net_flush_park_usec", &EngineCountersSnapshot::net_flush_park_usec,
+     false},
 };
 
 constexpr uint64_t MiningStats::* kMiningFields[] = {
@@ -223,6 +258,9 @@ void EncodeEngineReport(const EngineReport& report, Encoder* enc) {
   for (int b = 0; b < kMsgLatencyBuckets; ++b) {
     enc->PutU64(report.counters.msg_latency_hist[b]);
   }
+  for (int b = 0; b < kFlushBytesBuckets; ++b) {
+    enc->PutU64(report.counters.net_flush_bytes_hist[b]);
+  }
   for (int from = 0; from < kNumTaskStates; ++from) {
     for (int to = 0; to < kNumTaskStates; ++to) {
       enc->PutU64(report.counters.lifecycle_transitions[from][to]);
@@ -262,6 +300,10 @@ Status DecodeEngineReport(Decoder* dec, EngineReport* report) {
   }
   for (int b = 0; b < kMsgLatencyBuckets; ++b) {
     QCM_RETURN_IF_ERROR(dec->GetU64(&report->counters.msg_latency_hist[b]));
+  }
+  for (int b = 0; b < kFlushBytesBuckets; ++b) {
+    QCM_RETURN_IF_ERROR(
+        dec->GetU64(&report->counters.net_flush_bytes_hist[b]));
   }
   for (int from = 0; from < kNumTaskStates; ++from) {
     for (int to = 0; to < kNumTaskStates; ++to) {
@@ -331,6 +373,10 @@ EngineReport MergeEngineReports(const std::vector<EngineReport>& reports) {
     for (int b = 0; b < kMsgLatencyBuckets; ++b) {
       merged.counters.msg_latency_hist[b] += r.counters.msg_latency_hist[b];
     }
+    for (int b = 0; b < kFlushBytesBuckets; ++b) {
+      merged.counters.net_flush_bytes_hist[b] +=
+          r.counters.net_flush_bytes_hist[b];
+    }
     for (int from = 0; from < kNumTaskStates; ++from) {
       for (int to = 0; to < kNumTaskStates; ++to) {
         merged.counters.lifecycle_transitions[from][to] +=
@@ -383,6 +429,12 @@ std::string EngineReportJson(const EngineReport& report) {
   json += "    \"mining_emitted\": " +
           std::to_string(report.mining.emitted) + "\n";
   json += "  },\n";
+  json += "  \"net_flush_bytes_hist\": [";
+  for (int b = 0; b < kFlushBytesBuckets; ++b) {
+    json += std::to_string(report.counters.net_flush_bytes_hist[b]);
+    if (b + 1 < kFlushBytesBuckets) json += ", ";
+  }
+  json += "],\n";
   json += "  \"lifecycle\": {\n";
   {
     std::string rows;
@@ -407,6 +459,10 @@ std::string EngineReportJson(const EngineReport& report) {
           JsonDouble(report.counters.MessageOverlapRatio()) + ",\n";
   json += "    \"mean_delivery_latency_sec\": " +
           JsonDouble(report.counters.MeanDeliveryLatencySeconds()) + ",\n";
+  json += "    \"frames_per_flush\": " +
+          JsonDouble(report.counters.FramesPerFlush()) + ",\n";
+  json += "    \"mean_flush_park_usec\": " +
+          JsonDouble(report.counters.MeanFlushParkUsec()) + ",\n";
   json += "    \"busy_imbalance\": " + JsonDouble(report.BusyImbalance()) +
           "\n";
   json += "  },\n";

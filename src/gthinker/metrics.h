@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "net/transport.h"
 #include "quick/mining_context.h"
 #include "quick/quasi_clique.h"
 #include "sched/lifecycle.h"
@@ -197,10 +198,39 @@ struct EngineCountersSnapshot {
   uint64_t steal_idle_usec = 0;
   uint64_t steal_active_usec = 0;
 
+  // -- Transport data-plane flush accounting (process-per-machine mode
+  // only; all zero in simulated runs). Copied from the transport's
+  // TransportFlushStats after the run via AddFlushStats. --
+
+  /// Write syscalls issued for data frames.
+  uint64_t net_flushes = 0;
+  /// Data frames / frame bytes pushed through those flushes
+  /// (net_flush_frames / net_flushes = frames per syscall).
+  uint64_t net_flush_frames = 0;
+  uint64_t net_flush_bytes = 0;
+  /// Flush-cause breakdown: size threshold / linger expiry / shutdown
+  /// residue / coalescing off.
+  uint64_t net_flush_size = 0;
+  uint64_t net_flush_linger = 0;
+  uint64_t net_flush_forced = 0;
+  uint64_t net_flush_direct = 0;
+  /// Total microseconds frames sat parked in coalescing buffers.
+  uint64_t net_flush_park_usec = 0;
+  /// Bytes-per-flush histogram (buckets of FlushBytesBucketIndex).
+  uint64_t net_flush_bytes_hist[kFlushBytesBuckets] = {};
+
   /// Plain-value copy of the lifecycle transition matrix.
   uint64_t lifecycle_transitions[kNumTaskStates][kNumTaskStates] = {};
 
   static EngineCountersSnapshot From(const EngineCounters& c);
+
+  /// Folds a transport's flush statistics into the net_flush_* fields.
+  void AddFlushStats(const TransportFlushStats& fs);
+
+  /// Mean data frames per write syscall (0.0 before any flush).
+  double FramesPerFlush() const;
+  /// Mean microseconds a frame waited in a coalescing buffer.
+  double MeanFlushParkUsec() const;
 
   uint64_t LifecycleTransitions(TaskState from, TaskState to) const {
     return lifecycle_transitions[static_cast<int>(from)]

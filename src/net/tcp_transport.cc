@@ -9,6 +9,7 @@
 #include "net/socket_util.h"
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/timer.h"
 
 namespace qcm {
 
@@ -58,6 +59,7 @@ StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
   for (uint32_t i = 0; i < world; ++i) {
     t->peer_mus_.push_back(std::make_unique<std::mutex>());
   }
+  t->send_state_.resize(world);
 
   // 2. open the peer listener and exchange ports through the coordinator.
   uint16_t peer_port = 0;
@@ -154,14 +156,26 @@ Status TcpTransport::Start() {
     if (r == rank_) continue;
     recv_threads_.emplace_back([this, r] { RecvPeerLoop(r); });
   }
+  if (coalesce_.enabled()) {
+    flusher_thread_ = std::thread([this] { FlusherLoop(); });
+  }
   return Status::OK();
 }
 
-Status TcpTransport::SendData(int dst, uint8_t type,
-                              const std::string& payload) {
+void TcpTransport::ConfigureCoalescing(const CoalesceConfig& config) {
+  QCM_CHECK(!started_.load()) << "ConfigureCoalescing after Start";
+  coalesce_ = config;
+}
+
+TransportFlushStats TcpTransport::FlushStats() const {
+  std::lock_guard<std::mutex> lock(flush_stats_mu_);
+  return flush_stats_;
+}
+
+Status TcpTransport::SendData(int dst, uint8_t type, std::string payload) {
   QCM_CHECK(dst >= 0 && dst < world_size_ && dst != rank_)
       << "SendData to bad rank " << dst;
-  if (payload.size() + 1 > kMaxFramePayload) {
+  if (payload.size() + kDataFrameMetaBytes > kMaxFramePayload) {
     // Fail at the cause (an oversized fabric message, e.g. a pull batch
     // of enormous adjacency lists) instead of letting the receiver
     // reject an inexplicable frame and blame the connection.
@@ -172,26 +186,147 @@ Status TcpTransport::SendData(int dst, uint8_t type,
     Fail(s.ToString());
     return s;
   }
-  const std::string bytes =
-      EncodeDataFrame(static_cast<uint32_t>(rank_), type, payload);
-  // Counted before the write: the destination can only process a frame
-  // the wire already carries, so sent >= processed in every snapshot the
-  // termination detector can take.
+  // The send timestamp is stamped BEFORE the frame can park in a
+  // coalescing buffer, so the receiver's transit measurement includes
+  // the buffer dwell the linger bound allows.
+  const uint64_t now = static_cast<uint64_t>(NowMicros());
+  PendingFrame frame;
+  {
+    DataFrameParts parts = EncodeDataFrameParts(static_cast<uint32_t>(rank_),
+                                                type, now, payload);
+    frame.head = std::move(parts.head);
+    frame.trailer = std::move(parts.trailer);
+  }
+  frame.payload = std::move(payload);  // the only copy of the body bytes
+  frame.enqueue_usec = now;
+  const size_t frame_bytes =
+      frame.head.size() + frame.payload.size() + frame.trailer.size();
+  // Counted before the frame can park or hit the wire: the destination
+  // can only process a frame the counter already covers, so
+  // sent >= processed in every snapshot the termination detector takes.
   data_frames_sent_.fetch_add(1, std::memory_order_acq_rel);
   Status s;
+  bool kick_flusher = false;
   {
-    const int fd = peer_fds_[dst];
-    if (fd < 0) {
+    std::lock_guard<std::mutex> lock(*peer_mus_[dst]);
+    if (peer_fds_[dst] < 0) {
       s = Status::Aborted("connection closed");
     } else {
-      std::lock_guard<std::mutex> lock(*peer_mus_[dst]);
-      s = WriteFrameBytes(fd, bytes);
+      PeerSendState& st = send_state_[dst];
+      if (st.pending.empty()) st.oldest_enqueue_usec = now;
+      st.pending.push_back(std::move(frame));
+      st.pending_bytes += frame_bytes;
+      if (!coalesce_.enabled()) {
+        s = FlushPeerLocked(dst, FlushCause::kDirect);
+      } else if (st.pending_bytes >=
+                 static_cast<size_t>(coalesce_.coalesce_bytes)) {
+        s = FlushPeerLocked(dst, FlushCause::kSize);
+      } else if (st.pending.size() == 1) {
+        kick_flusher = true;  // new earliest linger deadline
+      }
     }
+  }
+  if (kick_flusher) {
+    {
+      std::lock_guard<std::mutex> lock(flusher_mu_);
+      flusher_kick_ = true;
+    }
+    flusher_cv_.notify_all();
   }
   if (!s.ok()) {
     Fail("send to rank " + std::to_string(dst) + " failed: " + s.ToString());
   }
   return s;
+}
+
+Status TcpTransport::FlushPeerLocked(int dst, FlushCause cause) {
+  PeerSendState& st = send_state_[dst];
+  if (st.pending.empty()) return Status::OK();
+  const int fd = peer_fds_[dst];
+  if (fd < 0) {
+    st.pending.clear();
+    st.pending_bytes = 0;
+    return Status::Aborted("connection closed");
+  }
+  std::vector<WireSlice> slices;
+  slices.reserve(st.pending.size() * 3);
+  for (const PendingFrame& f : st.pending) {
+    slices.push_back({f.head.data(), f.head.size()});
+    if (!f.payload.empty()) {
+      slices.push_back({f.payload.data(), f.payload.size()});
+    }
+    slices.push_back({f.trailer.data(), f.trailer.size()});
+  }
+  uint64_t syscalls = 0;
+  Status s = WriteFrameSlices(fd, slices, &syscalls);
+  const uint64_t now = static_cast<uint64_t>(NowMicros());
+  {
+    std::lock_guard<std::mutex> lock(flush_stats_mu_);
+    flush_stats_.flushes += syscalls;
+    flush_stats_.flushed_frames += st.pending.size();
+    flush_stats_.flushed_bytes += st.pending_bytes;
+    switch (cause) {
+      case FlushCause::kSize: ++flush_stats_.flush_size; break;
+      case FlushCause::kLinger: ++flush_stats_.flush_linger; break;
+      case FlushCause::kForced: ++flush_stats_.flush_forced; break;
+      case FlushCause::kDirect: ++flush_stats_.flush_direct; break;
+    }
+    for (const PendingFrame& f : st.pending) {
+      if (now > f.enqueue_usec) {
+        flush_stats_.park_usec_sum += now - f.enqueue_usec;
+      }
+    }
+    ++flush_stats_.bytes_hist[FlushBytesBucketIndex(st.pending_bytes)];
+  }
+  st.pending.clear();
+  st.pending_bytes = 0;
+  return s;
+}
+
+void TcpTransport::FlusherLoop() {
+  for (;;) {
+    // Sweep: flush every peer whose oldest frame has out-waited the
+    // linger; remember the earliest deadline still pending.
+    const uint64_t now = static_cast<uint64_t>(NowMicros());
+    uint64_t earliest = 0;
+    for (int r = 0; r < world_size_; ++r) {
+      if (r == rank_) continue;
+      Status s;
+      {
+        std::lock_guard<std::mutex> lock(*peer_mus_[r]);
+        PeerSendState& st = send_state_[r];
+        if (st.pending.empty()) continue;
+        const uint64_t deadline =
+            st.oldest_enqueue_usec +
+            static_cast<uint64_t>(coalesce_.linger_usec);
+        if (deadline <= now) {
+          s = FlushPeerLocked(r, FlushCause::kLinger);
+        } else if (earliest == 0 || deadline < earliest) {
+          earliest = deadline;
+        }
+      }
+      if (!s.ok() && !terminate_received_.load() && !shutdown_.load()) {
+        // A failed linger flush after termination is just a peer that
+        // hung up first; before termination it is a real link failure.
+        Fail("flush to rank " + std::to_string(r) + " failed: " +
+             s.ToString());
+      }
+    }
+    std::unique_lock<std::mutex> lock(flusher_mu_);
+    if (flusher_stop_) return;
+    if (earliest == 0) {
+      // Nothing parked anywhere: sleep until a send kicks us (or
+      // shutdown). The predicate re-check makes the kick race-free.
+      flusher_cv_.wait(lock,
+                       [this] { return flusher_stop_ || flusher_kick_; });
+    } else {
+      const uint64_t now2 = static_cast<uint64_t>(NowMicros());
+      if (earliest > now2) {
+        flusher_cv_.wait_for(lock, std::chrono::microseconds(earliest - now2));
+      }
+    }
+    flusher_kick_ = false;
+  }
 }
 
 void TcpTransport::PublishStatus(const RankStatus& status) {
@@ -313,19 +448,42 @@ void TcpTransport::RecvPeerLoop(int peer) {
       }
       return;
     }
+    uint8_t type = 0;
+    uint64_t send_ts_usec = 0;
+    std::string body;
     if (frame.kind != FrameKind::kData ||
-        frame.src != static_cast<uint32_t>(peer) || frame.payload.empty()) {
+        frame.src != static_cast<uint32_t>(peer) ||
+        !SplitDataFramePayload(frame.payload, &type, &send_ts_usec, &body)
+             .ok()) {
       Fail("corrupt data frame from rank " + std::to_string(peer));
       return;
     }
-    const uint8_t type = static_cast<uint8_t>(frame.payload[0]);
-    frame.payload.erase(0, 1);
-    data_handler_(peer, type, std::move(frame.payload));
+    // Receiver-measured transit: coalescing dwell + wire time. The
+    // steady clock is shared across processes on one machine; clamp at
+    // zero so cross-host clock offset can only under-report, never
+    // poison the latency EWMAs with garbage.
+    const uint64_t now = static_cast<uint64_t>(NowMicros());
+    const uint64_t transit = now > send_ts_usec ? now - send_ts_usec : 0;
+    data_handler_(peer, type, std::move(body), transit);
   }
 }
 
 void TcpTransport::Shutdown() {
   if (shutdown_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(flusher_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_thread_.joinable()) flusher_thread_.join();
+  // Push any residue out of the coalescing buffers before the sockets
+  // go down. Peers may already be gone after a clean termination, so a
+  // failed forced flush is not an error here.
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == rank_) continue;
+    std::lock_guard<std::mutex> lock(*peer_mus_[r]);
+    (void)FlushPeerLocked(r, FlushCause::kForced);
+  }
   NotifyStateChange();
   // Unblock the receive threads first; fds stay valid until they joined
   // (closing a socket another thread still reads from invites fd reuse).

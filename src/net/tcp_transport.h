@@ -7,12 +7,21 @@
 // kPeerHello frame). Start() then releases the start barrier (kReady /
 // kStart) and spawns one receive thread per connection.
 //
-// Data plane: SendData frames one CommFabric message per kData frame and
-// writes it straight onto the rank-to-rank socket (per-socket write lock;
-// the sent-frame counter increments before the write so the termination
-// detector can never observe a processed frame that was not counted as
-// sent). Received kData frames are handed to the engine's data handler on
-// the receive thread.
+// Data plane: SendData frames one CommFabric message per kData frame.
+// With coalescing off every frame goes straight onto the rank-to-rank
+// socket as a zero-copy {head, payload, trailer} scatter-gather write;
+// with coalescing on (ConfigureCoalescing), frames park in a per-peer
+// pending buffer until the buffer crosses the byte threshold or a
+// background flusher's linger deadline expires, then the whole buffer
+// flushes in one writev -- many frames per syscall. The per-peer mutex
+// guards both the pending buffer and the socket, so frame order is
+// preserved across the direct, size-triggered, and linger-triggered
+// paths. The sent-frame counter increments before a frame can park or
+// hit the wire, so a coalesced-but-unflushed frame shows up as
+// sent > processed and termination detection can never fire around it.
+// Received kData frames are handed to the engine's data handler on the
+// receive thread, together with the receiver-measured wire transit
+// (now minus the frame's sender timestamp).
 //
 // Control plane (coordinator connection): PublishStatus sends kStatus up;
 // kStealCmd and kTerminate invoke the engine's control hooks; kAbort or
@@ -57,10 +66,12 @@ class TcpTransport : public Transport {
   void SetDataHandler(DataHandler handler) override;
   void SetControlHooks(ControlHooks hooks) override;
   Status Start() override;
-  Status SendData(int dst, uint8_t type, const std::string& payload) override;
+  Status SendData(int dst, uint8_t type, std::string payload) override;
   uint64_t DataFramesSent() const override {
     return data_frames_sent_.load(std::memory_order_acquire);
   }
+  void ConfigureCoalescing(const CoalesceConfig& config) override;
+  TransportFlushStats FlushStats() const override;
   void PublishStatus(const RankStatus& status) override;
   bool healthy() const override { return !failed(); }
 
@@ -93,8 +104,36 @@ class TcpTransport : public Transport {
  private:
   TcpTransport() = default;
 
+  /// What made a pending buffer flush (statistics breakdown).
+  enum class FlushCause { kSize, kLinger, kForced, kDirect };
+
+  /// One frame parked in a peer's coalescing buffer: pre-encoded head
+  /// (header + data meta) and trailer (checksum) around the moved-in
+  /// fabric payload -- the slices a writev flush references in place.
+  struct PendingFrame {
+    std::string head;
+    std::string payload;
+    std::string trailer;
+    uint64_t enqueue_usec = 0;
+  };
+
+  /// Per-peer send aggregation state, guarded by peer_mus_[peer] (the
+  /// same mutex that serializes socket writes, so flush order == send
+  /// order).
+  struct PeerSendState {
+    std::vector<PendingFrame> pending;
+    size_t pending_bytes = 0;
+    /// Enqueue time of pending.front() (the linger deadline anchor).
+    uint64_t oldest_enqueue_usec = 0;
+  };
+
   void RecvCoordinatorLoop();
   void RecvPeerLoop(int peer);
+  void FlusherLoop();
+  /// Writes a peer's whole pending buffer with one scatter-gather flush
+  /// and folds the outcome into the flush stats. Requires
+  /// peer_mus_[dst] held.
+  Status FlushPeerLocked(int dst, FlushCause cause);
   void Fail(const std::string& reason);
   /// Wakes threads blocked on the terminated/failed/shutdown state (the
   /// peer-EOF grace wait).
@@ -110,6 +149,19 @@ class TcpTransport : public Transport {
   /// Rank -> connected socket (self slot unused, -1).
   std::vector<int> peer_fds_;
   std::vector<std::unique_ptr<std::mutex>> peer_mus_;
+  std::vector<PeerSendState> send_state_;
+
+  CoalesceConfig coalesce_;
+  mutable std::mutex flush_stats_mu_;
+  TransportFlushStats flush_stats_;
+
+  std::thread flusher_thread_;
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;
+  /// Set when a frame lands in a previously-empty buffer: the flusher
+  /// must re-derive its earliest linger deadline.
+  bool flusher_kick_ = false;
 
   DataHandler data_handler_;
   ControlHooks hooks_;

@@ -52,18 +52,78 @@ struct RankStatus {
   /// Mean observed fabric delivery latency at this rank (microseconds;
   /// 0 = nothing delivered yet). The coordinator's input to latency-
   /// aware steal planning: it approximates the RTT of a link as the sum
-  /// of the two endpoint ranks' delivery latencies. Measured off inbox
-  /// timestamps, so in process-per-machine mode it covers the modeled
-  /// latency plus inbox dwell but NOT raw wire transit -- data frames
-  /// carry no send timestamp yet (a multi-host-mode gap; see ROADMAP).
+  /// of the two endpoint ranks' delivery latencies. Covers modeled
+  /// latency, inbox dwell, AND real wire transit: data frames carry the
+  /// sender's monotonic send timestamp (stamped before any coalescing
+  /// dwell), so time parked in a send buffer and on the wire is visible
+  /// to the steal planner's RTT EWMAs.
   uint64_t delivery_latency_usec = 0;
+};
+
+/// Send-aggregation knobs (EngineConfig::net_coalesce_bytes /
+/// net_linger_usec). Both zero = coalescing off: every data frame is
+/// flushed immediately (still zero-copy via scatter-gather write).
+struct CoalesceConfig {
+  /// Flush a peer's pending buffer once it holds at least this many
+  /// frame bytes (MTU-ish; ~1400 is the classic choice).
+  int64_t coalesce_bytes = 0;
+  /// Upper bound on how long a parked frame may wait for company before
+  /// a background flusher pushes it out anyway.
+  int64_t linger_usec = 0;
+  bool enabled() const { return coalesce_bytes > 0 && linger_usec > 0; }
+};
+
+/// Bytes-per-flush histogram buckets: <256, <1K, <2K, <4K, <16K, <64K,
+/// <256K, >=256K.
+inline constexpr int kFlushBytesBuckets = 8;
+
+inline int FlushBytesBucketIndex(uint64_t bytes) {
+  if (bytes < 256) return 0;
+  if (bytes < 1024) return 1;
+  if (bytes < 2048) return 2;
+  if (bytes < 4096) return 3;
+  if (bytes < 16384) return 4;
+  if (bytes < 65536) return 5;
+  if (bytes < 262144) return 6;
+  return 7;
+}
+
+/// Aggregate data-plane flush statistics of a transport: how many write
+/// syscall batches were issued, what drove each one, and how long frames
+/// sat parked in coalescing buffers. Mirrored into EngineCounters as the
+/// net_flush_* fields after a run.
+struct TransportFlushStats {
+  /// Write syscalls issued for data frames (each flush = one
+  /// writev/sendmsg unless partial writes or the iovec cap force more).
+  uint64_t flushes = 0;
+  /// Data frames and frame bytes pushed through those flushes.
+  uint64_t flushed_frames = 0;
+  uint64_t flushed_bytes = 0;
+  /// Flush-cause breakdown (sums to the number of flush decisions):
+  /// the buffer crossed the size threshold / the linger deadline
+  /// expired / shutdown forced the residue out / coalescing was off and
+  /// the frame went straight to the wire.
+  uint64_t flush_size = 0;
+  uint64_t flush_linger = 0;
+  uint64_t flush_forced = 0;
+  uint64_t flush_direct = 0;
+  /// Total microseconds frames spent parked in coalescing buffers
+  /// (enqueue to flush); divide by flushed_frames for the mean added
+  /// latency.
+  uint64_t park_usec_sum = 0;
+  /// Bytes-per-flush histogram (see FlushBytesBucketIndex).
+  uint64_t bytes_hist[kFlushBytesBuckets] = {0, 0, 0, 0, 0, 0, 0, 0};
 };
 
 class Transport {
  public:
   /// Invoked on a receive thread for every arriving fabric data frame.
-  using DataHandler =
-      std::function<void(int src, uint8_t type, std::string payload)>;
+  /// `wire_transit_usec` is the receiver-measured transit time (now minus
+  /// the frame's sender timestamp, clamped at 0): coalescing dwell plus
+  /// wire time. Meaningful across processes on one machine; only
+  /// clock-offset-approximate across hosts.
+  using DataHandler = std::function<void(
+      int src, uint8_t type, std::string payload, uint64_t wire_transit_usec)>;
 
   /// Control-plane callbacks, invoked on a receive thread.
   struct ControlHooks {
@@ -91,11 +151,23 @@ class Transport {
 
   /// Ships one fabric message to `dst`'s process. Increments the
   /// sent-frame counter before the bytes can reach the destination.
-  virtual Status SendData(int dst, uint8_t type,
-                          const std::string& payload) = 0;
+  /// Takes the payload by value so callers can std::move it in; the
+  /// transport keeps that one buffer alive until the scatter-gather
+  /// write — no second copy of the payload bytes is ever made.
+  virtual Status SendData(int dst, uint8_t type, std::string payload) = 0;
 
   /// Data frames handed to the wire so far.
   virtual uint64_t DataFramesSent() const = 0;
+
+  /// Installs the send-aggregation policy. Must be called before
+  /// Start(); the default transport ignores it (no coalescing).
+  virtual void ConfigureCoalescing(const CoalesceConfig& config) {
+    (void)config;
+  }
+
+  /// Data-plane flush statistics accumulated so far (all zeros for
+  /// transports without a coalescing layer).
+  virtual TransportFlushStats FlushStats() const { return {}; }
 
   /// Publishes this rank's termination-detection inputs to whoever runs
   /// detection (the cluster coordinator).

@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -68,22 +69,60 @@ std::string EncodeFrame(const Frame& frame) {
   return out;
 }
 
+namespace {
+
+/// The payload meta prefix of a kData frame: type byte + send timestamp.
+void AppendDataMeta(uint8_t type, uint64_t send_ts_usec, std::string* out) {
+  out->push_back(static_cast<char>(type));
+  out->append(reinterpret_cast<const char*>(&send_ts_usec),
+              sizeof(send_ts_usec));
+}
+
+}  // namespace
+
 std::string EncodeDataFrame(uint32_t src, uint8_t type,
-                            const std::string& body) {
+                            uint64_t send_ts_usec, const std::string& body) {
+  DataFrameParts parts = EncodeDataFrameParts(src, type, send_ts_usec, body);
   std::string out;
-  out.reserve(kWireHeaderBytes + 1 + body.size() + kWireTrailerBytes);
-  AppendFrameHeader(FrameKind::kData, src,
-                    static_cast<uint32_t>(body.size() + 1), &out);
-  const char type_byte = static_cast<char>(type);
-  out.push_back(type_byte);
+  out.reserve(parts.head.size() + body.size() + parts.trailer.size());
+  out.append(parts.head);
   out.append(body);
-  // Checksum covers the frame payload = type byte + body; FNV-1a streams,
-  // so no concatenated copy is needed.
-  AppendChecksum(
-      ExtendFingerprint(ExtendFingerprint(kFingerprintSeed, &type_byte, 1),
-                        body.data(), body.size()),
-      &out);
+  out.append(parts.trailer);
   return out;
+}
+
+DataFrameParts EncodeDataFrameParts(uint32_t src, uint8_t type,
+                                    uint64_t send_ts_usec,
+                                    const std::string& body) {
+  DataFrameParts parts;
+  parts.head.reserve(kWireHeaderBytes + kDataFrameMetaBytes);
+  AppendFrameHeader(
+      FrameKind::kData, src,
+      static_cast<uint32_t>(body.size() + kDataFrameMetaBytes), &parts.head);
+  AppendDataMeta(type, send_ts_usec, &parts.head);
+  // Checksum covers the frame payload = meta + body; FNV-1a streams, so
+  // no concatenated copy is needed -- the body bytes stay where the
+  // fabric serialized them.
+  AppendChecksum(
+      ExtendFingerprint(
+          ExtendFingerprint(kFingerprintSeed,
+                            parts.head.data() + kWireHeaderBytes,
+                            kDataFrameMetaBytes),
+          body.data(), body.size()),
+      &parts.trailer);
+  return parts;
+}
+
+Status SplitDataFramePayload(const std::string& payload, uint8_t* type,
+                             uint64_t* send_ts_usec, std::string* body) {
+  if (payload.size() < kDataFrameMetaBytes) {
+    return Status::Corruption("data frame payload shorter than its meta");
+  }
+  *type = static_cast<uint8_t>(payload[0]);
+  std::memcpy(send_ts_usec, payload.data() + 1, sizeof(*send_ts_usec));
+  body->assign(payload, kDataFrameMetaBytes,
+               payload.size() - kDataFrameMetaBytes);
+  return Status::OK();
 }
 
 Status DecodeFrame(const std::string& buf, size_t* pos, Frame* frame) {
@@ -156,6 +195,55 @@ Status WriteFrameBytes(int fd, const std::string& bytes) {
                              std::strerror(errno));
     }
     off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFrameSlices(int fd, const std::vector<WireSlice>& slices,
+                        uint64_t* syscalls) {
+  // Mutable iovec window over the caller's slices; partial writes advance
+  // base/len in place instead of re-copying any bytes.
+  std::vector<struct iovec> iov;
+  iov.reserve(slices.size());
+  for (const WireSlice& s : slices) {
+    if (s.len == 0) continue;
+    iov.push_back({const_cast<char*>(s.data), s.len});
+  }
+  // Stay well under IOV_MAX (1024 on Linux) per syscall; one coalesced
+  // flush is normally far smaller than this.
+  constexpr size_t kMaxIovPerCall = 512;
+  size_t i = 0;
+  bool use_sendmsg = true;  // MSG_NOSIGNAL, same rationale as above
+  while (i < iov.size()) {
+    const size_t count = std::min(kMaxIovPerCall, iov.size() - i);
+    ssize_t n;
+    if (use_sendmsg) {
+      struct msghdr msg = {};
+      msg.msg_iov = iov.data() + i;
+      msg.msg_iovlen = count;
+      n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        use_sendmsg = false;  // pipe/file fd (tests): plain writev
+        continue;
+      }
+    } else {
+      n = ::writev(fd, iov.data() + i, static_cast<int>(count));
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("frame writev failed: ") +
+                             std::strerror(errno));
+    }
+    if (syscalls != nullptr) ++*syscalls;
+    size_t written = static_cast<size_t>(n);
+    while (i < iov.size() && written >= iov[i].iov_len) {
+      written -= iov[i].iov_len;
+      ++i;
+    }
+    if (written > 0) {
+      iov[i].iov_base = static_cast<char*>(iov[i].iov_base) + written;
+      iov[i].iov_len -= written;
+    }
   }
   return Status::OK();
 }

@@ -26,9 +26,20 @@
 // checksum mismatch -- a worker never mines on a frame it cannot prove it
 // received intact. This framing is the process-boundary twin of the
 // CommFabric message contract: a kData frame carries exactly one fabric
-// message (MessageType byte + the same serialized payload the in-process
-// fabric would enqueue), so simulated and distributed runs share one
-// payload format end to end.
+// message as [MessageType u8][send timestamp usec u64][the same serialized
+// payload the in-process fabric would enqueue], so simulated and
+// distributed runs share one payload format end to end. The timestamp is
+// the sender's monotonic clock at the moment the message entered the send
+// path (BEFORE any coalescing dwell), so the receiver can measure real
+// wire transit including time parked in a send buffer; it is meaningful
+// across processes on one machine (one monotonic clock) and only
+// clock-offset-approximate across hosts.
+//
+// The data-plane hot path never materializes a contiguous frame: a kData
+// frame is encoded as {head, payload, trailer} parts (EncodeDataFrameParts)
+// and written with scatter-gather writev/sendmsg (WriteFrameSlices), so the
+// fabric message's payload string is the only copy of the payload bytes
+// from serialization to syscall.
 //
 // Connection bring-up (the rank-assignment protocol):
 //   1. worker -> coordinator  kHello     {protocol version, pid}
@@ -49,6 +60,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -59,11 +71,17 @@ inline constexpr char kWireMagic[4] = {'Q', 'C', 'M', 'W'};
 /// Bump on any incompatible frame/payload change; checked in kHello.
 // v2: WireRankStatus grew delivery_latency_usec (latency-aware steal
 // planning input).
-inline constexpr uint32_t kWireProtocolVersion = 2;
+// v3: kData payloads carry the sender's monotonic send timestamp between
+// the type byte and the fabric payload (real wire-transit measurement,
+// including coalescing dwell); EngineConfig grew the coalescing knobs.
+inline constexpr uint32_t kWireProtocolVersion = 3;
 /// Frame header bytes before the payload (magic + kind + src + length).
 inline constexpr size_t kWireHeaderBytes = 13;
 /// Trailing checksum bytes after the payload.
 inline constexpr size_t kWireTrailerBytes = 8;
+/// Leading bytes of every kData frame payload: MessageType byte + the
+/// sender's monotonic send timestamp (microseconds, u64).
+inline constexpr size_t kDataFrameMetaBytes = 1 + 8;
 /// Hard cap on a single frame payload; anything larger is Corruption
 /// (protects a reader from a garbage length field allocating gigabytes).
 inline constexpr uint32_t kMaxFramePayload = 1u << 30;
@@ -103,12 +121,32 @@ struct Frame {
 /// checksum). The byte layout is pinned by tests/wire_serde_test.cc.
 std::string EncodeFrame(const Frame& frame);
 
-/// Exact wire bytes of a kData frame whose payload is [type byte][body],
-/// built in one buffer so the hot data path (pull responses can carry
-/// megabytes of adjacency) never materializes the concatenated payload
-/// separately. Byte-identical to EncodeFrame on the equivalent Frame.
+/// Exact wire bytes of a kData frame whose payload is
+/// [type byte][send_ts_usec u64][body], built in one buffer. Test/tool
+/// convenience; the transport hot path uses EncodeDataFrameParts + a
+/// scatter-gather write instead. Byte-identical to EncodeFrame on the
+/// equivalent Frame.
 std::string EncodeDataFrame(uint32_t src, uint8_t type,
-                            const std::string& body);
+                            uint64_t send_ts_usec, const std::string& body);
+
+/// A kData frame split for scatter-gather writes: `head` is the frame
+/// header plus the payload meta (type byte + send timestamp), `trailer`
+/// is the checksum; the body bytes stay in the caller's buffer and are
+/// never copied. head + body + trailer is byte-identical to
+/// EncodeDataFrame(src, type, send_ts_usec, body).
+struct DataFrameParts {
+  std::string head;     // kWireHeaderBytes + kDataFrameMetaBytes bytes
+  std::string trailer;  // kWireTrailerBytes bytes
+};
+
+DataFrameParts EncodeDataFrameParts(uint32_t src, uint8_t type,
+                                    uint64_t send_ts_usec,
+                                    const std::string& body);
+
+/// Splits a received kData frame payload into its meta and fabric body.
+/// Returns Corruption when the payload is shorter than the meta prefix.
+Status SplitDataFramePayload(const std::string& payload, uint8_t* type,
+                             uint64_t* send_ts_usec, std::string* body);
 
 /// Parses one frame starting at `*pos` of `buf`; advances `*pos` past it.
 /// Returns Corruption on bad magic / length / checksum, and IOError when
@@ -122,6 +160,20 @@ Status WriteFrame(int fd, const Frame& frame);
 /// Blocking write of pre-encoded frame bytes (EncodeFrame /
 /// EncodeDataFrame output). Same contract as WriteFrame.
 Status WriteFrameBytes(int fd, const std::string& bytes);
+
+/// One slice of a scatter-gather frame write.
+struct WireSlice {
+  const char* data;
+  size_t len;
+};
+
+/// Blocking scatter-gather write of pre-encoded frame slices (e.g. the
+/// concatenation of several frames' {head, body, trailer} parts) in one
+/// writev/sendmsg per syscall, looping over partial writes and chunking
+/// at the iovec limit. Same contract as WriteFrame; `syscalls` (optional)
+/// receives the number of write syscalls issued.
+Status WriteFrameSlices(int fd, const std::vector<WireSlice>& slices,
+                        uint64_t* syscalls = nullptr);
 
 /// Blocking read of one frame from a socket/pipe fd. A clean EOF before
 /// the first header byte returns Aborted("connection closed"); EOF inside

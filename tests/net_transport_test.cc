@@ -54,7 +54,7 @@ TEST(TcpTransportTest, HandshakeMeshAndDataDelivery) {
     EXPECT_EQ(tr->world_size(), 3);
     EXPECT_EQ(tr->config_blob(), "opaque-config");
     tr->SetDataHandler([&states, i](int src, uint8_t type,
-                                    std::string payload) {
+                                    std::string payload, uint64_t) {
       std::lock_guard<std::mutex> lock(states[i].mu);
       states[i].received.push_back(std::to_string(src) + ":" +
                                    std::to_string(type) + ":" + payload);
@@ -147,7 +147,7 @@ TEST(TcpTransportTest, CoordinatorIssuesStealCommandsTowardTheAverage) {
     ASSERT_TRUE(t.ok());
     states[i].transport = std::move(t).value();
     TcpTransport* tr = states[i].transport.get();
-    tr->SetDataHandler([](int, uint8_t, std::string) {});
+    tr->SetDataHandler([](int, uint8_t, std::string, uint64_t) {});
     Transport::ControlHooks hooks;
     hooks.on_terminate = [&states, i] { states[i].terminated = true; };
     hooks.on_steal_command = [&states, i](int receiver, uint64_t want) {
@@ -194,6 +194,148 @@ TEST(TcpTransportTest, CoordinatorIssuesStealCommandsTowardTheAverage) {
   (*coordinator)->Close();
 }
 
+// Two-rank coalescing harness: rank 0 sends `num_messages` small fabric
+// messages to rank 1 under `coalesce`, both ranks run the status loop to
+// real distributed termination, and the caller gets rank 0's flush stats
+// plus rank 1's received payloads (arrival order) and the largest
+// receiver-measured wire transit.
+struct CoalesceRunResult {
+  TransportFlushStats sender_stats;
+  std::vector<std::string> received;
+  uint64_t max_transit_usec = 0;
+};
+
+void RunTwoRankCoalescedSend(const CoalesceConfig& coalesce,
+                             int num_messages, CoalesceRunResult* out) {
+  CoordinatorConfig config;
+  config.world_size = 2;
+  config.config_blob = "x";
+  config.steal_period_sec = 0.0;
+  auto coordinator = Coordinator::Listen(std::move(config));
+  ASSERT_TRUE(coordinator.ok());
+  const uint16_t port = (*coordinator)->port();
+
+  struct WorkerState {
+    std::unique_ptr<TcpTransport> transport;
+    std::mutex mu;
+    std::vector<std::string> received;
+    std::atomic<uint64_t> max_transit{0};
+    std::atomic<bool> terminated{false};
+  };
+  std::vector<WorkerState> states(2);
+
+  auto worker_main = [&](int i) {
+    auto t = TcpTransport::ConnectWorker("127.0.0.1", port);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    states[i].transport = std::move(t).value();
+    TcpTransport* tr = states[i].transport.get();
+    tr->SetDataHandler([&states, i](int, uint8_t, std::string payload,
+                                    uint64_t transit) {
+      std::lock_guard<std::mutex> lock(states[i].mu);
+      states[i].received.push_back(std::move(payload));
+      uint64_t seen = states[i].max_transit.load();
+      while (seen < transit &&
+             !states[i].max_transit.compare_exchange_weak(seen, transit)) {
+      }
+    });
+    Transport::ControlHooks hooks;
+    hooks.on_terminate = [&states, i] { states[i].terminated = true; };
+    tr->SetControlHooks(std::move(hooks));
+    tr->ConfigureCoalescing(coalesce);
+    ASSERT_TRUE(tr->Start().ok());
+
+    if (tr->rank() == 0) {
+      for (int k = 0; k < num_messages; ++k) {
+        ASSERT_TRUE(tr->SendData(1, 1, "m" + std::to_string(k)).ok());
+      }
+    }
+    while (!states[i].terminated.load()) {
+      size_t processed;
+      {
+        std::lock_guard<std::mutex> lock(states[i].mu);
+        processed = states[i].received.size();
+      }
+      RankStatus status;
+      status.pending = 0;
+      status.spawn_done = true;
+      status.data_frames_sent = tr->DataFramesSent();
+      status.data_frames_processed = processed;
+      status.pending_big = 0;
+      tr->PublishStatus(status);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ASSERT_TRUE(tr->SendReport("r").ok());
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) threads.emplace_back(worker_main, i);
+  ASSERT_TRUE((*coordinator)->RunHandshake().ok());
+  auto reports = (*coordinator)->RunToCompletion();
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+
+  for (auto& s : states) {
+    ASSERT_TRUE(s.transport != nullptr);
+    EXPECT_FALSE(s.transport->failed());
+    if (s.transport->rank() == 0) {
+      out->sender_stats = s.transport->FlushStats();
+    } else {
+      std::lock_guard<std::mutex> lock(s.mu);
+      out->received = s.received;
+      out->max_transit_usec = s.max_transit.load();
+    }
+    s.transport->Shutdown();
+  }
+  (*coordinator)->Close();
+}
+
+// N small sends aggregate into ONE syscall-visible flush: each "mK" frame
+// is 32 wire bytes (22-byte head incl. the data meta, 2-byte body, 8-byte
+// checksum), so a 100-byte threshold holds 3 frames and the 4th send
+// crosses it -- one writev carries all four.
+TEST(TcpTransportTest, CoalescingAggregatesSmallSendsIntoOneFlush) {
+  CoalesceRunResult result;
+  // Half-second linger: only the size trigger can plausibly fire.
+  RunTwoRankCoalescedSend({/*coalesce_bytes=*/100,
+                           /*linger_usec=*/500000},
+                          /*num_messages=*/4, &result);
+  EXPECT_EQ(result.sender_stats.flushes, 1u);
+  EXPECT_EQ(result.sender_stats.flushed_frames, 4u);
+  EXPECT_EQ(result.sender_stats.flushed_bytes, 4u * 32u);
+  EXPECT_EQ(result.sender_stats.flush_size, 1u);
+  EXPECT_EQ(result.sender_stats.flush_linger, 0u);
+  EXPECT_EQ(result.sender_stats.flush_direct, 0u);
+  // All four frames arrived intact, in send order.
+  ASSERT_EQ(result.received.size(), 4u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(result.received[k], "m" + std::to_string(k));
+  }
+}
+
+// With an uncrossable size threshold, the background flusher pushes the
+// parked frames out once the linger expires -- and the receiver-measured
+// wire transit (sender stamp to receive thread) sees the dwell the
+// on-arrival restamping used to hide.
+TEST(TcpTransportTest, LingerExpiryFlushesParkedFrames) {
+  CoalesceRunResult result;
+  RunTwoRankCoalescedSend({/*coalesce_bytes=*/1 << 20,
+                           /*linger_usec=*/2000},
+                          /*num_messages=*/3, &result);
+  EXPECT_EQ(result.sender_stats.flushes, 1u);
+  EXPECT_EQ(result.sender_stats.flushed_frames, 3u);
+  EXPECT_EQ(result.sender_stats.flush_linger, 1u);
+  EXPECT_EQ(result.sender_stats.flush_size, 0u);
+  ASSERT_EQ(result.received.size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(result.received[k], "m" + std::to_string(k));
+  }
+  // The first frame waited out the full linger before flushing, so its
+  // transit must show roughly that dwell (margin for NowMicros
+  // truncation).
+  EXPECT_GE(result.max_transit_usec, 1900u);
+  EXPECT_GE(result.sender_stats.park_usec_sum, 1900u);
+}
+
 // The §5 parity claim, in-process: three TcpTransport-backed engines over
 // partitioned tables mine the same maximal set as simulated mode.
 TEST(DistributedEngineTest, ThreeRanksBitIdenticalToSimulatedMode) {
@@ -223,65 +365,91 @@ TEST(DistributedEngineTest, ThreeRanksBitIdenticalToSimulatedMode) {
   }
   ASSERT_FALSE(expected.empty());
 
-  // Distributed: one engine per rank, real sockets in between.
-  CoordinatorConfig coord_config;
-  coord_config.world_size = 3;
-  coord_config.config_blob = "job";
-  coord_config.steal_period_sec = config.steal_period_sec;
-  coord_config.steal_batch_cap = config.batch_size;
-  auto coordinator = Coordinator::Listen(std::move(coord_config));
-  ASSERT_TRUE(coordinator.ok());
-  const uint16_t port = (*coordinator)->port();
+  // Distributed: one engine per rank, real sockets in between. Run once
+  // with the given config; out-params get the canonical maximal set and
+  // the merged cluster report.
+  auto run_distributed = [&graph](const EngineConfig& run_config,
+                                  std::vector<VertexSet>* out_results,
+                                  EngineReport* out_merged) {
+    CoordinatorConfig coord_config;
+    coord_config.world_size = 3;
+    coord_config.config_blob = "job";
+    coord_config.steal_period_sec = run_config.steal_period_sec;
+    coord_config.steal_batch_cap = run_config.batch_size;
+    auto coordinator = Coordinator::Listen(std::move(coord_config));
+    ASSERT_TRUE(coordinator.ok());
+    const uint16_t port = (*coordinator)->port();
 
-  std::mutex reports_mu;
-  std::vector<EngineReport> rank_reports;
-  auto worker_main = [&] {
-    auto t = TcpTransport::ConnectWorker("127.0.0.1", port);
-    ASSERT_TRUE(t.ok()) << t.status().ToString();
-    std::unique_ptr<TcpTransport> transport = std::move(t).value();
-    auto table = std::make_unique<VertexTable>(*graph, 3, transport->rank());
-    QCApp app(config);
-    Engine engine(std::move(table), config, &app, transport.get());
-    auto report = engine.Run();
-    ASSERT_TRUE(report.ok()) << report.status().ToString();
-    Encoder enc;
-    EncodeEngineReport(report.value(), &enc);
-    ASSERT_TRUE(transport->SendReport(enc.Release()).ok());
-    EXPECT_TRUE(transport->terminated());
-    EXPECT_FALSE(transport->failed());
-    {
-      std::lock_guard<std::mutex> lock(reports_mu);
-      rank_reports.push_back(std::move(report).value());
+    auto worker_main = [&] {
+      auto t = TcpTransport::ConnectWorker("127.0.0.1", port);
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      std::unique_ptr<TcpTransport> transport = std::move(t).value();
+      auto table =
+          std::make_unique<VertexTable>(*graph, 3, transport->rank());
+      QCApp app(run_config);
+      Engine engine(std::move(table), run_config, &app, transport.get());
+      auto report = engine.Run();
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      Encoder enc;
+      EncodeEngineReport(report.value(), &enc);
+      ASSERT_TRUE(transport->SendReport(enc.Release()).ok());
+      EXPECT_TRUE(transport->terminated());
+      EXPECT_FALSE(transport->failed());
+      transport->Shutdown();
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i) threads.emplace_back(worker_main);
+    ASSERT_TRUE((*coordinator)->RunHandshake().ok());
+    auto blobs = (*coordinator)->RunToCompletion();
+    for (auto& th : threads) th.join();
+    ASSERT_TRUE(blobs.ok()) << blobs.status().ToString();
+    (*coordinator)->Close();
+
+    // Merge the raw candidates of all ranks (from the shipped blobs,
+    // like qcm_cluster does) and postprocess once.
+    std::vector<EngineReport> decoded(3);
+    for (int r = 0; r < 3; ++r) {
+      Decoder dec((*blobs)[r]);
+      ASSERT_TRUE(DecodeEngineReport(&dec, &decoded[r]).ok());
     }
-    transport->Shutdown();
+    *out_merged = MergeEngineReports(decoded);
+    *out_results = FilterMaximal(std::move(out_merged->results));
+    CanonicalizeResults(out_results);
   };
 
-  std::vector<std::thread> threads;
-  for (int i = 0; i < 3; ++i) threads.emplace_back(worker_main);
-  ASSERT_TRUE((*coordinator)->RunHandshake().ok());
-  auto blobs = (*coordinator)->RunToCompletion();
-  for (auto& th : threads) th.join();
-  ASSERT_TRUE(blobs.ok()) << blobs.status().ToString();
-  (*coordinator)->Close();
-
-  // Merge the raw candidates of all ranks (from the shipped blobs, like
-  // qcm_cluster does), postprocess once, compare bit-for-bit.
-  std::vector<EngineReport> decoded(3);
-  for (int r = 0; r < 3; ++r) {
-    Decoder dec((*blobs)[r]);
-    ASSERT_TRUE(DecodeEngineReport(&dec, &decoded[r]).ok());
-  }
-  EngineReport merged = MergeEngineReports(decoded);
-  std::vector<VertexSet> actual = FilterMaximal(std::move(merged.results));
-  CanonicalizeResults(&actual);
   CanonicalizeResults(&expected);
+
+  std::vector<VertexSet> actual;
+  EngineReport merged;
+  run_distributed(config, &actual, &merged);
   EXPECT_EQ(actual, expected);
   EXPECT_EQ(ResultSetDigest(actual), ResultSetDigest(expected));
 
   // The distributed run must have moved real vertex traffic between the
-  // ranks (every rank holds only a third of the adjacency).
+  // ranks (every rank holds only a third of the adjacency). Without
+  // coalescing every data frame flushed directly.
   EXPECT_GT(merged.counters.pulled_vertices, 0u);
   EXPECT_GT(merged.counters.msg_sent[0], 0u);  // pull requests
+  EXPECT_GT(merged.counters.net_flush_direct, 0u);
+  EXPECT_EQ(merged.counters.net_flush_size, 0u);
+  EXPECT_EQ(merged.counters.net_flush_linger, 0u);
+
+  // Same run with send coalescing on: the result digest must not move,
+  // and the merged report must show aggregated flushes.
+  EngineConfig coalesced = config;
+  coalesced.net_coalesce_bytes = 1400;
+  coalesced.net_linger_usec = 100;
+  std::vector<VertexSet> actual_coalesced;
+  EngineReport merged_coalesced;
+  run_distributed(coalesced, &actual_coalesced, &merged_coalesced);
+  EXPECT_EQ(actual_coalesced, expected);
+  EXPECT_EQ(ResultSetDigest(actual_coalesced), ResultSetDigest(expected));
+  EXPECT_GT(merged_coalesced.counters.net_flushes, 0u);
+  EXPECT_GT(merged_coalesced.counters.net_flush_frames, 0u);
+  EXPECT_GE(merged_coalesced.counters.net_flush_frames,
+            merged_coalesced.counters.net_flushes);
+  EXPECT_EQ(merged_coalesced.counters.net_flush_direct, 0u);
 }
 
 }  // namespace

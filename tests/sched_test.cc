@@ -336,12 +336,66 @@ TEST(EngineConfigValidationTest, RejectsContradictoryStealSettings) {
   EXPECT_NE(s.message().find("steal_rtt_reference_sec"), std::string::npos);
 }
 
+TEST(EngineConfigValidationTest, RejectsContradictoryCoalescingSettings) {
+  // Threshold without a linger bound: a lone frame could park forever.
+  EngineConfig config = ValidBase();
+  config.net_coalesce_bytes = 1400;
+  Status s = config.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("contradictory"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("engine_config.cc:"), std::string::npos);
+
+  // Linger without a threshold: the bound bounds nothing.
+  config = ValidBase();
+  config.net_linger_usec = 100;
+  s = config.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("contradictory"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("net_linger_usec"), std::string::npos);
+
+  // Both set or both zero are the only valid combinations.
+  config = ValidBase();
+  config.net_coalesce_bytes = 1400;
+  config.net_linger_usec = 100;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(ValidBase().Validate().ok());
+}
+
+TEST(EngineConfigValidationTest, RejectsOutOfRangeCoalescingSettings) {
+  EngineConfig config = ValidBase();
+  config.net_coalesce_bytes = -1;
+  Status s = config.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("net_coalesce_bytes"), std::string::npos);
+  EXPECT_NE(s.message().find("engine_config.cc:"), std::string::npos);
+
+  config = ValidBase();
+  config.net_linger_usec = -5;
+  s = config.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("net_linger_usec"), std::string::npos);
+
+  // A buffer larger than the largest legal frame could never flush by
+  // size at all.
+  config = ValidBase();
+  config.net_coalesce_bytes = (int64_t{1} << 30) + 1;
+  config.net_linger_usec = 100;
+  s = config.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("frame cap"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(EngineConfigValidationTest, NewKnobsRoundTripThroughTheCodec) {
   EngineConfig config = ValidBase();
   config.spawn_prefetch = true;
   config.prefetch_limit = 17;
   config.steal_rtt_reference_sec = 0.005;
   config.steal_max_batch_factor = 3;
+  config.net_coalesce_bytes = 2800;
+  config.net_linger_usec = 250;
   Encoder enc;
   EncodeEngineConfig(config, &enc);
   const std::string blob = enc.Release();
@@ -352,6 +406,8 @@ TEST(EngineConfigValidationTest, NewKnobsRoundTripThroughTheCodec) {
   EXPECT_EQ(decoded.prefetch_limit, 17u);
   EXPECT_DOUBLE_EQ(decoded.steal_rtt_reference_sec, 0.005);
   EXPECT_EQ(decoded.steal_max_batch_factor, 3u);
+  EXPECT_EQ(decoded.net_coalesce_bytes, 2800);
+  EXPECT_EQ(decoded.net_linger_usec, 250);
 }
 
 // ---------------------------------------------------------------------------

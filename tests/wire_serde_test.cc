@@ -164,20 +164,105 @@ TEST(WireFrameTest, ExactBytes) {
   EXPECT_EQ(bytes.size(), kWireHeaderBytes + 2 + kWireTrailerBytes);
 }
 
+/// The kData payload prefix the wire contract mandates: type byte, then
+/// the sender timestamp as a little-endian u64, then the fabric body.
+std::string DataMeta(uint8_t type, uint64_t send_ts_usec) {
+  Encoder enc;
+  enc.PutU8(type);
+  enc.PutU64(send_ts_usec);
+  return enc.Release();
+}
+
 TEST(WireFrameTest, DataFrameFastPathMatchesGenericEncoding) {
-  // The single-buffer kData encoder (the hot pull path) must be
-  // byte-identical to EncodeFrame on the equivalent Frame, including the
-  // streamed checksum.
+  // The kData encoder (the hot pull path) must be byte-identical to
+  // EncodeFrame on the equivalent Frame -- payload
+  // [type u8][send_ts u64 LE][body] -- including the streamed checksum.
   const std::string body = "adjacency-bytes\x00\x01\x02";
   Frame generic;
   generic.kind = FrameKind::kData;
   generic.src = 1;
-  generic.payload = std::string(1, static_cast<char>(2)) + body;
-  EXPECT_EQ(Hex(EncodeDataFrame(1, 2, body)),
+  generic.payload = DataMeta(2, 0x123456789ABCDEFull) + body;
+  EXPECT_EQ(Hex(EncodeDataFrame(1, 2, 0x123456789ABCDEFull, body)),
             Hex(EncodeFrame(generic)));
-  EXPECT_EQ(Hex(EncodeDataFrame(3, 0, "")),
-            Hex(EncodeFrame(Frame{FrameKind::kData, 3,
-                                  std::string(1, '\0')})));
+  EXPECT_EQ(Hex(EncodeDataFrame(3, 0, 0, "")),
+            Hex(EncodeFrame(Frame{FrameKind::kData, 3, DataMeta(0, 0)})));
+}
+
+TEST(WireFrameTest, DataFramePartsConcatenateToTheFullEncoding) {
+  // The scatter-gather parts {head, body, trailer} are the zero-copy
+  // twin of EncodeDataFrame: concatenated they must be byte-identical,
+  // with the head carrying exactly header + meta and the trailer exactly
+  // the checksum.
+  const std::string body = "pull-response-bytes";
+  const uint64_t ts = 987654321;
+  DataFrameParts parts = EncodeDataFrameParts(4, 1, ts, body);
+  EXPECT_EQ(parts.head.size(), kWireHeaderBytes + kDataFrameMetaBytes);
+  EXPECT_EQ(parts.trailer.size(), kWireTrailerBytes);
+  EXPECT_EQ(Hex(parts.head + body + parts.trailer),
+            Hex(EncodeDataFrame(4, 1, ts, body)));
+
+  uint8_t type = 0;
+  uint64_t out_ts = 0;
+  std::string out_body;
+  ASSERT_TRUE(SplitDataFramePayload(DataMeta(1, ts) + body, &type, &out_ts,
+                                    &out_body)
+                  .ok());
+  EXPECT_EQ(type, 1);
+  EXPECT_EQ(out_ts, ts);
+  EXPECT_EQ(out_body, body);
+  // A payload shorter than the meta prefix is corruption, not a read
+  // past the end.
+  EXPECT_EQ(SplitDataFramePayload("12345678", &type, &out_ts, &out_body)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WireFrameTest, CoalescedFlushDecodesToIdenticalFrameSequence) {
+  // A coalesced flush is the byte concatenation of N individually
+  // encoded frames; decoding the buffer sequentially must yield the
+  // exact frames N individual writes would have delivered, each
+  // checksum-verified.
+  const std::vector<std::string> bodies = {"alpha", "", "gamma-123",
+                                           std::string(300, 'z')};
+  std::string flush;
+  for (size_t k = 0; k < bodies.size(); ++k) {
+    DataFrameParts parts = EncodeDataFrameParts(
+        2, static_cast<uint8_t>(k % 3), 1000 + k, bodies[k]);
+    flush += parts.head;
+    flush += bodies[k];
+    flush += parts.trailer;
+  }
+
+  size_t pos = 0;
+  for (size_t k = 0; k < bodies.size(); ++k) {
+    Frame frame;
+    ASSERT_TRUE(DecodeFrame(flush, &pos, &frame).ok()) << "frame " << k;
+    EXPECT_EQ(frame.kind, FrameKind::kData);
+    EXPECT_EQ(frame.src, 2u);
+    EXPECT_EQ(Hex(frame.payload),
+              Hex(DataMeta(static_cast<uint8_t>(k % 3), 1000 + k) +
+                  bodies[k]));
+  }
+  EXPECT_EQ(pos, flush.size());
+
+  // Torn read mid-buffer: a reader that got only part of frame 3 sees
+  // IOError ("need more bytes") on the partial frame -- never corruption,
+  // never a phantom frame -- after cleanly decoding frames 1 and 2.
+  const std::string torn = flush.substr(0, flush.size() - 100);
+  pos = 0;
+  Frame frame;
+  ASSERT_TRUE(DecodeFrame(torn, &pos, &frame).ok());
+  ASSERT_TRUE(DecodeFrame(torn, &pos, &frame).ok());
+  ASSERT_TRUE(DecodeFrame(torn, &pos, &frame).ok());
+  const size_t resume_pos = pos;
+  EXPECT_EQ(DecodeFrame(torn, &pos, &frame).code(), StatusCode::kIOError);
+  // The failed attempt must not advance the cursor: once the rest of the
+  // bytes arrive, decoding resumes at the torn frame's header.
+  EXPECT_EQ(pos, resume_pos);
+  ASSERT_TRUE(DecodeFrame(flush, &pos, &frame).ok());
+  EXPECT_EQ(pos, flush.size());
+  EXPECT_EQ(frame.payload.substr(kDataFrameMetaBytes),
+            std::string(300, 'z'));
 }
 
 TEST(WireFrameTest, RoundTripAllKinds) {
@@ -289,6 +374,8 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   spec.config.cache_policy = CachePolicy::kTinyLFU;
   spec.config.net_latency_ticks = 2;
   spec.config.net_latency_sec = 0.001;
+  spec.config.net_coalesce_bytes = 1400;
+  spec.config.net_linger_usec = 100;
   spec.config.spawn_prefetch = true;
   spec.config.prefetch_limit = 21;
   spec.config.steal_rtt_reference_sec = 0.002;
@@ -320,6 +407,8 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(out.config.cache_policy, CachePolicy::kTinyLFU);
   EXPECT_EQ(out.config.net_latency_ticks, 2u);
   EXPECT_EQ(out.config.net_latency_sec, 0.001);
+  EXPECT_EQ(out.config.net_coalesce_bytes, 1400);
+  EXPECT_EQ(out.config.net_linger_usec, 100);
   EXPECT_TRUE(out.config.spawn_prefetch);
   EXPECT_EQ(out.config.prefetch_limit, 21u);
   EXPECT_EQ(out.config.steal_rtt_reference_sec, 0.002);
@@ -345,6 +434,13 @@ TEST(EngineReportSerdeTest, RoundTripAndMerge) {
   a.counters.msg_sent[0] = 4;
   a.counters.msg_inflight_bytes_peak = 77;
   a.counters.msg_latency_hist[2] = 3;
+  a.counters.net_flushes = 6;
+  a.counters.net_flush_frames = 24;
+  a.counters.net_flush_bytes = 4096;
+  a.counters.net_flush_size = 4;
+  a.counters.net_flush_linger = 2;
+  a.counters.net_flush_park_usec = 350;
+  a.counters.net_flush_bytes_hist[1] = 6;
   a.mining.nodes_explored = 42;
   a.threads.push_back(ThreadSummary{.machine = 0,
                                     .thread = 1,
@@ -369,6 +465,13 @@ TEST(EngineReportSerdeTest, RoundTripAndMerge) {
   EXPECT_EQ(b.counters.msg_sent[0], 4u);
   EXPECT_EQ(b.counters.msg_inflight_bytes_peak, 77u);
   EXPECT_EQ(b.counters.msg_latency_hist[2], 3u);
+  EXPECT_EQ(b.counters.net_flushes, 6u);
+  EXPECT_EQ(b.counters.net_flush_frames, 24u);
+  EXPECT_EQ(b.counters.net_flush_bytes, 4096u);
+  EXPECT_EQ(b.counters.net_flush_size, 4u);
+  EXPECT_EQ(b.counters.net_flush_linger, 2u);
+  EXPECT_EQ(b.counters.net_flush_park_usec, 350u);
+  EXPECT_EQ(b.counters.net_flush_bytes_hist[1], 6u);
   EXPECT_EQ(b.mining.nodes_explored, 42u);
   ASSERT_EQ(b.threads.size(), 1u);
   EXPECT_EQ(b.threads[0].tasks_processed, 9u);
@@ -379,11 +482,15 @@ TEST(EngineReportSerdeTest, RoundTripAndMerge) {
   c.wall_seconds = 0.5;
   c.counters.tasks_completed = 5;
   c.counters.msg_inflight_bytes_peak = 200;
+  c.counters.net_flushes = 4;
+  c.counters.net_flush_bytes_hist[1] = 1;
   c.results.push_back({6});
   EngineReport merged = MergeEngineReports({b, c});
   EXPECT_EQ(merged.wall_seconds, 1.5);  // max
   EXPECT_EQ(merged.counters.tasks_completed, 15u);  // sum
   EXPECT_EQ(merged.counters.msg_inflight_bytes_peak, 200u);  // peak: max
+  EXPECT_EQ(merged.counters.net_flushes, 10u);  // sum across ranks
+  EXPECT_EQ(merged.counters.net_flush_bytes_hist[1], 7u);
   EXPECT_EQ(merged.results.size(), 3u);
   EXPECT_EQ(merged.threads.size(), 1u);
 

@@ -12,11 +12,21 @@
 # Every run's result digest is compared against the zero-latency
 # prefetch-off run: any divergence fails the bench loudly.
 #
-# Usage: tools/bench_cluster_latency.sh [build-dir] [out.json]
+# A second sweep (cluster_coalesce_before_after.json) drives a
+# small-message workload -- vertex cache OFF so every remote adjacency
+# rides the pull path, --pull-batch 64 so pulls fragment into many small
+# frames, prefetch ON -- with transport send-coalescing off vs on, at
+# --net-latency 0 and 1 ms. It records frames-per-syscall, the flush-cause
+# breakdown and the bytes-per-flush histogram, cross-checks every digest
+# against the same baseline, and fails unless coalescing cuts data-frame
+# syscalls by at least 3x.
+#
+# Usage: tools/bench_cluster_latency.sh [build-dir] [out.json] [coalesce-out.json]
 set -u -o pipefail
 
 BUILD="${1:-./build}"
 OUT="${2:-bench/cluster_latency_before_after.json}"
+COALESCE_OUT="${3:-bench/cluster_coalesce_before_after.json}"
 CLUSTER="$BUILD/qcm_cluster"
 PROBE="$BUILD/steal_planner_probe"
 for bin in "$CLUSTER" "$PROBE"; do
@@ -140,4 +150,136 @@ doc = {
 }
 json.dump(doc, open(out_path, "w"), indent=2)
 print(f"bench_cluster_latency: wrote {out_path} ({len(rows)} runs)")
+EOF
+status=$?
+if [[ $status -ne 0 ]]; then exit $status; fi
+
+# ---------------------------------------------------------------------------
+# Coalescing sweep: small-message workload, transport aggregation off vs on.
+# ---------------------------------------------------------------------------
+
+# Cache off + small pull chunks = the syscall-per-frame worst case the
+# coalescing buffer exists to fix.
+SMALLMSG="--cache-capacity 0 --pull-batch 64 --prefetch"
+COALESCE_LATENCIES=(0 0.001)
+
+crows=""
+for mode in before after; do
+  if [[ "$mode" == "before" ]]; then
+    extra=""  # coalescing off: every data frame is its own writev
+  else
+    extra="--net-coalesce-bytes 1400 --net-linger-usec 100"
+  fi
+  for lat in "${COALESCE_LATENCIES[@]}"; do
+    json="$workdir/coalesce_${mode}_${lat}.json"
+    # Loopback walls at these run lengths are noisy; take the best of 3
+    # repeats (every repeat still digest-checked) so the no-regression
+    # gate below measures the transport, not the scheduler's dice.
+    wall=""
+    for rep in 1 2 3; do
+      out=$($CLUSTER $GRAPH $PARAMS $SMALLMSG --net-latency "$lat" $extra \
+            --stats-json "$json" \
+            --log-dir "$workdir/logs_coalesce_${mode}_${lat}_${rep}" 2>&1)
+      status=$?
+      if [[ $status -ne 0 ]]; then
+        echo "bench_cluster_latency: FAIL -- qcm_cluster exited $status" \
+          "(coalesce mode=$mode latency=$lat rep=$rep)" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+      fi
+      digest=$(printf '%s\n' "$out" |
+        sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+      if [[ "$digest" != "$baseline_digest" ]]; then
+        echo "bench_cluster_latency: FAIL -- coalesce digest $digest" \
+          "(mode=$mode latency=$lat rep=$rep) != baseline" \
+          "$baseline_digest" >&2
+        exit 1
+      fi
+      rep_wall=$(printf '%s\n' "$out" |
+        sed -n 's/^[0-9]* maximal quasi-cliques in \([0-9.]*\) s$/\1/p' |
+        tail -1)
+      if [[ -z "$wall" ]] ||
+         awk -v a="$rep_wall" -v b="$wall" 'BEGIN { exit !(a < b) }'; then
+        wall="$rep_wall"
+      fi
+    done
+    row=$(python3 - "$json" "$mode" "$lat" "$digest" "$wall" <<'EOF'
+import json, sys
+path, mode, lat, digest, wall = sys.argv[1:6]
+doc = json.load(open(path))
+merged = doc["merged"]
+c = merged["counters"]
+row = {
+    "mode": mode,
+    "net_latency_sec": float(lat),
+    "digest": digest,
+    "wall_seconds": float(wall),
+    "data_frames": c["net_flush_frames"],
+    "data_frame_syscalls": c["net_flushes"],
+    "flushed_bytes": c["net_flush_bytes"],
+    "frames_per_syscall": merged["derived"]["frames_per_flush"],
+    "flush_causes": {
+        "size": c["net_flush_size"],
+        "linger": c["net_flush_linger"],
+        "forced": c["net_flush_forced"],
+        "direct": c["net_flush_direct"],
+    },
+    "mean_flush_park_usec": merged["derived"]["mean_flush_park_usec"],
+    "mean_delivery_latency_sec":
+        merged["derived"]["mean_delivery_latency_sec"],
+    "flush_bytes_hist": merged["net_flush_bytes_hist"],
+}
+print(json.dumps(row))
+EOF
+)
+    if [[ -z "$row" ]]; then
+      echo "bench_cluster_latency: FAIL -- could not digest $json" >&2
+      exit 1
+    fi
+    crows="$crows$row"$'\n'
+    echo "bench_cluster_latency: coalesce $mode latency=$lat" \
+      "digest=$digest OK"
+  done
+done
+
+crows_file="$workdir/coalesce_rows.jsonl"
+printf '%s' "$crows" > "$crows_file"
+python3 - "$COALESCE_OUT" "$crows_file" <<'EOF'
+import json, sys
+out_path = sys.argv[1]
+rows = [json.loads(line) for line in open(sys.argv[2]) if line.strip()]
+by_key = {(r["mode"], r["net_latency_sec"]): r for r in rows}
+reductions = {}
+for lat in sorted({r["net_latency_sec"] for r in rows}):
+    before, after = by_key[("before", lat)], by_key[("after", lat)]
+    reductions[str(lat)] = round(
+        before["data_frame_syscalls"] / after["data_frame_syscalls"], 3)
+doc = {
+    "bench": "cluster_coalesce_before_after",
+    "description": (
+        "3-process qcm_cluster over real loopback sockets on a "
+        "small-message workload (vertex cache off, --pull-batch 64, "
+        "prefetch on): 'before' = coalescing off (one writev per data "
+        "frame), 'after' = --net-coalesce-bytes 1400 --net-linger-usec "
+        "100. All digests bit-identical to the latency sweep's baseline; "
+        "syscall_reduction = before/after data-frame syscalls per "
+        "latency point."
+    ),
+    "runs": rows,
+    "syscall_reduction": reductions,
+}
+json.dump(doc, open(out_path, "w"), indent=2)
+print(f"bench_cluster_latency: wrote {out_path} ({len(rows)} runs)")
+worst = min(reductions.values())
+if worst < 3.0:
+    print("bench_cluster_latency: FAIL -- coalescing cut data-frame "
+          f"syscalls only {worst}x (< 3x)", file=sys.stderr)
+    sys.exit(1)
+zero = "0" if "0" in reductions else "0.0"
+b0, a0 = by_key[("before", float(zero))], by_key[("after", float(zero))]
+if a0["wall_seconds"] > b0["wall_seconds"] * 1.5:
+    print("bench_cluster_latency: FAIL -- coalescing regressed wall at "
+          f"latency 0: {b0['wall_seconds']}s -> {a0['wall_seconds']}s",
+          file=sys.stderr)
+    sys.exit(1)
 EOF

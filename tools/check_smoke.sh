@@ -132,3 +132,33 @@ if [[ "$cluster_digest" != "$single_digest" ]]; then
 fi
 
 echo "check_smoke: OK -- 3-process cluster digest matches ($cluster_digest)"
+
+# ---- Coalescing-on cluster phase ---------------------------------------
+# Same 3-process run with transport send-aggregation enabled: coalescing
+# only changes how data frames share syscalls, never what arrives, so the
+# digest must stay bit-identical to the single-process run.
+coalesce_out=$("$CLUSTER_BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --workers 3 --threads 2 --stats \
+  --net-coalesce-bytes 1400 --net-linger-usec 100 \
+  --log-dir "$LOG_DIR" "$@" 2>&1)
+coalesce_status=$?
+echo "$coalesce_out"
+
+if [[ $coalesce_status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- coalescing-on qcm_cluster exited with status" \
+    "$coalesce_status (worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+
+coalesce_digest=$(printf '%s\n' "$coalesce_out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ "$coalesce_digest" != "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- coalescing-on digest $coalesce_digest !=" \
+    "single-process digest $single_digest (coalescing must not change" \
+    "results; worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+
+echo "check_smoke: OK -- coalescing-on cluster digest matches" \
+  "($coalesce_digest)"

@@ -15,6 +15,7 @@
 //               [--tau-time F] [--mode none|size|time]
 //               [--cache-capacity N] [--cache-policy lru|clock|tinylfu]
 //               [--pull-batch N] [--net-latency F] [--net-latency-ticks N]
+//               [--net-coalesce-bytes N] [--net-linger-usec N]
 //               [--prefetch] [--prefetch-limit N] [--steal-rtt-ref F]
 //               [--steal-batch-factor N]
 //               [--seed N] [--output PATH] [--no-filter] [--stats]
@@ -63,6 +64,10 @@ struct Args {
   std::string log_dir;
   std::string cache_policy = "lru";
   std::string mode = "time";
+  /// --net-coalesce-bytes given without an explicit --net-linger-usec:
+  /// the linger falls back to the classic ~100 us bound instead of
+  /// tripping the linger-without-coalescing validation.
+  bool linger_defaulted = false;
 };
 
 void Usage() {
@@ -139,6 +144,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       config.net_latency_ticks = static_cast<uint64_t>(ticks);
+    } else if (a == "--net-coalesce-bytes") {
+      if ((v = next("--net-coalesce-bytes")) == nullptr) return false;
+      config.net_coalesce_bytes = std::atoll(v);
+      args->linger_defaulted = config.net_linger_usec == 0;
+    } else if (a == "--net-linger-usec") {
+      if ((v = next("--net-linger-usec")) == nullptr) return false;
+      config.net_linger_usec = std::atoll(v);
+      args->linger_defaulted = false;
     } else if (a == "--prefetch") {
       config.spawn_prefetch = true;
     } else if (a == "--prefetch-limit") {
@@ -201,6 +214,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (!policy.ok()) {
     std::fprintf(stderr, "--cache-policy: %s\n", policy.ToString().c_str());
     return false;
+  }
+  if (args->linger_defaulted && config.net_coalesce_bytes > 0) {
+    config.net_linger_usec = 100;
   }
   // Surface contradictory settings here with the validator's file:line
   // message instead of shipping them to every worker first.
