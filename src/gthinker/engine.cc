@@ -66,12 +66,23 @@ class Engine::Comper : public ComputeContext {
         const bool first_round = !task->sched_info().computed_once;
         active_task_ = task.get();
         active_task_first_round_ = first_round;
+        const size_t sink_before = sink_.results().size();
         worker_->busy_compers.fetch_add(1, std::memory_order_relaxed);
         ComputeStatus status = engine_->app_->Compute(*task, *this);
         worker_->busy_compers.fetch_sub(1, std::memory_order_relaxed);
         active_task_ = nullptr;
         metrics_.busy_seconds += busy.Seconds();
         ++metrics_.tasks_processed;
+        // Checkpoint the round's results BEFORE the lifecycle sees the
+        // round's completion: the log's append order is what guarantees a
+        // root-done record is never durable ahead of its subtree's
+        // results.
+        if (engine_->ckpt_log_ != nullptr) {
+          const auto& results = sink_.results();
+          for (size_t i = sink_before; i < results.size(); ++i) {
+            engine_->ckpt_log_->AppendResult(results[i]);
+          }
+        }
         sched->OnComputeResult(std::move(task), status, local_);
         continue;
       }
@@ -157,11 +168,16 @@ namespace {
 /// task's lifecycle to kStolen (the receiver rehydrates kStolen->kReady).
 /// Shared by the in-process steal master and the coordinator-commanded
 /// steal path so the wire format and lifecycle recording cannot drift.
+/// With checkpointing on, shipping a task taints its root: the subtree's
+/// completion is no longer locally observable, so the root must never be
+/// checkpointed as done.
 std::string EncodeStealBatchPayload(const std::vector<TaskPtr>& tasks,
-                                    EngineCounters* counters) {
+                                    EngineCounters* counters,
+                                    RootProgress* root_progress) {
   Encoder enc;
   enc.PutU32(static_cast<uint32_t>(tasks.size()));
   for (const TaskPtr& t : tasks) {
+    if (root_progress != nullptr) root_progress->Taint(t->root());
     AdvanceTaskState(*t, TaskState::kStolen, &counters->lifecycle);
     t->Encode(&enc);
   }
@@ -215,16 +231,21 @@ void Engine::MaybeFinish() {
 void Engine::StatusLoop() {
   // Publish this rank's termination inputs until the coordinator declares
   // global quiescence. Read order mirrors MaybeFinish: spawn state first,
-  // then processed frames, then pending, then sent -- combined with the
-  // wire-boundary pending accounting this keeps in-flight work visible in
-  // every snapshot the coordinator can assemble.
+  // then processed frames, then pending -- the transport snapshots its
+  // per-peer sent counters after all of these inside PublishStatus --
+  // combined with the wire-boundary pending accounting this keeps
+  // in-flight work visible in every snapshot the coordinator can
+  // assemble.
+  uint64_t last_manifest_usec = 0;
   for (;;) {
     RankStatus status;
     status.spawn_done = SpawnExhausted() && active_spawners_.load() == 0;
-    status.data_frames_processed =
-        frames_processed_.load(std::memory_order_acquire);
+    status.processed_from.resize(processed_from_.size());
+    for (size_t r = 0; r < processed_from_.size(); ++r) {
+      status.processed_from[r] =
+          processed_from_[r].load(std::memory_order_acquire);
+    }
     status.pending = pending_.load();
-    status.data_frames_sent = transport_->DataFramesSent();
     status.pending_big = workers_[0]->PendingBig();
     // Mean observed delivery latency so far: the coordinator's input to
     // latency-aware steal planning (it cannot see our fabric directly).
@@ -239,7 +260,80 @@ void Engine::StatusLoop() {
                   delivered;
     transport_->PublishStatus(status);
     if (done_.load()) return;
+    if (ckpt_log_ != nullptr) {
+      const uint64_t now = static_cast<uint64_t>(NowMicros());
+      if (now - last_manifest_usec > 1000000) {  // ~1s cadence
+        last_manifest_usec = now;
+        WriteCheckpointManifest();
+      }
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+void Engine::WriteCheckpointManifest() {
+  // Human-readable crash-scene observability (never a recovery input).
+  std::string m;
+  m += "rank: " + std::to_string(first_machine()) + "\n";
+  m += "epoch: " + std::to_string(transport_->epoch()) + "\n";
+  m += "spill_dir: " + spill_dir_ + "\n";
+  m += "spawn_cursor: " +
+       std::to_string(workers_[0]->sched->SpawnCursor()) + "\n";
+  m += "pending: " + std::to_string(pending_.load()) + "\n";
+  m += "tasks_completed: " +
+       std::to_string(counters_.tasks_completed.load(
+           std::memory_order_relaxed)) + "\n";
+  m += "tracked_roots: " +
+       std::to_string(root_progress_ != nullptr ? root_progress_->tracked()
+                                                : 0) + "\n";
+  m += "checkpoint_bytes: " +
+       std::to_string(ckpt_log_->bytes_appended()) + "\n";
+  (void)ckpt_log_->WriteManifest(m);
+}
+
+void Engine::ReinjectStealPayload(std::string payload, bool add_pending) {
+  auto count = StealBatchTaskCount(payload);
+  QCM_CHECK(count.ok()) << "corrupt retained steal batch: "
+                        << count.status().ToString();
+  if (add_pending) pending_.fetch_add(count.value());
+  counters_.replayed_tasks.fetch_add(count.value(),
+                                     std::memory_order_relaxed);
+  fabric_->Inject(MessageType::kStealBatch, first_machine(),
+                  std::move(payload));
+}
+
+void Engine::OnPeerDown(int peer) {
+  // The transport joined the dead incarnation's receive thread before
+  // invoking this hook, so processed_from_[peer] is quiescent here and
+  // the reset pairs exactly with the transport's sent_to[peer] reset.
+  processed_from_[peer].store(0, std::memory_order_release);
+  std::vector<std::string> retained;
+  {
+    std::lock_guard<std::mutex> lock(retained_mu_);
+    retained.swap(retained_steals_[peer]);
+  }
+  for (std::string& payload : retained) {
+    // These tasks left pending_ when their batch shipped; they re-enter
+    // it now and are mined here. Parts the dead rank already finished
+    // come back as exact duplicates for the final dedup.
+    ReinjectStealPayload(std::move(payload), /*add_pending=*/true);
+  }
+  if (!retained.empty()) {
+    QCM_ILOG << "rank " << first_machine() << ": re-injected "
+             << retained.size() << " steal batch(es) shipped to dead rank "
+             << peer;
+  }
+}
+
+void Engine::OnPeerUp(int peer) {
+  // Pulls that were in flight toward the dead incarnation died with it;
+  // ask the replacement (same partition) again. Parked tasks stayed
+  // counted in pending_ throughout, so termination never raced past
+  // them.
+  const size_t requeued = workers_[0]->broker->RequeueInflightFor(peer);
+  if (requeued > 0) {
+    QCM_ILOG << "rank " << first_machine() << ": re-requesting "
+             << requeued << " vertex pull(s) from recovered rank " << peer;
   }
 }
 
@@ -258,6 +352,7 @@ void Engine::OnWireData(int src, uint8_t type, std::string payload,
     pending_.fetch_add(count.value());
   }
   frames_processed_.fetch_add(1, std::memory_order_acq_rel);
+  processed_from_[src].fetch_add(1, std::memory_order_acq_rel);
   fabric_->Inject(mtype, src, std::move(payload), wire_transit_usec);
 }
 
@@ -268,8 +363,24 @@ void Engine::OnStealCommand(int receiver, uint64_t want) {
   if (want == 0 || done_.load()) return;
   std::vector<TaskPtr> tasks = workers_[0]->global_queue->StealBatch(want);
   if (tasks.empty()) return;  // the coordinator's estimate was stale
-  std::string payload = EncodeStealBatchPayload(tasks, &counters_);
+  std::string payload =
+      EncodeStealBatchPayload(tasks, &counters_, root_progress_.get());
   const uint64_t bytes = payload.size();
+  // Retention-before-ship: a copy of the batch enters retained_steals_
+  // under the same mutex OnPeerDown drains, so whichever of the two runs
+  // second sees the other's effect -- the batch is either re-injected by
+  // the hook (and our send below is silently dropped by the transport)
+  // or shipped to a live receiver. Tasks can never fall between.
+  {
+    std::lock_guard<std::mutex> lock(retained_mu_);
+    if (!transport_->PeerAlive(receiver)) {
+      // The receiver died between the coordinator's command and now:
+      // keep the batch as local work (pending_ was never decremented).
+      ReinjectStealPayload(std::move(payload), /*add_pending=*/false);
+      return;
+    }
+    retained_steals_[receiver].push_back(payload);
+  }
   // Send first (the frame is counted as sent before the wire write), only
   // then drop the tasks from this process's pending accounting: the
   // coordinator always sees the batch as either local work or an
@@ -324,7 +435,8 @@ void Engine::StealLoop() {
       // tick, so the transfer overlaps with mining on both ends instead
       // of blocking this thread. The tasks remain counted in pending_
       // throughout the flight, so termination cannot race past them.
-      std::string payload = EncodeStealBatchPayload(tasks, &counters_);
+      std::string payload =
+          EncodeStealBatchPayload(tasks, &counters_, root_progress_.get());
       const uint64_t bytes = payload.size();
       fabric_->Send(MessageType::kStealBatch, move.donor, move.receiver,
                     std::move(payload));
@@ -377,6 +489,34 @@ StatusOr<EngineReport> Engine::Run() {
     ::mkdir(spill_dir_.c_str(), 0755);
   }
 
+  // Durable progress checkpointing (distributed mode only: the recovery
+  // protocol that consumes it lives in the cluster coordinator). A
+  // replacement incarnation (epoch > 0) replays its predecessor's log
+  // before mining: replayed results join the final report, fully-mined
+  // roots are skipped at spawn time.
+  if (distributed() && !config_.checkpoint_dir.empty()) {
+    ckpt_log_ = std::make_unique<CheckpointLog>();
+    CheckpointLog::LoadResult replay;
+    const std::string dir = config_.checkpoint_dir + "/rank" +
+                            std::to_string(transport_->rank());
+    QCM_RETURN_IF_ERROR(ckpt_log_->Open(dir, transport_->epoch(),
+                                        config_.checkpoint_interval_sec,
+                                        &replay));
+    recovered_results_ = std::move(replay.results);
+    completed_roots_ = std::move(replay.completed_roots);
+    counters_.recovered_results.store(recovered_results_.size(),
+                                      std::memory_order_relaxed);
+    root_progress_ = std::make_unique<RootProgress>(ckpt_log_.get());
+    if (transport_->epoch() > 0) {
+      QCM_ILOG << "rank " << transport_->rank() << " epoch "
+               << transport_->epoch() << ": replayed " << replay.records
+               << " checkpoint record(s) (" << recovered_results_.size()
+               << " results, " << completed_roots_.size()
+               << " completed roots, " << replay.torn_bytes
+               << " torn bytes discarded)";
+    }
+  }
+
   WallTimer wall;
   if (!distributed()) {
     table_ = std::make_unique<VertexTable>(graph_, config_.num_machines);
@@ -427,6 +567,9 @@ StatusOr<EngineReport> Engine::Run() {
     deps.counters = &counters_;
     deps.pending = &pending_;
     deps.active_spawners = &active_spawners_;
+    deps.root_progress = root_progress_.get();
+    deps.completed_roots =
+        root_progress_ != nullptr ? &completed_roots_ : nullptr;
     w->sched = std::make_unique<Scheduler>(deps);
     workers_.push_back(std::move(w));
   }
@@ -445,11 +588,16 @@ StatusOr<EngineReport> Engine::Run() {
                uint64_t wire_transit_usec) {
           OnWireData(src, type, std::move(payload), wire_transit_usec);
         });
+    processed_from_ =
+        std::vector<std::atomic<uint64_t>>(config_.num_machines);
+    retained_steals_.resize(config_.num_machines);
     Transport::ControlHooks hooks;
     hooks.on_terminate = [this] { done_.store(true); };
     hooks.on_steal_command = [this](int receiver, uint64_t want) {
       OnStealCommand(receiver, want);
     };
+    hooks.on_peer_down = [this](int peer) { OnPeerDown(peer); };
+    hooks.on_peer_up = [this](int peer) { OnPeerUp(peer); };
     transport_->SetControlHooks(std::move(hooks));
     transport_->ConfigureCoalescing(
         {config_.net_coalesce_bytes, config_.net_linger_usec});
@@ -496,6 +644,17 @@ StatusOr<EngineReport> Engine::Run() {
         << " undelivered fabric message(s) for machine " << worker->id
         << " (first type: "
         << MessageTypeName(leftover.front().type) << ")";
+  }
+
+  // Final checkpoint flush, then freeze the log's totals into the
+  // counters before the snapshot below captures them.
+  if (ckpt_log_ != nullptr) {
+    ckpt_log_->Flush();
+    counters_.checkpoint_flushes.store(ckpt_log_->flushes(),
+                                       std::memory_order_relaxed);
+    counters_.checkpoint_bytes.store(ckpt_log_->bytes_appended(),
+                                     std::memory_order_relaxed);
+    WriteCheckpointManifest();
   }
 
   // Aggregate the report.
@@ -546,6 +705,14 @@ StatusOr<EngineReport> Engine::Run() {
   for (auto& [root, agg] : root_aggs) {
     report.root_tasks.push_back(agg);
   }
+  // Results replayed from a crashed predecessor's checkpoint join the
+  // freshly mined ones; overlap between the two (roots the predecessor
+  // finished partially) is exact duplicates the downstream FilterMaximal
+  // dedup removes, which is what keeps the final digest crash-invariant.
+  for (VertexSet& s : recovered_results_) {
+    report.results.push_back(std::move(s));
+  }
+  recovered_results_.clear();
 
   // All spill files should have been consumed; clean up defensively.
   for (auto& worker : workers_) {

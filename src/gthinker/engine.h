@@ -54,9 +54,12 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "gthinker/checkpoint.h"
 #include "gthinker/comm.h"
 #include "gthinker/engine_config.h"
 #include "gthinker/metrics.h"
@@ -110,6 +113,23 @@ class Engine {
   void OnWireData(int src, uint8_t type, std::string payload,
                   uint64_t wire_transit_usec);
   void OnStealCommand(int receiver, uint64_t want);
+  /// Rank `peer` was declared dead (transport hook, after its old
+  /// incarnation's receive path is fully quiesced): reset the pair's
+  /// processed counter and re-inject every steal batch this rank had
+  /// shipped there -- whatever the dead rank had not finished of them is
+  /// mined here instead (completed parts become duplicates the final
+  /// dedup discards).
+  void OnPeerDown(int peer);
+  /// Rank `peer`'s replacement is up: re-request every vertex pull that
+  /// was in flight toward the old incarnation.
+  void OnPeerUp(int peer);
+  /// Puts a kStealBatch payload back into the local fabric as local
+  /// work. `add_pending` distinguishes a batch whose tasks already left
+  /// pending_ (shipped earlier; re-add them) from one caught before the
+  /// ship (never decremented).
+  void ReinjectStealPayload(std::string payload, bool add_pending);
+  /// Periodic observability manifest beside the checkpoint log.
+  void WriteCheckpointManifest();
   void MaybeFinish();
   bool SpawnExhausted() const;
 
@@ -129,10 +149,30 @@ class Engine {
   std::string spill_dir_;
   bool owns_spill_dir_ = false;
 
+  // ---- fault-tolerance state (distributed mode with checkpointing) ----
+  /// Durable progress log + replay of a crashed predecessor (see
+  /// gthinker/checkpoint.h). Null when config_.checkpoint_dir is empty.
+  std::unique_ptr<CheckpointLog> ckpt_log_;
+  std::unique_ptr<RootProgress> root_progress_;
+  /// Spawn roots the previous incarnation fully mined (skipped at spawn).
+  std::unordered_set<VertexId> completed_roots_;
+  /// Results replayed from the predecessor's log; appended to the final
+  /// report alongside freshly mined ones.
+  std::vector<VertexSet> recovered_results_;
+  /// Copies of every kStealBatch payload shipped to each peer, kept until
+  /// that peer dies (then re-injected locally) or the run ends. Steal
+  /// batches are few and small relative to the graph, so per-run
+  /// retention is cheap insurance against losing shipped tasks.
+  std::mutex retained_mu_;
+  std::vector<std::vector<std::string>> retained_steals_;
+
   std::atomic<int64_t> pending_{0};
   std::atomic<int> active_spawners_{0};
   /// Data frames fully folded into this process (distributed mode).
   std::atomic<uint64_t> frames_processed_{0};
+  /// Per-source-rank processed-frame counters (the per-pair half of the
+  /// termination contract; reset to zero when the source rank dies).
+  std::vector<std::atomic<uint64_t>> processed_from_;
   std::atomic<bool> done_{false};
   bool ran_ = false;
 };

@@ -119,6 +119,14 @@ Status EngineConfig::Validate() const {
         "contradictory: steal_max_batch_factor 0 would cap every steal "
         "batch at nothing; use 1 to disable latency scaling");
   }
+  if (!checkpoint_dir.empty() && checkpoint_interval_sec <= 0) {
+    return QCM_CONFIG_ERROR(
+        "contradictory: checkpoint_dir is set but checkpoint_interval_sec "
+        "is not > 0 (a checkpoint that never flushes recovers nothing)");
+  }
+  if (heartbeat_usec < 0) {
+    return QCM_CONFIG_ERROR("heartbeat_usec must be >= 0");
+  }
   return mining.Validate();
 }
 
@@ -148,6 +156,9 @@ void EncodeEngineConfig(const EngineConfig& config, Encoder* enc) {
   enc->PutDouble(config.steal_rtt_reference_sec);
   enc->PutU64(config.steal_max_batch_factor);
   enc->PutU8(config.record_task_log ? 1 : 0);
+  enc->PutString(config.checkpoint_dir);
+  enc->PutDouble(config.checkpoint_interval_sec);
+  enc->PutI64(config.heartbeat_usec);
   enc->PutDouble(config.mining.gamma);
   enc->PutU32(config.mining.min_size);
   enc->PutU8(config.mining.use_cover_vertex ? 1 : 0);
@@ -205,6 +216,9 @@ Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
   QCM_RETURN_IF_ERROR(dec->GetU64(&config->steal_max_batch_factor));
   QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
   config->record_task_log = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetString(&config->checkpoint_dir));
+  QCM_RETURN_IF_ERROR(dec->GetDouble(&config->checkpoint_interval_sec));
+  QCM_RETURN_IF_ERROR(dec->GetI64(&config->heartbeat_usec));
   QCM_RETURN_IF_ERROR(dec->GetDouble(&config->mining.gamma));
   QCM_RETURN_IF_ERROR(dec->GetU32(&config->mining.min_size));
   QCM_RETURN_IF_ERROR(dec->GetU8(&u8));

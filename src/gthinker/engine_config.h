@@ -143,6 +143,23 @@ struct EngineConfig {
   /// time) for the figure-reproduction benches.
   bool record_task_log = false;
 
+  /// Fault tolerance (process-per-machine mode). checkpoint_dir is the
+  /// shared root under which every rank keeps an append-only progress log
+  /// at <checkpoint_dir>/rank<R>/log: emitted result sets and completed
+  /// root ids, replayed by a replacement worker of the same rank so a
+  /// crash never loses finished work. Empty = checkpointing off (the
+  /// single-process default; qcm_cluster supplies a directory).
+  std::string checkpoint_dir;
+  /// Seconds between durability flushes of the progress log (appends are
+  /// buffered in between; a crash re-mines at most this much work).
+  /// Must be > 0 when checkpoint_dir is set.
+  double checkpoint_interval_sec = 0.25;
+  /// Worker -> coordinator liveness beacon period in microseconds; the
+  /// coordinator declares a rank dead when nothing (heartbeat, status,
+  /// report) has arrived from it within its deadline. 0 = no heartbeat
+  /// thread (single-process runs).
+  int64_t heartbeat_usec = 100000;
+
   /// Quasi-clique parameters and pruning toggles.
   MiningOptions mining;
 

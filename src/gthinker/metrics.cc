@@ -72,6 +72,13 @@ EngineCountersSnapshot EngineCountersSnapshot::From(const EngineCounters& c) {
   s.msg_overlapped = c.msg_overlapped.load(std::memory_order_relaxed);
   s.steal_idle_usec = c.steal_idle_usec.load(std::memory_order_relaxed);
   s.steal_active_usec = c.steal_active_usec.load(std::memory_order_relaxed);
+  s.replayed_tasks = c.replayed_tasks.load(std::memory_order_relaxed);
+  s.recovered_results = c.recovered_results.load(std::memory_order_relaxed);
+  s.completed_roots_skipped =
+      c.completed_roots_skipped.load(std::memory_order_relaxed);
+  s.checkpoint_flushes =
+      c.checkpoint_flushes.load(std::memory_order_relaxed);
+  s.checkpoint_bytes = c.checkpoint_bytes.load(std::memory_order_relaxed);
   for (int from = 0; from < kNumTaskStates; ++from) {
     for (int to = 0; to < kNumTaskStates; ++to) {
       s.lifecycle_transitions[from][to] =
@@ -191,6 +198,13 @@ constexpr CounterField kCounterFields[] = {
     {"msg_overlapped", &EngineCountersSnapshot::msg_overlapped, false},
     {"steal_idle_usec", &EngineCountersSnapshot::steal_idle_usec, false},
     {"steal_active_usec", &EngineCountersSnapshot::steal_active_usec, false},
+    {"replayed_tasks", &EngineCountersSnapshot::replayed_tasks, false},
+    {"recovered_results", &EngineCountersSnapshot::recovered_results, false},
+    {"completed_roots_skipped",
+     &EngineCountersSnapshot::completed_roots_skipped, false},
+    {"checkpoint_flushes", &EngineCountersSnapshot::checkpoint_flushes,
+     false},
+    {"checkpoint_bytes", &EngineCountersSnapshot::checkpoint_bytes, false},
     {"net_flushes", &EngineCountersSnapshot::net_flushes, false},
     {"net_flush_frames", &EngineCountersSnapshot::net_flush_frames, false},
     {"net_flush_bytes", &EngineCountersSnapshot::net_flush_bytes, false},

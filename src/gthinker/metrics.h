@@ -152,6 +152,20 @@ struct EngineCounters {
   std::atomic<uint64_t> steal_idle_usec{0};
   std::atomic<uint64_t> steal_active_usec{0};
 
+  // -- Fault tolerance (gthinker/checkpoint.h; all zero when
+  // checkpointing is off or the run never lost a rank) --
+
+  /// Tasks re-injected locally because the peer they had been stolen to
+  /// (or was being stolen to) died before mining them.
+  std::atomic<uint64_t> replayed_tasks{0};
+  /// Result sets recovered from a dead predecessor's checkpoint log.
+  std::atomic<uint64_t> recovered_results{0};
+  /// Spawn roots skipped because the predecessor's log proved them done.
+  std::atomic<uint64_t> completed_roots_skipped{0};
+  /// Checkpoint-log durability flushes and bytes appended.
+  std::atomic<uint64_t> checkpoint_flushes{0};
+  std::atomic<uint64_t> checkpoint_bytes{0};
+
   /// Task lifecycle transition matrix (sched/lifecycle.h): every state
   /// move of every task, recorded by AdvanceTaskState.
   LifecycleCounters lifecycle;
@@ -197,6 +211,12 @@ struct EngineCountersSnapshot {
 
   uint64_t steal_idle_usec = 0;
   uint64_t steal_active_usec = 0;
+
+  uint64_t replayed_tasks = 0;
+  uint64_t recovered_results = 0;
+  uint64_t completed_roots_skipped = 0;
+  uint64_t checkpoint_flushes = 0;
+  uint64_t checkpoint_bytes = 0;
 
   // -- Transport data-plane flush accounting (process-per-machine mode
   // only; all zero in simulated runs). Copied from the transport's

@@ -243,6 +243,19 @@ std::vector<TaskPtr> PullBroker::AcceptResponse(
   return ready;
 }
 
+size_t PullBroker::RequeueInflightFor(int owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_set<VertexId> queued(pending_.begin(), pending_.end());
+  size_t requeued = 0;
+  for (VertexId v : inflight_) {
+    if (data_->table().Owner(v) != owner) continue;
+    if (!queued.insert(v).second) continue;  // already awaiting a pump
+    pending_.push_back(v);
+    ++requeued;
+  }
+  return requeued;
+}
+
 size_t PullBroker::ParkedCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return parked_.size() + ready_.size();

@@ -165,6 +165,15 @@ class PullBroker {
   /// tasks, and returns the tasks whose outstanding pulls all completed.
   std::vector<TaskPtr> AcceptResponse(const std::string& response_payload);
 
+  /// Recovery path: re-queues every in-flight vertex id owned by
+  /// `owner` for the next request pump. The request (or its response)
+  /// died with the owner's old incarnation; its replacement holds the
+  /// same partition and can serve the same ids again. Returns how many
+  /// ids were re-queued. Idempotent per id: an id whose response arrives
+  /// before the re-sent request is simply served twice, and the second
+  /// response finds no waiters.
+  size_t RequeueInflightFor(int owner);
+
   /// Tasks currently parked (including ready ones not yet collected).
   size_t ParkedCount() const;
 

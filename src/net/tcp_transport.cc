@@ -2,9 +2,8 @@
 
 #include <unistd.h>
 
-#include <utility>
-
 #include <chrono>
+#include <utility>
 
 #include "net/socket_util.h"
 #include "util/logging.h"
@@ -24,6 +23,29 @@ constexpr double kHandshakeTimeoutSec = 60.0;
 /// crash if no termination arrives within this window.
 constexpr double kPeerEofGraceSec = 10.0;
 
+/// The persistent accept loop polls at this granularity so Shutdown() is
+/// never stuck behind a blocking accept.
+constexpr double kAcceptPollSec = 0.25;
+
+/// Dial retry policy: a worker forked a moment before its target listens
+/// (the coordinator at launch, a survivor's listener while the host is
+/// briefly saturated) deserves a few patient attempts before the bring-up
+/// fails.
+constexpr int kConnectAttempts = 8;
+constexpr int64_t kConnectBackoffBaseUsec = 20000;  // 20ms, doubling
+
+StatusOr<int> ConnectTcpRetry(const std::string& host, uint16_t port) {
+  int64_t backoff = kConnectBackoffBaseUsec;
+  StatusOr<int> fd = Status::IOError("unreachable");
+  for (int attempt = 0; attempt < kConnectAttempts; ++attempt) {
+    fd = ConnectTcp(host, port);
+    if (fd.ok()) return fd;
+    ::usleep(static_cast<useconds_t>(backoff));
+    backoff *= 2;
+  }
+  return fd;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
@@ -31,7 +53,7 @@ StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
   std::unique_ptr<TcpTransport> t(new TcpTransport());
 
   // 1. hello -> rank assignment.
-  auto coord = ConnectTcp(host, port);
+  auto coord = ConnectTcpRetry(host, port);
   QCM_RETURN_IF_ERROR(coord.status());
   t->coord_fd_ = coord.value();
   SetRecvTimeout(t->coord_fd_, kHandshakeTimeoutSec);
@@ -46,8 +68,8 @@ StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
   }
   uint32_t rank = 0;
   uint32_t world = 0;
-  QCM_RETURN_IF_ERROR(
-      DecodeAssign(frame.payload, &rank, &world, &t->config_blob_));
+  QCM_RETURN_IF_ERROR(DecodeAssign(frame.payload, &rank, &world,
+                                   &t->config_blob_, &t->epoch_));
   if (world == 0 || rank >= world) {
     return Status::Corruption("bad rank assignment " + std::to_string(rank) +
                               "/" + std::to_string(world));
@@ -60,12 +82,19 @@ StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
     t->peer_mus_.push_back(std::make_unique<std::mutex>());
   }
   t->send_state_.resize(world);
+  t->sent_to_.assign(world, 0);
+  t->peer_epoch_.assign(world, 0u);
+  t->peer_down_flags_ = std::make_unique<std::atomic<bool>[]>(world);
+  for (uint32_t i = 0; i < world; ++i) t->peer_down_flags_[i].store(false);
+  t->recv_peer_threads_.resize(world);
 
   // 2. open the peer listener and exchange ports through the coordinator.
+  // The listener stays open for the whole run: a crashed peer's
+  // replacement dials back in through it long after bring-up.
   uint16_t peer_port = 0;
   auto listener = ListenLoopback(0, &peer_port);
   QCM_RETURN_IF_ERROR(listener.status());
-  const int listen_fd = listener.value();
+  t->listen_fd_ = listener.value();
   {
     Encoder enc;
     enc.PutU32(peer_port);
@@ -85,28 +114,37 @@ StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
       peers_status = Status::Corruption("peer port list size mismatch");
     }
   }
-  if (!peers_status.ok()) {
-    CloseSocket(listen_fd);
-    return peers_status;
-  }
+  QCM_RETURN_IF_ERROR(peers_status);
 
-  // 3. build the mesh: dial every lower rank, accept every higher one.
+  // 3. build the mesh. First incarnation: dial every lower rank, accept
+  // every higher one (a deterministic pairing with no dial/accept
+  // races). Replacement incarnation: every survivor is already up with a
+  // persistent accept loop, so dial ALL of them and accept none.
   Status mesh_status;
-  for (uint32_t r = 0; r < rank && mesh_status.ok(); ++r) {
-    auto fd = ConnectTcp(host, static_cast<uint16_t>(ports[r]));
+  const bool dial_all = t->epoch_ > 0;
+  for (uint32_t r = 0; r < world && mesh_status.ok(); ++r) {
+    if (r == rank) continue;
+    if (!dial_all && r > rank) continue;
+    auto fd = ConnectTcpRetry(host, static_cast<uint16_t>(ports[r]));
     mesh_status = fd.status();
     if (!mesh_status.ok()) break;
     t->peer_fds_[r] = fd.value();
-    mesh_status =
-        WriteFrame(fd.value(), Frame{FrameKind::kPeerHello, rank, {}});
+    mesh_status = WriteFrame(
+        fd.value(),
+        Frame{FrameKind::kPeerHello, rank, EncodePeerHello(t->epoch_)});
   }
-  for (uint32_t i = rank + 1; i < world && mesh_status.ok(); ++i) {
-    auto fd = AcceptTcp(listen_fd, kHandshakeTimeoutSec);
+  for (uint32_t i = rank + 1; i < world && mesh_status.ok() && !dial_all;
+       ++i) {
+    auto fd = AcceptTcp(t->listen_fd_, kHandshakeTimeoutSec);
     mesh_status = fd.status();
     if (!mesh_status.ok()) break;
     SetRecvTimeout(fd.value(), kHandshakeTimeoutSec);
     Frame hello;
     mesh_status = ReadFrame(fd.value(), &hello);
+    uint32_t hello_epoch = 0;
+    if (mesh_status.ok()) {
+      mesh_status = DecodePeerHello(hello.payload, &hello_epoch);
+    }
     if (mesh_status.ok() && (hello.kind != FrameKind::kPeerHello ||
                              hello.src >= world || hello.src <= rank ||
                              t->peer_fds_[hello.src] != -1)) {
@@ -119,7 +157,6 @@ StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::ConnectWorker(
     SetRecvTimeout(fd.value(), 0);
     t->peer_fds_[hello.src] = fd.value();
   }
-  CloseSocket(listen_fd);
   QCM_RETURN_IF_ERROR(mesh_status);
   SetRecvTimeout(t->coord_fd_, 0);
   return t;
@@ -137,6 +174,11 @@ void TcpTransport::SetControlHooks(ControlHooks hooks) {
   hooks_ = std::move(hooks);
 }
 
+void TcpTransport::SetHeartbeatInterval(int64_t usec) {
+  QCM_CHECK(!started_.load()) << "SetHeartbeatInterval after Start";
+  heartbeat_usec_ = usec;
+}
+
 Status TcpTransport::Start() {
   QCM_CHECK(!started_.load()) << "Start called twice";
   QCM_RETURN_IF_ERROR(WriteTo(
@@ -151,10 +193,20 @@ Status TcpTransport::Start() {
   }
   SetRecvTimeout(coord_fd_, 0);
   started_.store(true);
-  recv_threads_.emplace_back([this] { RecvCoordinatorLoop(); });
-  for (int r = 0; r < world_size_; ++r) {
-    if (r == rank_) continue;
-    recv_threads_.emplace_back([this, r] { RecvPeerLoop(r); });
+  coord_recv_thread_ = std::thread([this] { RecvCoordinatorLoop(); });
+  {
+    std::lock_guard<std::mutex> lock(recv_threads_mu_);
+    for (int r = 0; r < world_size_; ++r) {
+      if (r == rank_ || peer_fds_[r] < 0) continue;
+      const int fd = peer_fds_[r];
+      recv_peer_threads_[r] = std::thread([this, r, fd] {
+        RecvPeerLoop(r, fd);
+      });
+    }
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (heartbeat_usec_ > 0) {
+    heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
   }
   if (coalesce_.enabled()) {
     flusher_thread_ = std::thread([this] { FlusherLoop(); });
@@ -201,29 +253,35 @@ Status TcpTransport::SendData(int dst, uint8_t type, std::string payload) {
   frame.enqueue_usec = now;
   const size_t frame_bytes =
       frame.head.size() + frame.payload.size() + frame.trailer.size();
-  // Counted before the frame can park or hit the wire: the destination
-  // can only process a frame the counter already covers, so
-  // sent >= processed in every snapshot the termination detector takes.
-  data_frames_sent_.fetch_add(1, std::memory_order_acq_rel);
   Status s;
   bool kick_flusher = false;
   {
     std::lock_guard<std::mutex> lock(*peer_mus_[dst]);
-    if (peer_fds_[dst] < 0) {
-      s = Status::Aborted("connection closed");
-    } else {
-      PeerSendState& st = send_state_[dst];
-      if (st.pending.empty()) st.oldest_enqueue_usec = now;
-      st.pending.push_back(std::move(frame));
-      st.pending_bytes += frame_bytes;
-      if (!coalesce_.enabled()) {
-        s = FlushPeerLocked(dst, FlushCause::kDirect);
-      } else if (st.pending_bytes >=
-                 static_cast<size_t>(coalesce_.coalesce_bytes)) {
-        s = FlushPeerLocked(dst, FlushCause::kSize);
-      } else if (st.pending.size() == 1) {
-        kick_flusher = true;  // new earliest linger deadline
-      }
+    if (peer_down_flags_[dst].load(std::memory_order_relaxed) ||
+        peer_fds_[dst] < 0) {
+      // Peer is between its down and up transitions: drop the frame,
+      // uncounted. Whatever mattered in it is replayed by the recovery
+      // protocol (steal batches from the donor's retained copies,
+      // vertex pulls by the broker's re-request on peer-up).
+      return Status::OK();
+    }
+    // Counted under the same lock that orders the frame onto the wire:
+    // the destination can only process a frame the counter already
+    // covers, so sent_to[dst] >= the peer's processed_from[us] in every
+    // snapshot the termination detector takes.
+    ++sent_to_[dst];
+    data_frames_sent_.fetch_add(1, std::memory_order_acq_rel);
+    PeerSendState& st = send_state_[dst];
+    if (st.pending.empty()) st.oldest_enqueue_usec = now;
+    st.pending.push_back(std::move(frame));
+    st.pending_bytes += frame_bytes;
+    if (!coalesce_.enabled()) {
+      s = FlushPeerLocked(dst, FlushCause::kDirect);
+    } else if (st.pending_bytes >=
+               static_cast<size_t>(coalesce_.coalesce_bytes)) {
+      s = FlushPeerLocked(dst, FlushCause::kSize);
+    } else if (st.pending.size() == 1) {
+      kick_flusher = true;  // new earliest linger deadline
     }
   }
   if (kick_flusher) {
@@ -234,9 +292,16 @@ Status TcpTransport::SendData(int dst, uint8_t type, std::string payload) {
     flusher_cv_.notify_all();
   }
   if (!s.ok()) {
-    Fail("send to rank " + std::to_string(dst) + " failed: " + s.ToString());
+    // A write error to a live-looking peer is almost always a peer that
+    // just died (EPIPE before its kPeerDown reached us). Do NOT fail the
+    // run: if the peer really died the coordinator declares it and the
+    // pair's counters reset; if it did not, the now-stale sent counter
+    // blocks termination until the coordinator's sweep timeout surfaces
+    // the problem loudly.
+    QCM_WLOG << "rank " << rank_ << ": dropped send to rank " << dst
+             << " (" << s.ToString() << "); awaiting liveness verdict";
   }
-  return s;
+  return Status::OK();
 }
 
 Status TcpTransport::FlushPeerLocked(int dst, FlushCause cause) {
@@ -305,11 +370,13 @@ void TcpTransport::FlusherLoop() {
           earliest = deadline;
         }
       }
-      if (!s.ok() && !terminate_received_.load() && !shutdown_.load()) {
-        // A failed linger flush after termination is just a peer that
-        // hung up first; before termination it is a real link failure.
-        Fail("flush to rank " + std::to_string(r) + " failed: " +
-             s.ToString());
+      if (!s.ok() && !terminate_received_.load() && !shutdown_.load() &&
+          PeerAlive(r)) {
+        // Same policy as SendData: a linger-flush write error means the
+        // peer most likely just died; the liveness verdict (kPeerDown or
+        // the coordinator's sweep timeout) decides, not this thread.
+        QCM_WLOG << "rank " << rank_ << ": dropped linger flush to rank "
+                 << r << " (" << s.ToString() << ")";
       }
     }
     std::unique_lock<std::mutex> lock(flusher_mu_);
@@ -333,8 +400,18 @@ void TcpTransport::PublishStatus(const RankStatus& status) {
   WireRankStatus wire;
   wire.pending = status.pending;
   wire.spawn_done = status.spawn_done ? 1 : 0;
-  wire.data_frames_sent = status.data_frames_sent;
-  wire.data_frames_processed = status.data_frames_processed;
+  // The engine filled processed_from before this call; the sent_to
+  // snapshot is taken after, keeping any inconsistency in the
+  // conservative sent > processed direction (which can only delay
+  // termination, never declare it early).
+  wire.processed_from = status.processed_from;
+  wire.processed_from.resize(static_cast<size_t>(world_size_), 0);
+  wire.sent_to.assign(static_cast<size_t>(world_size_), 0);
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == rank_) continue;
+    std::lock_guard<std::mutex> lock(*peer_mus_[r]);
+    wire.sent_to[r] = sent_to_[r];
+  }
   wire.pending_big = status.pending_big;
   wire.delivery_latency_usec = status.delivery_latency_usec;
   // Failures surface through the coordinator receive loop; a lost status
@@ -384,6 +461,149 @@ Status TcpTransport::WriteTo(int fd, std::mutex& mu, const Frame& frame) {
   return WriteFrame(fd, frame);
 }
 
+void TcpTransport::MarkPeerDown(int peer, uint32_t epoch) {
+  int old_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(*peer_mus_[peer]);
+    if (epoch <= peer_epoch_[peer]) return;  // stale or already handled
+    peer_epoch_[peer] = epoch;
+    peer_down_flags_[peer].store(true, std::memory_order_release);
+    // Frames parked for the dead incarnation will never be processed;
+    // drop them now so a forced flush cannot write to a dangling fd.
+    send_state_[peer].pending.clear();
+    send_state_[peer].pending_bytes = 0;
+    old_fd = peer_fds_[peer];
+    peer_fds_[peer] = -1;
+    // Symmetric counter reset: the replacement starts every counter at
+    // zero, so this side of the pair must too (the engine hook resets
+    // the processed_from direction).
+    sent_to_[peer] = 0;
+  }
+  NotifyStateChange();
+  // Quiesce the old incarnation's receive path completely before the
+  // engine hook runs: after on_peer_down returns, no frame from the old
+  // incarnation can ever be delivered.
+  if (old_fd >= 0) ShutdownSocket(old_fd);
+  std::thread old_recv;
+  {
+    std::lock_guard<std::mutex> lock(recv_threads_mu_);
+    old_recv = std::move(recv_peer_threads_[peer]);
+  }
+  if (old_recv.joinable()) old_recv.join();
+  if (old_fd >= 0) CloseSocket(old_fd);
+  QCM_ILOG << "rank " << rank_ << ": peer rank " << peer
+           << " down (epoch " << epoch << ")";
+  if (hooks_.on_peer_down) hooks_.on_peer_down(peer);
+}
+
+void TcpTransport::HandlePeerUp(int peer, uint32_t epoch) {
+  // The replacement's kPeerHello travels on its own data connection and
+  // has no ordering against the coordinator's kPeerUp; wait (bounded)
+  // for the accept thread to swap the new connection in.
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    state_cv_.wait_for(
+        lock, std::chrono::duration<double>(kHandshakeTimeoutSec),
+        [this, peer] {
+          return shutdown_.load() || failed_.load() ||
+                 !peer_down_flags_[peer].load(std::memory_order_acquire);
+        });
+  }
+  if (shutdown_.load() || failed_.load()) return;
+  bool up = false;
+  {
+    std::lock_guard<std::mutex> lock(*peer_mus_[peer]);
+    up = !peer_down_flags_[peer].load(std::memory_order_relaxed) &&
+         peer_epoch_[peer] == epoch && peer_fds_[peer] >= 0;
+  }
+  if (!up) {
+    Fail("peer-up for rank " + std::to_string(peer) + " (epoch " +
+         std::to_string(epoch) +
+         ") but its replacement never connected here");
+    return;
+  }
+  QCM_ILOG << "rank " << rank_ << ": peer rank " << peer
+           << " back up (epoch " << epoch << ")";
+  if (hooks_.on_peer_up) hooks_.on_peer_up(peer);
+}
+
+void TcpTransport::AcceptLoop() {
+  while (!shutdown_.load() && !failed_.load()) {
+    auto fd = AcceptTcp(listen_fd_, kAcceptPollSec);
+    if (!fd.ok()) continue;  // poll timeout (or listener closing down)
+    if (shutdown_.load() || failed_.load()) {
+      CloseSocket(fd.value());
+      return;
+    }
+    SetRecvTimeout(fd.value(), kHandshakeTimeoutSec);
+    Frame hello;
+    uint32_t hello_epoch = 0;
+    Status s = ReadFrame(fd.value(), &hello);
+    if (s.ok() && (hello.kind != FrameKind::kPeerHello ||
+                   hello.src >= static_cast<uint32_t>(world_size_) ||
+                   hello.src == static_cast<uint32_t>(rank_))) {
+      s = Status::Corruption("bad peer hello");
+    }
+    if (s.ok()) s = DecodePeerHello(hello.payload, &hello_epoch);
+    if (!s.ok()) {
+      QCM_WLOG << "rank " << rank_ << ": rejected inbound peer connection: "
+               << s.ToString();
+      CloseSocket(fd.value());
+      continue;
+    }
+    const int peer = static_cast<int>(hello.src);
+    // The replacement's hello can outrun the coordinator's kPeerDown
+    // (different connections): run the down transition here first. A
+    // no-op when kPeerDown already did it.
+    MarkPeerDown(peer, hello_epoch);
+    SetRecvTimeout(fd.value(), 0);
+    bool accepted = false;
+    {
+      std::lock_guard<std::mutex> lock(*peer_mus_[peer]);
+      if (peer_epoch_[peer] == hello_epoch &&
+          peer_down_flags_[peer].load(std::memory_order_relaxed)) {
+        peer_fds_[peer] = fd.value();
+        peer_down_flags_[peer].store(false, std::memory_order_release);
+        accepted = true;
+      }
+    }
+    if (!accepted) {
+      // A superseded incarnation (or an epoch-0 dial outside bring-up).
+      CloseSocket(fd.value());
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(recv_threads_mu_);
+      const int new_fd = fd.value();
+      recv_peer_threads_[peer] = std::thread([this, peer, new_fd] {
+        RecvPeerLoop(peer, new_fd);
+      });
+    }
+    NotifyStateChange();  // wake a HandlePeerUp waiting for the swap
+  }
+}
+
+void TcpTransport::HeartbeatLoop() {
+  uint64_t seq = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mu_);
+      state_cv_.wait_for(lock, std::chrono::microseconds(heartbeat_usec_),
+                         [this] {
+                           return shutdown_.load() || failed_.load() ||
+                                  terminate_received_.load();
+                         });
+    }
+    if (shutdown_.load() || failed_.load() || terminate_received_.load()) {
+      return;
+    }
+    // A lost beacon only delays liveness; the receive loop owns failure.
+    (void)WriteTo(coord_fd_, coord_mu_,
+                  Frame{FrameKind::kHeartbeat, static_cast<uint32_t>(rank_),
+                        EncodeHeartbeat(seq++)});
+  }
+}
+
 void TcpTransport::RecvCoordinatorLoop() {
   Frame frame;
   for (;;) {
@@ -414,6 +634,23 @@ void TcpTransport::RecvCoordinatorLoop() {
         }
         break;
       }
+      case FrameKind::kPeerDown:
+      case FrameKind::kPeerUp: {
+        uint32_t peer = 0;
+        uint32_t ep = 0;
+        if (!DecodePeerEvent(frame.payload, &peer, &ep).ok() ||
+            peer >= static_cast<uint32_t>(world_size_) ||
+            peer == static_cast<uint32_t>(rank_)) {
+          Fail("corrupt peer event");
+          return;
+        }
+        if (frame.kind == FrameKind::kPeerDown) {
+          MarkPeerDown(static_cast<int>(peer), ep);
+        } else {
+          HandlePeerUp(static_cast<int>(peer), ep);
+        }
+        break;
+      }
       case FrameKind::kAbort:
         Fail("coordinator aborted: " + frame.payload);
         return;
@@ -425,24 +662,28 @@ void TcpTransport::RecvCoordinatorLoop() {
   }
 }
 
-void TcpTransport::RecvPeerLoop(int peer) {
+void TcpTransport::RecvPeerLoop(int peer, int fd) {
   Frame frame;
   for (;;) {
-    Status s = ReadFrame(peer_fds_[peer], &frame);
+    Status s = ReadFrame(fd, &frame);
     if (!s.ok()) {
       // Peers close their sockets after global termination -- which this
-      // rank may learn about a moment later on a different connection.
-      // Only an EOF that no termination explains within the grace window
-      // means the peer died with work potentially in flight.
+      // rank may learn about a moment later on a different connection --
+      // and a crashed peer's EOF is usually explained by a kPeerDown
+      // moments later. Only an EOF that neither termination nor a peer-
+      // death verdict explains within the grace window fails the run.
       {
         std::unique_lock<std::mutex> lock(state_mu_);
         state_cv_.wait_for(
-            lock, std::chrono::duration<double>(kPeerEofGraceSec), [this] {
+            lock, std::chrono::duration<double>(kPeerEofGraceSec),
+            [this, peer] {
               return terminate_received_.load() || shutdown_.load() ||
-                     failed_.load();
+                     failed_.load() ||
+                     peer_down_flags_[peer].load(std::memory_order_acquire);
             });
       }
-      if (!terminate_received_.load() && !shutdown_.load()) {
+      if (!terminate_received_.load() && !shutdown_.load() &&
+          !peer_down_flags_[peer].load(std::memory_order_acquire)) {
         Fail("peer rank " + std::to_string(peer) +
              " connection lost: " + s.ToString());
       }
@@ -455,6 +696,9 @@ void TcpTransport::RecvPeerLoop(int peer) {
         frame.src != static_cast<uint32_t>(peer) ||
         !SplitDataFramePayload(frame.payload, &type, &send_ts_usec, &body)
              .ok()) {
+      // A frame torn by the peer dying mid-write is a death symptom, not
+      // corruption; the liveness verdict decides.
+      if (peer_down_flags_[peer].load(std::memory_order_acquire)) return;
       Fail("corrupt data frame from rank " + std::to_string(peer));
       return;
     }
@@ -488,13 +732,30 @@ void TcpTransport::Shutdown() {
   // Unblock the receive threads first; fds stay valid until they joined
   // (closing a socket another thread still reads from invites fd reuse).
   ShutdownSocket(coord_fd_);
-  for (int fd : peer_fds_) ShutdownSocket(fd);
-  for (std::thread& th : recv_threads_) {
+  {
+    std::lock_guard<std::mutex> lock(recv_threads_mu_);
+    for (int r = 0; r < world_size_; ++r) {
+      if (r == rank_) continue;
+      std::lock_guard<std::mutex> peer_lock(*peer_mus_[r]);
+      ShutdownSocket(peer_fds_[r]);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (coord_recv_thread_.joinable()) coord_recv_thread_.join();
+  std::vector<std::thread> recvs;
+  {
+    std::lock_guard<std::mutex> lock(recv_threads_mu_);
+    recvs = std::move(recv_peer_threads_);
+    recv_peer_threads_.clear();
+  }
+  for (std::thread& th : recvs) {
     if (th.joinable()) th.join();
   }
-  recv_threads_.clear();
   CloseSocket(coord_fd_);
   coord_fd_ = -1;
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
   for (int& fd : peer_fds_) {
     CloseSocket(fd);
     fd = -1;

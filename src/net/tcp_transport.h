@@ -2,10 +2,14 @@
 //
 // One instance lives in each qcm_worker process. ConnectWorker() runs the
 // full bring-up against the cluster coordinator (hello -> rank assignment
-// -> peer-port exchange -> full data-plane mesh: this rank dials every
-// lower rank and accepts every higher one, each link authenticated by a
-// kPeerHello frame). Start() then releases the start barrier (kReady /
-// kStart) and spawns one receive thread per connection.
+// -> peer-port exchange -> full data-plane mesh). A first-incarnation
+// worker (epoch 0) dials every lower rank and accepts every higher one; a
+// replacement worker (epoch > 0, relaunched by the coordinator after its
+// predecessor crashed) dials every peer and accepts none -- the survivors'
+// persistent accept threads swap the new connection in. Start() then
+// releases the start barrier (kReady / kStart) and spawns the receive
+// threads, the persistent peer-accept thread, and (when configured) the
+// coordinator heartbeat thread.
 //
 // Data plane: SendData frames one CommFabric message per kData frame.
 // With coalescing off every frame goes straight onto the rank-to-rank
@@ -14,20 +18,29 @@
 // pending buffer until the buffer crosses the byte threshold or a
 // background flusher's linger deadline expires, then the whole buffer
 // flushes in one writev -- many frames per syscall. The per-peer mutex
-// guards both the pending buffer and the socket, so frame order is
-// preserved across the direct, size-triggered, and linger-triggered
-// paths. The sent-frame counter increments before a frame can park or
-// hit the wire, so a coalesced-but-unflushed frame shows up as
-// sent > processed and termination detection can never fire around it.
-// Received kData frames are handed to the engine's data handler on the
-// receive thread, together with the receiver-measured wire transit
-// (now minus the frame's sender timestamp).
+// guards the pending buffer, the socket, the peer's liveness state AND
+// the per-peer sent counter, so frame order is preserved and a frame is
+// counted sent_to[dst] if and only if it was actually accepted for a
+// live peer. A send to a peer marked dead is dropped, uncounted, and
+// still returns OK (the recovery protocol replays or re-requests what
+// matters); a write error to a peer not yet declared dead drops the
+// buffered frames WITHOUT failing the run -- either the peer really died
+// (the coordinator's child-exit watchdog or heartbeat deadline will
+// declare it and reset the pair's counters) or the stale sent counter
+// blocks termination until the coordinator's sweep timeout fails the run
+// loudly.
 //
-// Control plane (coordinator connection): PublishStatus sends kStatus up;
-// kStealCmd and kTerminate invoke the engine's control hooks; kAbort or
-// any connection loss before kTerminate marks the transport failed and
-// forces engine shutdown -- a cluster with a dead member never hangs, it
-// fails loudly.
+// Control plane (coordinator connection): PublishStatus sends kStatus up
+// (per-peer sent_to snapshot taken at publish time, after the engine's
+// processed_from, keeping any inconsistency in the conservative
+// sent > processed direction); kStealCmd / kTerminate invoke the
+// engine's control hooks; kPeerDown runs the idempotent peer-down
+// transition (quiesce the link, join its receive thread, reset
+// sent_to[peer], then the engine hook); kPeerUp waits until the
+// replacement's connection has been swapped in and fires the engine's
+// peer-up hook. kAbort or an unexplained coordinator connection loss
+// marks the transport failed -- a cluster with a dead COORDINATOR never
+// hangs, it fails loudly; a dead worker is the recoverable case.
 
 #ifndef QCM_NET_TCP_TRANSPORT_H_
 #define QCM_NET_TCP_TRANSPORT_H_
@@ -52,6 +65,9 @@ class TcpTransport : public Transport {
   /// Runs the worker bring-up against a coordinator listening on
   /// `host:port`: handshake, rank assignment, peer mesh. Blocks until the
   /// mesh is complete (every peer link established) or a step fails.
+  /// The initial dial of the coordinator retries with backoff, so a
+  /// worker forked a moment before the coordinator listens still comes
+  /// up.
   static StatusOr<std::unique_ptr<TcpTransport>> ConnectWorker(
       const std::string& host, uint16_t port);
 
@@ -74,11 +90,19 @@ class TcpTransport : public Transport {
   TransportFlushStats FlushStats() const override;
   void PublishStatus(const RankStatus& status) override;
   bool healthy() const override { return !failed(); }
+  bool PeerAlive(int peer) const override {
+    return !peer_down_flags_[peer].load(std::memory_order_acquire);
+  }
+  uint32_t epoch() const override { return epoch_; }
 
   // ---- worker-process extras (not part of the engine-facing seam) ----
 
   /// Opaque job configuration delivered with the rank assignment.
   const std::string& config_blob() const { return config_blob_; }
+
+  /// Sets the coordinator heartbeat period (microseconds; 0 = no
+  /// heartbeat thread). Must be called before Start().
+  void SetHeartbeatInterval(int64_t usec);
 
   /// Ships the final EngineReport/result blob to the coordinator.
   Status SendReport(const std::string& payload);
@@ -128,28 +152,61 @@ class TcpTransport : public Transport {
   };
 
   void RecvCoordinatorLoop();
-  void RecvPeerLoop(int peer);
+  /// Reads data frames from one incarnation of a peer; `fd` is fixed for
+  /// the thread's lifetime (a replacement's connection gets a new
+  /// thread).
+  void RecvPeerLoop(int peer, int fd);
+  /// Persistent accept loop on the peer listener: swaps a replacement
+  /// rank's new connection in (running the down transition first when
+  /// its kPeerHello outruns the coordinator's kPeerDown).
+  void AcceptLoop();
+  /// Periodic kHeartbeat beacons to the coordinator.
+  void HeartbeatLoop();
   void FlusherLoop();
+  /// Idempotent peer-down transition to successor epoch `epoch`: marks
+  /// the peer dead, drops its parked frames, quiesces and joins its
+  /// receive thread, resets sent_to_[peer], then fires the engine's
+  /// on_peer_down hook. No-op when `epoch` is not newer than the peer's
+  /// current epoch.
+  void MarkPeerDown(int peer, uint32_t epoch);
+  /// kPeerUp handler: waits (bounded) for the accept thread to swap the
+  /// replacement's connection in, then fires the engine's on_peer_up
+  /// hook.
+  void HandlePeerUp(int peer, uint32_t epoch);
   /// Writes a peer's whole pending buffer with one scatter-gather flush
   /// and folds the outcome into the flush stats. Requires
   /// peer_mus_[dst] held.
   Status FlushPeerLocked(int dst, FlushCause cause);
   void Fail(const std::string& reason);
-  /// Wakes threads blocked on the terminated/failed/shutdown state (the
-  /// peer-EOF grace wait).
+  /// Wakes threads blocked on the terminated/failed/shutdown/peer state
+  /// (the peer-EOF grace wait, the peer-up wait, the heartbeat sleep).
   void NotifyStateChange();
   Status WriteTo(int fd, std::mutex& mu, const Frame& frame);
 
   int rank_ = -1;
   int world_size_ = 0;
+  uint32_t epoch_ = 0;
   std::string config_blob_;
 
   int coord_fd_ = -1;
   std::mutex coord_mu_;
-  /// Rank -> connected socket (self slot unused, -1).
+  /// Peer-listener fd; stays open for the whole run so a replacement
+  /// rank can dial in after a crash.
+  int listen_fd_ = -1;
+  /// Rank -> connected socket (self slot unused, -1). Guarded by
+  /// peer_mus_[rank].
   std::vector<int> peer_fds_;
   std::vector<std::unique_ptr<std::mutex>> peer_mus_;
   std::vector<PeerSendState> send_state_;
+  /// Guarded by peer_mus_[rank]: data frames accepted for the wire to
+  /// that peer's CURRENT incarnation (reset by MarkPeerDown).
+  std::vector<uint64_t> sent_to_;
+  /// Guarded by peer_mus_[rank]: epoch of the peer incarnation this rank
+  /// is (or was last) connected to.
+  std::vector<uint32_t> peer_epoch_;
+  /// Lock-free mirror of "peer is between down and up transitions";
+  /// written under peer_mus_[rank].
+  std::unique_ptr<std::atomic<bool>[]> peer_down_flags_;
 
   CoalesceConfig coalesce_;
   mutable std::mutex flush_stats_mu_;
@@ -166,6 +223,8 @@ class TcpTransport : public Transport {
   DataHandler data_handler_;
   ControlHooks hooks_;
 
+  int64_t heartbeat_usec_ = 0;
+
   std::atomic<uint64_t> data_frames_sent_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> terminate_received_{false};
@@ -176,7 +235,14 @@ class TcpTransport : public Transport {
   std::mutex state_mu_;
   std::condition_variable state_cv_;
 
-  std::vector<std::thread> recv_threads_;
+  std::thread coord_recv_thread_;
+  std::thread accept_thread_;
+  std::thread heartbeat_thread_;
+  /// Rank -> the receive thread of that peer's current incarnation.
+  /// Guarded by recv_threads_mu_ (spawned by Start/AcceptLoop, joined by
+  /// MarkPeerDown/Shutdown).
+  std::mutex recv_threads_mu_;
+  std::vector<std::thread> recv_peer_threads_;
 };
 
 }  // namespace qcm

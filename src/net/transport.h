@@ -12,16 +12,22 @@
 // down) replaces the in-process steal master and MaybeFinish.
 //
 // Termination-detection contract (the engine's drain invariant across
-// processes): a rank publishes {pending, spawn_done, data_frames_sent,
-// data_frames_processed, pending_big}. The coordinator may declare global
+// processes): a rank publishes {pending, spawn_done, sent_to[],
+// processed_from[], pending_big}. The coordinator may declare global
 // termination only after two consecutive sweeps in which every rank
-// reported pending == 0 and spawn_done, the totals of sent and processed
-// frames match, and no rank's counters moved between the sweeps (each rank
-// must have published a fresh, unchanged status in between). Senders
-// count a data frame as sent *before* it can possibly be processed, and
-// receivers fold a frame's pending-task delta into `pending` *before*
-// counting it processed, so any in-flight or unprocessed frame shows up
-// as either sent > processed or pending > 0 in every consistent snapshot.
+// reported pending == 0 and spawn_done, for every ordered pair (i, j)
+// rank i's sent_to[j] equals rank j's processed_from[i], and no rank's
+// counters moved between the sweeps (each rank must have published a
+// fresh, unchanged status in between). Senders count a data frame as
+// sent *before* it can possibly be processed, and receivers fold a
+// frame's pending-task delta into `pending` *before* counting it
+// processed, so any in-flight or unprocessed frame shows up as either
+// sent > processed or pending > 0 in every consistent snapshot. The
+// per-pair form (rather than global totals) is what lets a rank be
+// replaced mid-run: when rank R dies, every survivor resets sent_to[R]
+// and processed_from[R] to zero and R's replacement starts all its
+// counters at zero, so both sides of every dead pair stay consistent
+// while live pairs are untouched.
 
 #ifndef QCM_NET_TRANSPORT_H_
 #define QCM_NET_TRANSPORT_H_
@@ -29,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -41,11 +48,12 @@ struct RankStatus {
   /// Every owned vertex has been offered to Spawn and no spawner is mid-
   /// batch.
   bool spawn_done = false;
-  /// Data frames handed to the wire by this rank (counted pre-write).
-  uint64_t data_frames_sent = 0;
-  /// Data frames fully folded into this rank's state (counted after any
-  /// pending-task delta was applied).
-  uint64_t data_frames_processed = 0;
+  /// processed_from[i]: data frames from rank i fully folded into this
+  /// rank's state (counted after any pending-task delta was applied).
+  /// The engine fills this; the transport adds its own per-peer sent_to
+  /// counters at publish time (processed is read first, keeping any
+  /// inconsistency in the conservative sent > processed direction).
+  std::vector<uint64_t> processed_from;
   /// Big tasks available for stealing (global queue + L_big), the input
   /// of the coordinator's balancing plan.
   uint64_t pending_big = 0;
@@ -132,6 +140,15 @@ class Transport {
     /// The coordinator's balancing plan wants `want` big tasks moved from
     /// this rank to `receiver`.
     std::function<void(int receiver, uint64_t want)> on_steal_command;
+    /// Rank `peer` was declared dead. Invoked after the transport has
+    /// stopped delivering frames from that peer's old incarnation and
+    /// reset its own sent_to[peer]; the engine resets
+    /// processed_from[peer] and re-injects any retained steal batches it
+    /// had shipped there.
+    std::function<void(int peer)> on_peer_down;
+    /// Rank `peer`'s replacement is connected and started; safe to
+    /// re-request anything lost in flight (e.g. unanswered vertex pulls).
+    std::function<void(int peer)> on_peer_up;
   };
 
   virtual ~Transport() = default;
@@ -154,10 +171,26 @@ class Transport {
   /// Takes the payload by value so callers can std::move it in; the
   /// transport keeps that one buffer alive until the scatter-gather
   /// write — no second copy of the payload bytes is ever made.
+  /// A send to a peer currently marked dead is silently dropped and not
+  /// counted (the recovery protocol replays or re-requests what matters);
+  /// it still returns OK.
   virtual Status SendData(int dst, uint8_t type, std::string payload) = 0;
 
   /// Data frames handed to the wire so far.
   virtual uint64_t DataFramesSent() const = 0;
+
+  /// False while `peer` is marked dead (between its peer-down and
+  /// peer-up transitions). Engines consult this before volunteering work
+  /// to a peer (e.g. serving a steal command naming a dead receiver).
+  virtual bool PeerAlive(int peer) const {
+    (void)peer;
+    return true;
+  }
+
+  /// This rank's incarnation number: 0 on first launch, >0 when this
+  /// process is a replacement for a crashed rank (it then replays its
+  /// predecessor's checkpoint).
+  virtual uint32_t epoch() const { return 0; }
 
   /// Installs the send-aggregation policy. Must be called before
   /// Start(); the default transport ignores it (no coalescing).

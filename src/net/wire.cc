@@ -39,6 +39,12 @@ const char* FrameKindName(FrameKind kind) {
       return "data";
     case FrameKind::kAbort:
       return "abort";
+    case FrameKind::kHeartbeat:
+      return "heartbeat";
+    case FrameKind::kPeerDown:
+      return "peer-down";
+    case FrameKind::kPeerUp:
+      return "peer-up";
   }
   return "?";
 }
@@ -135,7 +141,7 @@ Status DecodeFrame(const std::string& buf, size_t* pos, Frame* frame) {
     return Status::Corruption("bad frame magic");
   }
   const uint8_t kind = static_cast<uint8_t>(p[4]);
-  if (kind > static_cast<uint8_t>(FrameKind::kAbort)) {
+  if (kind > static_cast<uint8_t>(FrameKind::kPeerUp)) {
     return Status::Corruption("unknown frame kind " + std::to_string(kind));
   }
   uint32_t src = 0;
@@ -309,8 +315,8 @@ std::string EncodeRankStatus(const WireRankStatus& status) {
   Encoder enc;
   enc.PutI64(status.pending);
   enc.PutU8(status.spawn_done);
-  enc.PutU64(status.data_frames_sent);
-  enc.PutU64(status.data_frames_processed);
+  enc.PutU64Vector(status.sent_to);
+  enc.PutU64Vector(status.processed_from);
   enc.PutU64(status.pending_big);
   enc.PutU64(status.delivery_latency_usec);
   return enc.Release();
@@ -320,8 +326,8 @@ Status DecodeRankStatus(const std::string& payload, WireRankStatus* status) {
   Decoder dec(payload);
   QCM_RETURN_IF_ERROR(dec.GetI64(&status->pending));
   QCM_RETURN_IF_ERROR(dec.GetU8(&status->spawn_done));
-  QCM_RETURN_IF_ERROR(dec.GetU64(&status->data_frames_sent));
-  QCM_RETURN_IF_ERROR(dec.GetU64(&status->data_frames_processed));
+  QCM_RETURN_IF_ERROR(dec.GetU64Vector(&status->sent_to));
+  QCM_RETURN_IF_ERROR(dec.GetU64Vector(&status->processed_from));
   QCM_RETURN_IF_ERROR(dec.GetU64(&status->pending_big));
   QCM_RETURN_IF_ERROR(dec.GetU64(&status->delivery_latency_usec));
   if (!dec.Done()) return Status::Corruption("trailing bytes in status");
@@ -345,20 +351,23 @@ Status DecodeHello(const std::string& payload, uint32_t* version,
 }
 
 std::string EncodeAssign(uint32_t rank, uint32_t world_size,
-                         const std::string& config_blob) {
+                         const std::string& config_blob, uint32_t epoch) {
   Encoder enc;
   enc.PutU32(rank);
   enc.PutU32(world_size);
   enc.PutString(config_blob);
+  enc.PutU32(epoch);
   return enc.Release();
 }
 
 Status DecodeAssign(const std::string& payload, uint32_t* rank,
-                    uint32_t* world_size, std::string* config_blob) {
+                    uint32_t* world_size, std::string* config_blob,
+                    uint32_t* epoch) {
   Decoder dec(payload);
   QCM_RETURN_IF_ERROR(dec.GetU32(rank));
   QCM_RETURN_IF_ERROR(dec.GetU32(world_size));
   QCM_RETURN_IF_ERROR(dec.GetString(config_blob));
+  QCM_RETURN_IF_ERROR(dec.GetU32(epoch));
   if (!dec.Done()) return Status::Corruption("trailing bytes in assign");
   return Status::OK();
 }
@@ -376,6 +385,51 @@ Status DecodeStealCmd(const std::string& payload, uint32_t* receiver,
   QCM_RETURN_IF_ERROR(dec.GetU32(receiver));
   QCM_RETURN_IF_ERROR(dec.GetU64(want));
   if (!dec.Done()) return Status::Corruption("trailing bytes in steal-cmd");
+  return Status::OK();
+}
+
+std::string EncodePeerHello(uint32_t epoch) {
+  Encoder enc;
+  enc.PutU32(epoch);
+  return enc.Release();
+}
+
+Status DecodePeerHello(const std::string& payload, uint32_t* epoch) {
+  // A v3 peer hello had an empty payload; that worker predates recovery
+  // and can only be epoch 0, but mixed versions are rejected at kHello
+  // anyway -- so an empty payload here is corruption, not compatibility.
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetU32(epoch));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in peer-hello");
+  return Status::OK();
+}
+
+std::string EncodeHeartbeat(uint64_t seq) {
+  Encoder enc;
+  enc.PutU64(seq);
+  return enc.Release();
+}
+
+Status DecodeHeartbeat(const std::string& payload, uint64_t* seq) {
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetU64(seq));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in heartbeat");
+  return Status::OK();
+}
+
+std::string EncodePeerEvent(uint32_t rank, uint32_t epoch) {
+  Encoder enc;
+  enc.PutU32(rank);
+  enc.PutU32(epoch);
+  return enc.Release();
+}
+
+Status DecodePeerEvent(const std::string& payload, uint32_t* rank,
+                       uint32_t* epoch) {
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetU32(rank));
+  QCM_RETURN_IF_ERROR(dec.GetU32(epoch));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in peer event");
   return Status::OK();
 }
 

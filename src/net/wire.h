@@ -74,7 +74,14 @@ inline constexpr char kWireMagic[4] = {'Q', 'C', 'M', 'W'};
 // v3: kData payloads carry the sender's monotonic send timestamp between
 // the type byte and the fabric payload (real wire-transit measurement,
 // including coalescing dwell); EngineConfig grew the coalescing knobs.
-inline constexpr uint32_t kWireProtocolVersion = 3;
+// v4: fault tolerance. New frame kinds kHeartbeat (worker liveness
+// beacon), kPeerDown / kPeerUp (coordinator-driven rank recovery
+// transitions); kAssign and kPeerHello carry the rank's incarnation
+// epoch; WireRankStatus counts data frames per ordered peer pair
+// (sent_to / processed_from vectors) so the drain invariant survives a
+// rank being replaced mid-run; EngineConfig grew the checkpoint and
+// heartbeat knobs.
+inline constexpr uint32_t kWireProtocolVersion = 4;
 /// Frame header bytes before the payload (magic + kind + src + length).
 inline constexpr size_t kWireHeaderBytes = 13;
 /// Trailing checksum bytes after the payload.
@@ -106,6 +113,9 @@ enum class FrameKind : uint8_t {
   kReport = 10,    // worker -> coordinator: serialized EngineReport+results
   kData = 11,      // worker -> worker: {MessageType u8, fabric payload}
   kAbort = 12,     // either direction: {human-readable reason}
+  kHeartbeat = 13,  // worker -> coordinator: {seq u64} liveness beacon
+  kPeerDown = 14,   // coordinator -> worker: {rank u32, epoch u32}
+  kPeerUp = 15,     // coordinator -> worker: {rank u32, epoch u32}
 };
 
 const char* FrameKindName(FrameKind kind);
@@ -189,8 +199,14 @@ Status ReadFrame(int fd, Frame* frame);
 struct WireRankStatus {
   int64_t pending = 0;
   uint8_t spawn_done = 0;
-  uint64_t data_frames_sent = 0;
-  uint64_t data_frames_processed = 0;
+  /// sent_to[j]: data frames this rank handed to the wire for peer j;
+  /// processed_from[i]: data frames from peer i this rank fully folded
+  /// into its local state. Quiescence requires, for every ordered pair
+  /// (i, j), status[i].sent_to[j] == status[j].processed_from[i] -- the
+  /// per-pair form survives a rank being replaced mid-run, because both
+  /// sides of a dead pair reset symmetrically.
+  std::vector<uint64_t> sent_to;
+  std::vector<uint64_t> processed_from;
   uint64_t pending_big = 0;
   /// Mean fabric delivery latency observed at the rank (microseconds) --
   /// the coordinator's latency-aware steal-planning input.
@@ -204,14 +220,36 @@ std::string EncodeHello(uint64_t pid);
 Status DecodeHello(const std::string& payload, uint32_t* version,
                    uint64_t* pid);
 
+/// `epoch` is the rank's incarnation number: 0 for the first launch,
+/// incremented by the coordinator for every replacement of that rank.
 std::string EncodeAssign(uint32_t rank, uint32_t world_size,
-                         const std::string& config_blob);
+                         const std::string& config_blob, uint32_t epoch);
 Status DecodeAssign(const std::string& payload, uint32_t* rank,
-                    uint32_t* world_size, std::string* config_blob);
+                    uint32_t* world_size, std::string* config_blob,
+                    uint32_t* epoch);
 
 std::string EncodeStealCmd(uint32_t receiver, uint64_t want);
 Status DecodeStealCmd(const std::string& payload, uint32_t* receiver,
                       uint64_t* want);
+
+/// kPeerHello payload: the dialing rank's incarnation epoch (the rank
+/// itself rides in the frame's src field). A survivor that accepts a
+/// hello with a newer epoch than it has seen runs the peer-down
+/// transition for the old incarnation before swapping in the new
+/// connection.
+std::string EncodePeerHello(uint32_t epoch);
+Status DecodePeerHello(const std::string& payload, uint32_t* epoch);
+
+/// kHeartbeat payload: a monotonically increasing beacon sequence.
+std::string EncodeHeartbeat(uint64_t seq);
+Status DecodeHeartbeat(const std::string& payload, uint64_t* seq);
+
+/// kPeerDown / kPeerUp payload: which rank changed state and the epoch
+/// of the incarnation the transition refers to (down names the dead
+/// incarnation's successor epoch; up confirms that successor is wired).
+std::string EncodePeerEvent(uint32_t rank, uint32_t epoch);
+Status DecodePeerEvent(const std::string& payload, uint32_t* rank,
+                       uint32_t* epoch);
 
 }  // namespace qcm
 

@@ -8,10 +8,13 @@
 
 namespace qcm {
 
-std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets) {
+std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets,
+                                     size_t* duplicates) {
   // Exact dedup first.
   std::sort(sets.begin(), sets.end());
+  const size_t before = sets.size();
   sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  if (duplicates != nullptr) *duplicates = before - sets.size();
   // Process larger sets first: any strict superset of a candidate is
   // already kept by the time the candidate is considered.
   std::stable_sort(sets.begin(), sets.end(),

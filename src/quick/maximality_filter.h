@@ -15,8 +15,12 @@ namespace qcm {
 
 /// Removes duplicates and sets that are strict subsets of another set.
 /// Input sets must be sorted ascending (the sink contract). Output is
-/// sorted lexicographically for determinism.
-std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets);
+/// sorted lexicographically for determinism. When `duplicates` is
+/// non-null it receives the number of exact-duplicate candidates removed
+/// -- after a rank recovery this counts the doubly-mined results whose
+/// suppression keeps the final digest identical to a crash-free run.
+std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets,
+                                     size_t* duplicates = nullptr);
 
 /// Canonical form for comparing result sets across runs and deployments:
 /// sorts every set ascending, then sorts the sets lexicographically.

@@ -135,12 +135,24 @@ void Scheduler::OnComputeResult(TaskPtr task, ComputeStatus status,
   } else {
     AdvanceTaskState(*task, TaskState::kDone, lifecycle());
     deps_.counters->tasks_completed.fetch_add(1, std::memory_order_relaxed);
+    // Root-progress update happens-after the comper appended this round's
+    // results to the checkpoint log, so a root-done record can never
+    // become durable ahead of its subtree's results.
+    if (deps_.root_progress != nullptr) {
+      deps_.root_progress->OnTaskDone(task->root());
+    }
     deps_.pending->fetch_sub(1);
   }
 }
 
 void Scheduler::SubmitNew(TaskPtr task, LocalQueue& local) {
   deps_.pending->fetch_add(1);
+  // Registered before the parent's own kDone can decrement the root's
+  // outstanding count (AddTask runs inside the parent's compute round),
+  // so a tracked root's subtree count never touches zero early.
+  if (deps_.root_progress != nullptr) {
+    deps_.root_progress->OnSubtask(task->root());
+  }
   AdvanceTaskState(*task, TaskState::kReady, lifecycle());
   Enqueue(std::move(task), local);
 }
@@ -260,8 +272,20 @@ void Scheduler::RefillLocal(LocalQueue& local, ComputeContext& ctx) {
   while (spawned_small < deps_.config->batch_size) {
     const size_t idx = spawn_cursor_.fetch_add(1);
     if (idx >= owned.size()) break;
+    // Checkpoint replay: roots the previous incarnation fully mined are
+    // already in the recovered results; spawning them again would only
+    // manufacture duplicates for the dedup to discard.
+    if (deps_.completed_roots != nullptr &&
+        deps_.completed_roots->count(owned[idx]) != 0) {
+      deps_.counters->completed_roots_skipped.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
     TaskPtr task = deps_.app->Spawn(owned[idx], ctx);
     if (task == nullptr) continue;
+    if (deps_.root_progress != nullptr) {
+      deps_.root_progress->OnSpawn(owned[idx]);
+    }
     ++ctx.metrics().tasks_spawned;
     const bool big = AdmitSpawned(std::move(task), local);
     if (big) break;  // avoid generating many big tasks out of one refill

@@ -37,7 +37,9 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 
+#include "gthinker/checkpoint.h"
 #include "gthinker/comm.h"
 #include "gthinker/engine_config.h"
 #include "gthinker/metrics.h"
@@ -80,6 +82,14 @@ class Scheduler {
     EngineCounters* counters = nullptr;
     std::atomic<int64_t>* pending = nullptr;
     std::atomic<int>* active_spawners = nullptr;
+    /// Optional checkpoint hooks (null when checkpointing is off). The
+    /// scheduler reports root-subtree progress so a root whose every task
+    /// completed locally becomes durable as a root-done record.
+    RootProgress* root_progress = nullptr;
+    /// Optional set of spawn roots already fully mined by this rank's
+    /// previous incarnation (from checkpoint replay): the spawn path
+    /// skips them entirely. Read-only; must outlive the scheduler.
+    const std::unordered_set<VertexId>* completed_roots = nullptr;
   };
 
   explicit Scheduler(Deps deps);
@@ -119,6 +129,10 @@ class Scheduler {
   size_t PrefetchingCount() const {
     return prefetching_.load(std::memory_order_relaxed);
   }
+
+  /// Spawn progress: owned-vertex indices consumed so far (checkpoint
+  /// manifest observability; may briefly overshoot the owned count).
+  size_t SpawnCursor() const { return spawn_cursor_.load(); }
 
  private:
   class SpawnPrefetchOracle;

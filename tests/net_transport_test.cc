@@ -74,16 +74,18 @@ TEST(TcpTransportTest, HandshakeMeshAndDataDelivery) {
     // Publish quiescent statuses until termination is declared. The sent/
     // processed counters must genuinely match for detection to fire.
     while (!states[i].terminated.load()) {
-      size_t processed;
-      {
-        std::lock_guard<std::mutex> lock(states[i].mu);
-        processed = states[i].received.size();
-      }
       RankStatus status;
       status.pending = 0;
       status.spawn_done = true;
-      status.data_frames_sent = tr->DataFramesSent();
-      status.data_frames_processed = processed;
+      // Per-pair accounting: credit each processed frame to its sender
+      // (the transport fills the matching sent_to side at publish time).
+      status.processed_from.assign(3, 0);
+      {
+        std::lock_guard<std::mutex> lock(states[i].mu);
+        for (const std::string& r : states[i].received) {
+          ++status.processed_from[r[0] - '0'];
+        }
+      }
       status.pending_big = 0;
       tr->PublishStatus(status);
       std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -250,16 +252,17 @@ void RunTwoRankCoalescedSend(const CoalesceConfig& coalesce,
       }
     }
     while (!states[i].terminated.load()) {
-      size_t processed;
-      {
-        std::lock_guard<std::mutex> lock(states[i].mu);
-        processed = states[i].received.size();
-      }
       RankStatus status;
       status.pending = 0;
       status.spawn_done = true;
-      status.data_frames_sent = tr->DataFramesSent();
-      status.data_frames_processed = processed;
+      // Two-rank mesh: everything this rank processed came from the
+      // only other rank.
+      status.processed_from.assign(2, 0);
+      {
+        std::lock_guard<std::mutex> lock(states[i].mu);
+        status.processed_from[1 - tr->rank()] =
+            states[i].received.size();
+      }
       status.pending_big = 0;
       tr->PublishStatus(status);
       std::this_thread::sleep_for(std::chrono::microseconds(200));

@@ -266,7 +266,7 @@ TEST(WireFrameTest, CoalescedFlushDecodesToIdenticalFrameSequence) {
 }
 
 TEST(WireFrameTest, RoundTripAllKinds) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(FrameKind::kAbort); ++k) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FrameKind::kPeerUp); ++k) {
     Frame in;
     in.kind = static_cast<FrameKind>(k);
     in.src = 7;
@@ -315,30 +315,32 @@ TEST(WireFrameTest, ControlPayloadsRoundTrip) {
   WireRankStatus status;
   status.pending = -3;
   status.spawn_done = 1;
-  status.data_frames_sent = 100;
-  status.data_frames_processed = 99;
+  status.sent_to = {0, 100, 7};
+  status.processed_from = {0, 99, 8};
   status.pending_big = 12;
   status.delivery_latency_usec = 1500;
   WireRankStatus status2;
   ASSERT_TRUE(DecodeRankStatus(EncodeRankStatus(status), &status2).ok());
   EXPECT_EQ(status2.pending, -3);
   EXPECT_EQ(status2.spawn_done, 1);
-  EXPECT_EQ(status2.data_frames_sent, 100u);
-  EXPECT_EQ(status2.data_frames_processed, 99u);
+  EXPECT_EQ(status2.sent_to, (std::vector<uint64_t>{0, 100, 7}));
+  EXPECT_EQ(status2.processed_from, (std::vector<uint64_t>{0, 99, 8}));
   EXPECT_EQ(status2.pending_big, 12u);
   EXPECT_EQ(status2.delivery_latency_usec, 1500u);
 
-  uint32_t version = 0, rank = 0, world = 0, receiver = 0;
+  uint32_t version = 0, rank = 0, world = 0, receiver = 0, epoch = 0;
   uint64_t pid = 0, want = 0;
   std::string blob;
   ASSERT_TRUE(DecodeHello(EncodeHello(4242), &version, &pid).ok());
   EXPECT_EQ(version, kWireProtocolVersion);
   EXPECT_EQ(pid, 4242u);
-  ASSERT_TRUE(
-      DecodeAssign(EncodeAssign(2, 3, "cfg"), &rank, &world, &blob).ok());
+  ASSERT_TRUE(DecodeAssign(EncodeAssign(2, 3, "cfg", 5), &rank, &world,
+                           &blob, &epoch)
+                  .ok());
   EXPECT_EQ(rank, 2u);
   EXPECT_EQ(world, 3u);
   EXPECT_EQ(blob, "cfg");
+  EXPECT_EQ(epoch, 5u);
   ASSERT_TRUE(DecodeStealCmd(EncodeStealCmd(1, 16), &receiver, &want).ok());
   EXPECT_EQ(receiver, 1u);
   EXPECT_EQ(want, 16u);
@@ -347,6 +349,25 @@ TEST(WireFrameTest, ControlPayloadsRoundTrip) {
   EXPECT_EQ(DecodeRankStatus(EncodeRankStatus(status) + "x", &status2)
                 .code(),
             StatusCode::kCorruption);
+}
+
+TEST(WireFrameTest, FaultTolerancePayloadsRoundTrip) {
+  uint32_t epoch = 0;
+  ASSERT_TRUE(DecodePeerHello(EncodePeerHello(3), &epoch).ok());
+  EXPECT_EQ(epoch, 3u);
+
+  uint64_t seq = 0;
+  ASSERT_TRUE(DecodeHeartbeat(EncodeHeartbeat(0xFEEDull), &seq).ok());
+  EXPECT_EQ(seq, 0xFEEDull);
+
+  uint32_t rank = 0;
+  ASSERT_TRUE(DecodePeerEvent(EncodePeerEvent(2, 4), &rank, &epoch).ok());
+  EXPECT_EQ(rank, 2u);
+  EXPECT_EQ(epoch, 4u);
+
+  // Truncated payloads are corruption, never a read past the end.
+  EXPECT_FALSE(DecodePeerEvent("abc", &rank, &epoch).ok());
+  EXPECT_FALSE(DecodeHeartbeat("", &seq).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -381,6 +402,9 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   spec.config.steal_rtt_reference_sec = 0.002;
   spec.config.steal_max_batch_factor = 5;
   spec.config.record_task_log = true;
+  spec.config.checkpoint_dir = "/tmp/ckpt";
+  spec.config.checkpoint_interval_sec = 0.125;
+  spec.config.heartbeat_usec = 50000;
   spec.config.mining.gamma = 0.75;
   spec.config.mining.min_size = 6;
   spec.config.mining.use_lookahead = false;
@@ -414,6 +438,9 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(out.config.steal_rtt_reference_sec, 0.002);
   EXPECT_EQ(out.config.steal_max_batch_factor, 5u);
   EXPECT_TRUE(out.config.record_task_log);
+  EXPECT_EQ(out.config.checkpoint_dir, "/tmp/ckpt");
+  EXPECT_EQ(out.config.checkpoint_interval_sec, 0.125);
+  EXPECT_EQ(out.config.heartbeat_usec, 50000);
   EXPECT_EQ(out.config.mining.gamma, 0.75);
   EXPECT_EQ(out.config.mining.min_size, 6u);
   EXPECT_FALSE(out.config.mining.use_lookahead);

@@ -162,3 +162,59 @@ fi
 
 echo "check_smoke: OK -- coalescing-on cluster digest matches" \
   "($coalesce_digest)"
+
+# ---- Fault-injection phase ---------------------------------------------
+# Same 3-process run, but the launcher SIGKILLs rank 1 once it is mid-
+# mining (QCM_SMOKE_KILL_RANK env hook). The coordinator must detect the
+# death, relaunch the rank, replay its checkpoint, and finish with the
+# bit-identical digest -- recovery that loses or invents results is a
+# correctness bug, not a flakiness problem.
+fault_out=$(QCM_SMOKE_KILL_RANK=1 "$CLUSTER_BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --workers 3 --threads 2 --stats \
+  --log-dir "$LOG_DIR" "$@" 2>&1)
+fault_status=$?
+echo "$fault_out"
+
+if [[ $fault_status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- fault-injected qcm_cluster exited with status" \
+    "$fault_status (worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+
+# The kill must actually have fired AND been recovered from; a run where
+# the injection silently no-ops would vacuously "pass" the digest check.
+if ! printf '%s\n' "$fault_out" |
+    grep -q 'fault injection: SIGKILL rank 1'; then
+  echo "check_smoke: FAIL -- fault injection never fired" \
+    "(QCM_SMOKE_KILL_RANK=1 run printed no injection line)" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$fault_out" | grep -q 'rank 1 recovered: epoch 1'; then
+  echo "check_smoke: FAIL -- rank 1 was killed but never recovered" \
+    "(worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+
+fault_digest=$(printf '%s\n' "$fault_out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ "$fault_digest" != "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- fault-injected digest $fault_digest !=" \
+    "single-process digest $single_digest (recovery lost or invented" \
+    "results; worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+
+echo "check_smoke: OK -- SIGKILL-rank-1 cluster digest matches" \
+  "($fault_digest)"
+
+# ---- Orphan check ------------------------------------------------------
+# No qcm_worker may outlive its cluster: every worker sets
+# PR_SET_PDEATHSIG and the launcher reaps replacements, so a survivor
+# here is a process leak that would accumulate across CI runs.
+if pgrep -x qcm_worker >/dev/null 2>&1; then
+  echo "check_smoke: FAIL -- orphaned qcm_worker processes survived:" >&2
+  pgrep -ax qcm_worker >&2
+  exit 1
+fi
+echo "check_smoke: OK -- no orphaned qcm_worker processes"

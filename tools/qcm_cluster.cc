@@ -1,13 +1,14 @@
 // qcm_cluster: launcher for the real multi-process deployment.
 //
 // Spawns N qcm_worker processes (one per machine), distributes the run
-// configuration over the wire handshake, masters load balancing and
-// distributed termination detection from the coordinator side, then
-// merges every rank's EngineReport and raw candidate results, applies
-// the maximality postprocessing once over the union, and prints the
-// canonical result digest -- which must be bit-identical to a
-// single-process `qcm_mine` run on the same input (asserted by
-// tests/cluster_e2e_test.cc and tools/check_smoke.sh).
+// configuration over the wire handshake, masters load balancing,
+// distributed termination detection, and rank recovery from the
+// coordinator side, then merges every rank's EngineReport and raw
+// candidate results, applies the maximality postprocessing once over the
+// union, and prints the canonical result digest -- which must be
+// bit-identical to a single-process `qcm_mine` run on the same input
+// (asserted by tests/cluster_e2e_test.cc and tools/check_smoke.sh), even
+// when a worker is killed mid-run and recovered from its checkpoint.
 //
 // Usage:
 //   qcm_cluster (--input PATH | --gen-planted SPEC) --workers N
@@ -18,12 +19,22 @@
 //               [--net-coalesce-bytes N] [--net-linger-usec N]
 //               [--prefetch] [--prefetch-limit N] [--steal-rtt-ref F]
 //               [--steal-batch-factor N]
+//               [--heartbeat-usec N] [--checkpoint-interval F]
+//               [--checkpoint-dir DIR] [--max-rank-restarts N]
 //               [--seed N] [--output PATH] [--no-filter] [--stats]
 //               [--stats-json PATH] [--worker-bin PATH] [--log-dir DIR]
 //
 // Worker stdout/stderr are redirected to <log-dir>/worker<rank>.log
-// (default: a fresh temp dir, path printed) so a crashed rank's last
-// words are always on disk for CI to upload.
+// (a replacement incarnation logs to worker<rank>.r<restart>.log so the
+// dead incarnation's last words survive; default log dir: a fresh temp
+// dir, path printed) so a crashed rank's story is always on disk for CI
+// to upload.
+//
+// Fault-injection hook (CI smoke): QCM_SMOKE_KILL_RANK=<r> makes the
+// launcher SIGKILL rank r's worker once it verifiably holds pending
+// work, exercising the detection -> kPeerDown -> relaunch -> checkpoint
+// replay -> kPeerUp recovery path end to end. The final digest must be
+// identical to an uninjected run.
 
 #include <libgen.h>
 #include <limits.h>
@@ -39,6 +50,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,6 +75,8 @@ struct Args {
   std::string stats_json;
   std::string worker_bin;
   std::string log_dir;
+  std::string checkpoint_dir;
+  int max_rank_restarts = 2;
   std::string cache_policy = "lru";
   std::string mode = "time";
   /// --net-coalesce-bytes given without an explicit --net-linger-usec:
@@ -76,7 +91,10 @@ void Usage() {
                "--workers N [--threads N]\n"
                "                   [mining/engine flags, see file header] "
                "[--output PATH]\n"
-               "                   [--worker-bin PATH] [--log-dir DIR]\n");
+               "                   [--heartbeat-usec N] "
+               "[--checkpoint-interval F] [--checkpoint-dir DIR]\n"
+               "                   [--max-rank-restarts N] "
+               "[--worker-bin PATH] [--log-dir DIR]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -173,6 +191,31 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       config.steal_max_batch_factor = static_cast<uint64_t>(factor);
+    } else if (a == "--heartbeat-usec") {
+      if ((v = next("--heartbeat-usec")) == nullptr) return false;
+      const long long usec = std::atoll(v);
+      if (usec < 0) {
+        std::fprintf(stderr, "--heartbeat-usec must be >= 0\n");
+        return false;
+      }
+      config.heartbeat_usec = usec;
+    } else if (a == "--checkpoint-interval") {
+      if ((v = next("--checkpoint-interval")) == nullptr) return false;
+      config.checkpoint_interval_sec = std::atof(v);
+      if (config.checkpoint_interval_sec <= 0) {
+        std::fprintf(stderr, "--checkpoint-interval must be > 0\n");
+        return false;
+      }
+    } else if (a == "--checkpoint-dir") {
+      if ((v = next("--checkpoint-dir")) == nullptr) return false;
+      args->checkpoint_dir = v;
+    } else if (a == "--max-rank-restarts") {
+      if ((v = next("--max-rank-restarts")) == nullptr) return false;
+      args->max_rank_restarts = std::atoi(v);
+      if (args->max_rank_restarts < 0) {
+        std::fprintf(stderr, "--max-rank-restarts must be >= 0\n");
+        return false;
+      }
     } else if (a == "--seed") {
       if ((v = next("--seed")) == nullptr) return false;
       args->spec.seed = static_cast<uint64_t>(std::atoll(v));
@@ -254,6 +297,8 @@ struct WorkerProcess {
   std::string log_path;
   bool reaped = false;
   int wstatus = 0;
+  /// Replacement incarnations spawned for this rank so far.
+  int restarts = 0;
 };
 
 void KillAll(std::vector<WorkerProcess>* workers) {
@@ -277,6 +322,15 @@ void PrintLogTails(const std::vector<WorkerProcess>& workers) {
       std::fclose(f);
     }
   }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
 }
 
 }  // namespace
@@ -307,6 +361,25 @@ int main(int argc, char** argv) {
     ::mkdir(log_dir.c_str(), 0755);
   }
 
+  // Checkpoint root shared by every rank (each keeps rank<R>/log under
+  // it). A launcher-owned temp dir is removed on success; a caller-
+  // provided one is left alone.
+  std::string ckpt_dir = args.checkpoint_dir;
+  bool owns_ckpt_dir = false;
+  if (ckpt_dir.empty()) {
+    char templ[] = "/tmp/qcm_ckpt_XXXXXX";
+    char* dir = ::mkdtemp(templ);
+    if (dir == nullptr) {
+      std::fprintf(stderr, "cannot create checkpoint directory\n");
+      return 1;
+    }
+    ckpt_dir = dir;
+    owns_ckpt_dir = true;
+  } else {
+    ::mkdir(ckpt_dir.c_str(), 0755);
+  }
+  args.spec.config.checkpoint_dir = ckpt_dir;
+
   // Bind the control-plane listener before spawning anyone.
   CoordinatorConfig coord_config;
   coord_config.world_size = args.workers;
@@ -320,6 +393,17 @@ int main(int argc, char** argv) {
       args.spec.config.steal_rtt_reference_sec;
   coord_config.steal_max_batch_factor =
       args.spec.config.steal_max_batch_factor;
+  coord_config.max_rank_restarts = args.max_rank_restarts;
+  // Liveness deadline: many heartbeat periods of slack (slow CI, TSan),
+  // but never so long that a hung rank stalls the run indefinitely.
+  // Child-exit detection (the watchdog below) catches clean crashes far
+  // faster; the deadline is the backstop for wedged-but-alive processes.
+  coord_config.heartbeat_deadline_sec =
+      args.spec.config.heartbeat_usec > 0
+          ? std::max(1.0, 50.0 * 1e-6 *
+                              static_cast<double>(
+                                  args.spec.config.heartbeat_usec))
+          : 0.0;
   auto listening = Coordinator::Listen(std::move(coord_config));
   if (!listening.ok()) {
     std::fprintf(stderr, "coordinator listen failed: %s\n",
@@ -329,22 +413,36 @@ int main(int argc, char** argv) {
   std::unique_ptr<Coordinator> coordinator = std::move(listening).value();
   std::fprintf(stderr,
                "qcm_cluster: coordinator on 127.0.0.1:%u, spawning %d "
-               "workers (logs in %s)\n",
-               coordinator->port(), args.workers, log_dir.c_str());
+               "workers (logs in %s, checkpoints in %s)\n",
+               coordinator->port(), args.workers, log_dir.c_str(),
+               ckpt_dir.c_str());
 
-  // Spawn one worker process per machine, logs redirected per rank.
+  // Worker process table, shared between the main thread, the child
+  // watchdog, the recovery callbacks, and the fault-injection hook.
   const std::string port_str = std::to_string(coordinator->port());
   std::vector<WorkerProcess> workers(args.workers);
-  for (int i = 0; i < args.workers; ++i) {
-    workers[i].log_path = log_dir + "/worker" + std::to_string(i) + ".log";
+  // The coordinator assigns ranks in CONNECT order, which need not match
+  // the spawn order this table is indexed by. rank_slot[r] maps rank r to
+  // its process-table slot; filled from the coordinator's rank->pid map
+  // (kHello carries the pid) once the handshake completes. Guarded by
+  // workers_mu.
+  std::vector<int> rank_slot(args.workers, -1);
+  std::mutex workers_mu;
+
+  // Forks one worker for `rank`; returns false on fork failure. The
+  // caller holds workers_mu (or is still single-threaded).
+  auto spawn_worker = [&](int rank) -> bool {
+    WorkerProcess& w = workers[rank];
+    w.log_path = log_dir + "/worker" + std::to_string(rank) +
+                 (w.restarts > 0 ? ".r" + std::to_string(w.restarts) : "") +
+                 ".log";
     const pid_t pid = ::fork();
     if (pid < 0) {
       std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
-      KillAll(&workers);
-      return 1;
+      return false;
     }
     if (pid == 0) {
-      if (FILE* log = std::fopen(workers[i].log_path.c_str(), "w")) {
+      if (FILE* log = std::fopen(w.log_path.c_str(), "w")) {
         ::dup2(::fileno(log), STDOUT_FILENO);
         ::dup2(::fileno(log), STDERR_FILENO);
       }
@@ -354,29 +452,116 @@ int main(int argc, char** argv) {
                    std::strerror(errno));
       ::_exit(127);
     }
-    workers[i].pid = pid;
+    w.pid = pid;
+    w.reaped = false;
+    w.wstatus = 0;
+    return true;
+  };
+
+  for (int i = 0; i < args.workers; ++i) {
+    if (!spawn_worker(i)) {
+      KillAll(&workers);
+      return 1;
+    }
   }
 
-  // Child watchdog: a worker that dies mid-run (or before connecting)
-  // must fail the whole run promptly, not after a network timeout.
+  // Recovery callbacks: the coordinator's RunToCompletion thread calls
+  // these inline while replacing a dead rank.
+  coordinator->SetRecoveryCallbacks(
+      [&](int rank) {
+        // Guarantee the old incarnation is dead and reaped before the
+        // survivors are told so.
+        pid_t pid = -1;
+        int slot = -1;
+        {
+          std::lock_guard<std::mutex> lock(workers_mu);
+          slot = rank_slot[rank];
+          if (slot >= 0 && !workers[slot].reaped) pid = workers[slot].pid;
+        }
+        if (pid > 0) {
+          ::kill(pid, SIGKILL);
+          int wstatus = 0;
+          ::waitpid(pid, &wstatus, 0);
+          std::lock_guard<std::mutex> lock(workers_mu);
+          workers[slot].reaped = true;
+          workers[slot].wstatus = wstatus;
+        }
+      },
+      [&](int rank) -> Status {
+        std::lock_guard<std::mutex> lock(workers_mu);
+        const int slot = rank_slot[rank];
+        if (slot < 0) {
+          return Status::Internal("no process slot mapped for rank " +
+                                  std::to_string(rank));
+        }
+        ++workers[slot].restarts;
+        if (!spawn_worker(slot)) {
+          return Status::IOError("relaunch fork failed for rank " +
+                                 std::to_string(rank));
+        }
+        std::fprintf(stderr,
+                     "qcm_cluster: relaunched rank %d (pid %d, attempt %d, "
+                     "log %s)\n",
+                     rank, static_cast<int>(workers[slot].pid),
+                     workers[slot].restarts,
+                     workers[slot].log_path.c_str());
+        return Status::OK();
+      });
+
+  // Child watchdog: a worker that dies mid-run is routed into the
+  // coordinator's recovery path (before the handshake completes there is
+  // nothing to recover into, so it still fails the run promptly).
   std::atomic<bool> run_done{false};
+  std::atomic<bool> handshake_done{false};
   std::thread watchdog([&] {
     while (!run_done.load()) {
       for (size_t i = 0; i < workers.size(); ++i) {
-        WorkerProcess& w = workers[i];
-        if (w.pid <= 0 || w.reaped) continue;
+        pid_t pid = -1;
+        {
+          std::lock_guard<std::mutex> lock(workers_mu);
+          if (workers[i].pid <= 0 || workers[i].reaped) continue;
+          pid = workers[i].pid;
+        }
         int wstatus = 0;
-        if (::waitpid(w.pid, &wstatus, WNOHANG) == w.pid) {
-          w.reaped = true;
-          w.wstatus = wstatus;
-          if (!(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)) {
-            coordinator->Abort(
-                "worker process for connection slot " + std::to_string(i) +
-                " died (" +
-                (WIFSIGNALED(wstatus)
-                     ? "signal " + std::to_string(WTERMSIG(wstatus))
-                     : "status " + std::to_string(WEXITSTATUS(wstatus))) +
-                ")");
+        if (::waitpid(pid, &wstatus, WNOHANG) == pid) {
+          bool stale = false;
+          {
+            std::lock_guard<std::mutex> lock(workers_mu);
+            // The recovery callback may have reaped and replaced this
+            // pid between our snapshot and now.
+            if (workers[i].pid != pid || workers[i].reaped) {
+              stale = true;
+            } else {
+              workers[i].reaped = true;
+              workers[i].wstatus = wstatus;
+            }
+          }
+          if (stale) continue;
+          const bool clean =
+              WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+          if (clean) continue;
+          const std::string how =
+              WIFSIGNALED(wstatus)
+                  ? "signal " + std::to_string(WTERMSIG(wstatus))
+                  : "status " + std::to_string(WEXITSTATUS(wstatus));
+          if (!handshake_done.load()) {
+            coordinator->Abort("worker process " + std::to_string(i) +
+                               " died during bring-up (" + how + ")");
+          } else {
+            // Translate the process slot back to the rank the coordinator
+            // knows it as.
+            int rank = -1;
+            {
+              std::lock_guard<std::mutex> lock(workers_mu);
+              for (int r = 0; r < args.workers; ++r) {
+                if (rank_slot[r] == static_cast<int>(i)) rank = r;
+              }
+            }
+            if (rank < 0) continue;
+            std::fprintf(stderr,
+                         "qcm_cluster: rank %d process died (%s)\n", rank,
+                         how.c_str());
+            coordinator->OnRankDeath(rank);
           }
         }
       }
@@ -384,8 +569,61 @@ int main(int argc, char** argv) {
     }
   });
 
+  // Fault injection for the CI smoke: SIGKILL the named rank once it
+  // verifiably holds pending work, so recovery happens mid-mining.
+  std::thread killer;
+  if (const char* kill_rank_env = std::getenv("QCM_SMOKE_KILL_RANK")) {
+    const int kill_rank = std::atoi(kill_rank_env);
+    if (kill_rank >= 0 && kill_rank < args.workers) {
+      killer = std::thread([&, kill_rank] {
+        while (!run_done.load()) {
+          WireRankStatus status;
+          if (coordinator->SnapshotStatus(kill_rank, &status) &&
+              status.pending > 0) {
+            pid_t pid = -1;
+            {
+              std::lock_guard<std::mutex> lock(workers_mu);
+              const int slot = rank_slot[kill_rank];
+              if (slot >= 0 && !workers[slot].reaped &&
+                  workers[slot].restarts == 0) {
+                pid = workers[slot].pid;
+              }
+            }
+            if (pid > 0) {
+              std::fprintf(stderr,
+                           "qcm_cluster: fault injection: SIGKILL rank %d "
+                           "(pid %d)\n",
+                           kill_rank, static_cast<int>(pid));
+              ::kill(pid, SIGKILL);
+            }
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    } else {
+      std::fprintf(stderr,
+                   "qcm_cluster: ignoring QCM_SMOKE_KILL_RANK=%s (out of "
+                   "range)\n",
+                   kill_rank_env);
+    }
+  }
+
   // Handshake, then drive the run to global termination.
   Status run_status = coordinator->RunHandshake();
+  if (run_status.ok()) {
+    // Resolve which forked process ended up with which rank (connect
+    // order decides) BEFORE releasing the watchdog/killer onto the
+    // recovery path.
+    std::lock_guard<std::mutex> lock(workers_mu);
+    for (int r = 0; r < args.workers; ++r) {
+      const uint64_t pid = coordinator->RankPid(r);
+      for (int s = 0; s < args.workers; ++s) {
+        if (static_cast<uint64_t>(workers[s].pid) == pid) rank_slot[r] = s;
+      }
+    }
+    handshake_done.store(true);
+  }
   std::vector<std::string> report_blobs;
   if (run_status.ok()) {
     auto reports = coordinator->RunToCompletion();
@@ -393,11 +631,17 @@ int main(int argc, char** argv) {
     if (reports.ok()) report_blobs = std::move(reports).value();
   }
   const uint64_t steal_commands = coordinator->steal_commands_issued();
+  const std::vector<Coordinator::RecoveryEvent> recoveries =
+      coordinator->recovery_events();
+  const std::vector<int> restarts = coordinator->restarts();
   run_done.store(true);
   watchdog.join();
+  if (killer.joinable()) killer.join();
   coordinator->Close();
 
-  // Reap every worker; any nonzero exit fails the run.
+  // Reap every live worker; a nonzero exit of a CURRENT incarnation fails
+  // the run (superseded incarnations died by design and were already
+  // reaped by the watchdog or the kill callback).
   bool workers_ok = true;
   for (int i = 0; i < args.workers; ++i) {
     WorkerProcess& w = workers[i];
@@ -408,7 +652,7 @@ int main(int argc, char** argv) {
     }
     const bool clean = WIFEXITED(w.wstatus) && WEXITSTATUS(w.wstatus) == 0;
     if (!clean && run_status.ok()) {
-      std::fprintf(stderr, "qcm_cluster: rank %d exited abnormally (%s)\n",
+      std::fprintf(stderr, "qcm_cluster: worker %d exited abnormally (%s)\n",
                    i,
                    WIFSIGNALED(w.wstatus)
                        ? ("signal " + std::to_string(WTERMSIG(w.wstatus)))
@@ -424,6 +668,8 @@ int main(int argc, char** argv) {
                  run_status.ok() ? "worker exit failure"
                                  : run_status.ToString().c_str());
     PrintLogTails(workers);
+    std::fprintf(stderr, "qcm_cluster: checkpoints kept in %s\n",
+                 ckpt_dir.c_str());
     return 1;
   }
 
@@ -440,9 +686,11 @@ int main(int argc, char** argv) {
   }
   EngineReport merged = MergeEngineReports(rank_reports);
   const size_t raw_candidates = merged.results.size();
+  size_t duplicates_suppressed = 0;
   std::vector<VertexSet> results =
-      args.no_filter ? std::move(merged.results)
-                     : FilterMaximal(std::move(merged.results));
+      args.no_filter
+          ? std::move(merged.results)
+          : FilterMaximal(std::move(merged.results), &duplicates_suppressed);
 
   std::fprintf(stderr, "%zu %s quasi-cliques in %.3f s\n", results.size(),
                args.no_filter ? "candidate" : "maximal",
@@ -466,17 +714,53 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(merged.counters.pulled_vertices),
         static_cast<unsigned long long>(raw_candidates));
   }
+  if (!recoveries.empty()) {
+    for (const auto& e : recoveries) {
+      std::fprintf(stderr,
+                   "recovery: rank %d epoch %u via %s (detected after "
+                   "%llu us, rewired in %.3f s)\n",
+                   e.rank, e.epoch, e.method.c_str(),
+                   static_cast<unsigned long long>(
+                       e.detection_latency_usec),
+                   e.recovery_sec);
+    }
+    std::fprintf(stderr,
+                 "recovery: %zu duplicate candidates suppressed by the "
+                 "maximality filter\n",
+                 duplicates_suppressed);
+  }
 
   if (!args.stats_json.empty()) {
-    // One JSON object per rank plus the merged totals, so CI can chart
-    // per-rank balance without re-deriving it.
+    // One JSON object per rank plus the merged totals and the recovery
+    // story, so CI can chart per-rank balance and fault-tolerance
+    // overhead without re-deriving them.
     std::string json = "{\n  \"ranks\": [\n";
     for (size_t r = 0; r < rank_reports.size(); ++r) {
       json += EngineReportJson(rank_reports[r]);
       if (r + 1 < rank_reports.size()) json += ",";
       json += "\n";
     }
-    json += "  ],\n  \"merged\": " + EngineReportJson(merged) + "}\n";
+    json += "  ],\n  \"merged\": " + EngineReportJson(merged) + ",\n";
+    json += "  \"recovery\": {\n    \"restarts\": [";
+    for (size_t r = 0; r < restarts.size(); ++r) {
+      json += std::to_string(restarts[r]);
+      if (r + 1 < restarts.size()) json += ", ";
+    }
+    json += "],\n    \"duplicates_suppressed\": " +
+            std::to_string(duplicates_suppressed) + ",\n";
+    json += "    \"events\": [";
+    for (size_t e = 0; e < recoveries.size(); ++e) {
+      const auto& ev = recoveries[e];
+      json += std::string(e == 0 ? "" : ", ") + "{\"rank\": " +
+              std::to_string(ev.rank) +
+              ", \"epoch\": " + std::to_string(ev.epoch) +
+              ", \"method\": \"" + JsonEscape(ev.method) + "\"" +
+              ", \"detection_latency_usec\": " +
+              std::to_string(ev.detection_latency_usec) +
+              ", \"recovery_sec\": " + std::to_string(ev.recovery_sec) +
+              "}";
+    }
+    json += "]\n  }\n}\n";
     FILE* f = args.stats_json == "-"
                   ? stdout
                   : std::fopen(args.stats_json.c_str(), "w");
@@ -487,6 +771,11 @@ int main(int argc, char** argv) {
     }
     std::fputs(json.c_str(), f);
     if (f != stdout) std::fclose(f);
+  }
+
+  if (owns_ckpt_dir) {
+    std::error_code ec;
+    std::filesystem::remove_all(ckpt_dir, ec);
   }
   return 0;
 }

@@ -18,6 +18,12 @@
 // Exit status: 0 only for a clean run (connected, mined, reported);
 // anything else is a loud failure the launcher must surface.
 
+#ifdef __linux__
+#include <sys/prctl.h>
+#include <unistd.h>
+#endif
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -44,6 +50,18 @@ int Fail(TcpTransport* transport, const std::string& message) {
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef __linux__
+  // Never outlive the launcher: if qcm_cluster dies (crash, ^C, CI
+  // timeout kill), the kernel SIGKILLs this worker instead of leaving an
+  // orphan mining forever. The getppid check closes the race where the
+  // parent died between our fork and this prctl (we were already
+  // reparented, so the death signal would never fire).
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) {
+    std::fprintf(stderr, "qcm_worker: launcher already gone, exiting\n");
+    return 1;
+  }
+#endif
   std::string host = "127.0.0.1";
   int port = 0;
   std::string stats_json;
@@ -118,10 +136,19 @@ int main(int argc, char** argv) {
     table = std::make_unique<VertexTable>(full, transport->world_size(),
                                           rank);
     std::fprintf(stderr,
-                 "qcm_worker rank %d/%d: %u vertices total, %zu owned\n",
-                 rank, transport->world_size(), table->NumVertices(),
-                 table->OwnedVertices(rank).size());
+                 "qcm_worker rank %d/%d epoch %u: %u vertices total, "
+                 "%zu owned%s\n",
+                 rank, transport->world_size(), transport->epoch(),
+                 table->NumVertices(),
+                 table->OwnedVertices(rank).size(),
+                 transport->epoch() > 0
+                     ? " (replacement; replaying checkpoint)"
+                     : "");
   }
+
+  // Liveness beacons must flow before the engine starts the transport:
+  // the coordinator's deadline for this rank is already armed.
+  transport->SetHeartbeatInterval(spec.config.heartbeat_usec);
 
   QCApp app(spec.config);
   Engine engine(std::move(table), spec.config, &app, transport.get());
