@@ -13,9 +13,11 @@
 #include "graph/local_graph.h"
 #include "mining/qc_task.h"
 #include "quick/bounds.h"
+#include "quick/cover_vertex.h"
 #include "quick/iterative_bounding.h"
 #include "quick/maximality_filter.h"
 #include "quick/mining_context.h"
+#include "quick/recursive_mine.h"
 #include "quick/serial_miner.h"
 #include "util/rng.h"
 
@@ -87,14 +89,99 @@ void BM_ComputeBounds(benchmark::State& state) {
   std::vector<LocalId> s = {0, 1};
   std::vector<LocalId> ext;
   for (LocalId u = 2; u < g.n(); ++u) ext.push_back(u);
-  for (LocalId v : s) ctx.state()[v] = static_cast<uint8_t>(VState::kInS);
-  for (LocalId u : ext) ctx.state()[u] = static_cast<uint8_t>(VState::kInExt);
+  for (LocalId v : s) ctx.SetVState(v, VState::kInS);
+  for (LocalId u : ext) ctx.SetVState(u, VState::kInExt);
   for (auto _ : state) {
     ComputeDegrees(ctx, s, ext);
     benchmark::DoNotOptimize(ComputeBounds(ctx, s, ext));
   }
 }
 BENCHMARK(BM_ComputeBounds)->Arg(64)->Arg(256)->Arg(1024);
+
+// ---- Dense-vs-sparse kernel rows ----
+// Each of the four hybrid pruning kernels, benchmarked over the same
+// subgraph with the word-parallel bitset path on (range(1) == 1) and off
+// (range(1) == 0), across subgraph sizes 64 / 256 / 1024 / 4096.
+
+MiningOptions KernelOptions(bool dense, double gamma) {
+  MiningOptions opts;
+  opts.gamma = gamma;
+  opts.min_size = 5;
+  opts.dense_threshold = dense ? (int64_t{1} << 20) : 0;
+  return opts;
+}
+
+void BM_KernelComputeDegrees(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  LocalGraph g = DenseLocalGraph(n, 0.3, 7);
+  MiningOptions opts = KernelOptions(state.range(1) != 0, 0.85);
+  CountingSink sink;
+  MiningContext ctx(&g, opts, &sink);
+  std::vector<LocalId> s, ext;
+  for (LocalId v = 0; v < n; ++v) (v < n / 8 ? s : ext).push_back(v);
+  for (LocalId v : s) ctx.SetVState(v, VState::kInS);
+  for (LocalId u : ext) ctx.SetVState(u, VState::kInExt);
+  for (auto _ : state) {
+    ComputeDegrees(ctx, s, ext);
+    benchmark::DoNotOptimize(ctx.ds().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelComputeDegrees)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 1}});
+
+void BM_KernelTwoHopFilter(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  // Sparse enough that 2-hop reach is a strict subset (the filter filters).
+  LocalGraph g = DenseLocalGraph(n, 8.0 / n, 11);
+  MiningOptions opts = KernelOptions(state.range(1) != 0, 0.85);
+  CountingSink sink;
+  MiningContext ctx(&g, opts, &sink);
+  std::vector<LocalId> candidates;
+  for (LocalId u = 1; u < n; ++u) candidates.push_back(u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoHopFilter(ctx, candidates, 0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK(BM_KernelTwoHopFilter)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 1}});
+
+void BM_KernelCoverVertex(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  LocalGraph g = DenseLocalGraph(n, 0.5, 17);
+  MiningOptions opts = KernelOptions(state.range(1) != 0, 0.6);
+  CountingSink sink;
+  MiningContext ctx(&g, opts, &sink);
+  std::vector<LocalId> s, ext;
+  for (LocalId v = 0; v < n; ++v) (v < 4 ? s : ext).push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindBestCoverSet(ctx, s, ext));
+  }
+}
+BENCHMARK(BM_KernelCoverVertex)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 1}});
+
+void BM_KernelUnionCheck(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  // gamma low enough that most members pass, exercising the full scan
+  // rather than the first-member early exit.
+  LocalGraph g = DenseLocalGraph(n, 0.6, 23);
+  MiningOptions opts = KernelOptions(state.range(1) != 0, 0.5);
+  CountingSink sink;
+  MiningContext ctx(&g, opts, &sink);
+  std::vector<LocalId> a, b;
+  for (LocalId v = 0; v < n / 2; ++v) a.push_back(v);
+  for (LocalId v = n / 2; v < n / 2 + n / 4; ++v) b.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.IsQuasiCliqueUnion(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_KernelUnionCheck)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 1}});
 
 void BM_IterativeBounding(benchmark::State& state) {
   LocalGraph g = DenseLocalGraph(static_cast<uint32_t>(state.range(0)), 0.7,

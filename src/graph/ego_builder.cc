@@ -235,6 +235,7 @@ LocalGraph EgoBuilder::Build() const {
     g.adj_[sc.cursor_buf_[u]++] = v;
     g.adj_[sc.cursor_buf_[v]++] = u;
   }
+  if (n > 0 && n <= dense_threshold_) g.BuildDenseRows();
   return g;
 }
 

@@ -224,7 +224,16 @@ class EgoBuilder {
   /// Compiles the staged structure into a LocalGraph. Adjacency entries
   /// whose target was never staged (or was peeled) are dropped; edges are
   /// made symmetric (an edge is kept iff either endpoint listed it).
+  /// When a dense threshold is set and the compiled subgraph has
+  /// 0 < n <= threshold vertices, its adjacency bitmap rows are
+  /// materialized too (LocalGraph::BuildDenseRows).
   LocalGraph Build() const;
+
+  /// Subgraphs compiled with n <= `threshold` vertices get dense bitmap
+  /// rows; <= 0 disables dense materialization (the default).
+  void set_dense_threshold(int64_t threshold) {
+    dense_threshold_ = threshold > 0 ? static_cast<uint64_t>(threshold) : 0;
+  }
 
  private:
   // Phantom targets of alive entries, sorted distinct, into
@@ -241,6 +250,7 @@ class EgoBuilder {
 
   std::unique_ptr<EgoScratch> owned_;
   EgoScratch* scratch_;
+  uint64_t dense_threshold_ = 0;
 };
 
 }  // namespace qcm

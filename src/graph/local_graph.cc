@@ -46,7 +46,23 @@ LocalGraph LocalGraph::Induce(const std::vector<LocalId>& keep) const {
     // Source adjacency is sorted ascending and remap is monotone over kept
     // ids, so the output range is already sorted.
   }
+  // The induced subgraph is never larger than its source, so a dense source
+  // keeps its decomposed tasks (Alg. 8/10) on the dense kernel path too.
+  if (has_dense()) out.BuildDenseRows();
   return out;
+}
+
+void LocalGraph::BuildDenseRows() {
+  const uint32_t nn = n();
+  if (nn == 0 || dense_words_ != 0) return;
+  dense_words_ = (nn + 63) / 64;
+  dense_bits_.assign(static_cast<size_t>(nn) * dense_words_, 0);
+  for (LocalId v = 0; v < nn; ++v) {
+    uint64_t* row = dense_bits_.data() + static_cast<size_t>(v) * dense_words_;
+    for (LocalId w : Neighbors(v)) {
+      row[w >> 6] |= uint64_t{1} << (w & 63);
+    }
+  }
 }
 
 LocalGraph LocalGraph::KCore(uint32_t k) const {

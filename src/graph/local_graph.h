@@ -79,14 +79,39 @@ class LocalGraph {
   /// Approximate heap footprint in bytes (used for RAM accounting).
   uint64_t MemoryBytes() const {
     return vids_.size() * sizeof(VertexId) +
-           offsets_.size() * sizeof(uint32_t) + adj_.size() * sizeof(LocalId);
+           offsets_.size() * sizeof(uint32_t) + adj_.size() * sizeof(LocalId) +
+           dense_bits_.size() * sizeof(uint64_t);
   }
+
+  /// True iff per-vertex adjacency bitmap rows are materialized alongside
+  /// the CSR (the dense half of the hybrid representation).
+  bool has_dense() const { return dense_words_ != 0; }
+
+  /// Words per dense row: ceil(n/64); 0 when rows are absent.
+  uint32_t DenseWords() const { return dense_words_; }
+
+  /// Dense adjacency row of v: DenseWords() uint64 words, bit w set iff
+  /// edge (v, w) exists. Only valid when has_dense().
+  const uint64_t* DenseRow(LocalId v) const {
+    return dense_bits_.data() + static_cast<size_t>(v) * dense_words_;
+  }
+
+  /// Materializes the dense rows from the CSR. Idempotent; no-op when
+  /// n() == 0. The rows are a derived cache: they are never serialized
+  /// (Encode/Decode carry CSR only) and do not participate in equality.
+  void BuildDenseRows();
 
   /// Binary serialization (task spill / steal).
   void Encode(Encoder* enc) const;
   static StatusOr<LocalGraph> Decode(Decoder* dec);
 
-  bool operator==(const LocalGraph& other) const = default;
+  /// Equality is over the serialized CSR identity only; the dense rows are
+  /// a derived cache and deliberately excluded, so a decoded graph compares
+  /// equal to the one that was encoded.
+  bool operator==(const LocalGraph& other) const {
+    return vids_ == other.vids_ && offsets_ == other.offsets_ &&
+           adj_ == other.adj_;
+  }
 
  private:
   friend class EgoBuilder;
@@ -94,6 +119,11 @@ class LocalGraph {
   std::vector<VertexId> vids_;     // strictly increasing
   std::vector<uint32_t> offsets_;  // size n()+1
   std::vector<LocalId> adj_;       // sorted within each range
+
+  // Hybrid dense representation: n() rows of dense_words_ words each,
+  // materialized on demand for small subgraphs. Never serialized.
+  uint32_t dense_words_ = 0;
+  std::vector<uint64_t> dense_bits_;
 };
 
 }  // namespace qcm

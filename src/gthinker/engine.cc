@@ -7,6 +7,7 @@
 #include <chrono>
 #include <thread>
 
+#include "quick/mining_context.h"
 #include "sched/steal_planner.h"
 #include "util/logging.h"
 #include "util/mem.h"
@@ -137,6 +138,7 @@ class Engine::Comper : public ComputeContext {
   ResultSink& sink() override { return sink_; }
   ThreadMetrics& metrics() override { return metrics_; }
   EgoScratch& ego_scratch() override { return ego_scratch_; }
+  MiningScratch* mining_scratch() override { return &mining_scratch_; }
   const EngineConfig& config() const override { return engine_->config_; }
 
   ThreadMetrics metrics_;
@@ -160,6 +162,7 @@ class Engine::Comper : public ComputeContext {
   bool active_task_first_round_ = false;
   LocalQueue local_;
   EgoScratch ego_scratch_;
+  MiningScratch mining_scratch_;
 };
 
 namespace {

@@ -127,6 +127,12 @@ Status EngineConfig::Validate() const {
   if (heartbeat_usec < 0) {
     return QCM_CONFIG_ERROR("heartbeat_usec must be >= 0");
   }
+  if (mining.dense_threshold < 0) {
+    return QCM_CONFIG_ERROR(
+        "mining.dense_threshold must be >= 0 (0 disables the dense bitset "
+        "kernels; a positive value is the max subgraph size that gets "
+        "bitmap rows)");
+  }
   return mining.Validate();
 }
 
@@ -168,6 +174,7 @@ void EncodeEngineConfig(const EngineConfig& config, Encoder* enc) {
   enc->PutU8(config.mining.use_degree_pruning ? 1 : 0);
   enc->PutU8(config.mining.use_lookahead ? 1 : 0);
   enc->PutU8(config.mining.quick_compat ? 1 : 0);
+  enc->PutI64(config.mining.dense_threshold);
 }
 
 Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
@@ -235,6 +242,7 @@ Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
   config->mining.use_lookahead = u8 != 0;
   QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
   config->mining.quick_compat = u8 != 0;
+  QCM_RETURN_IF_ERROR(dec->GetI64(&config->mining.dense_threshold));
   return Status::OK();
 }
 

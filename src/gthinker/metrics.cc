@@ -231,6 +231,9 @@ constexpr uint64_t MiningStats::* kMiningFields[] = {
     &MiningStats::diameter_filtered,
     &MiningStats::size_prunes,
     &MiningStats::subtasks_spawned,
+    &MiningStats::dense_tasks,
+    &MiningStats::sparse_tasks,
+    &MiningStats::bitset_words_touched,
 };
 
 std::string JsonDouble(double v) {
@@ -440,6 +443,12 @@ std::string EngineReportJson(const EngineReport& report) {
   }
   json += "    \"mining_nodes_explored\": " +
           std::to_string(report.mining.nodes_explored) + ",\n";
+  json += "    \"mining_dense_tasks\": " +
+          std::to_string(report.mining.dense_tasks) + ",\n";
+  json += "    \"mining_sparse_tasks\": " +
+          std::to_string(report.mining.sparse_tasks) + ",\n";
+  json += "    \"mining_bitset_words_touched\": " +
+          std::to_string(report.mining.bitset_words_touched) + ",\n";
   json += "    \"mining_emitted\": " +
           std::to_string(report.mining.emitted) + "\n";
   json += "  },\n";

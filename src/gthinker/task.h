@@ -23,6 +23,10 @@
 #include "util/status.h"
 
 namespace qcm {
+class MiningScratch;  // quick/mining_context.h
+}
+
+namespace qcm {
 
 /// Transient pull bookkeeping attached to every task (paper §5's vertex
 /// pulling): the vertex ids whose batched pull is outstanding, and the
@@ -173,6 +177,11 @@ class ComputeContext {
   /// (Alg. 6-7): lets every task this thread computes build its subgraph
   /// without steady-state allocations.
   virtual EgoScratch& ego_scratch() = 0;
+
+  /// Per-thread reusable scratch for the mining kernels (per-task state
+  /// arrays, epoch marks, dense bitset buffers). May be null: the mining
+  /// layer then owns a private scratch per task.
+  virtual MiningScratch* mining_scratch() { return nullptr; }
 
   virtual const EngineConfig& config() const = 0;
 };

@@ -85,6 +85,7 @@ ComputeStatus QCApp::Compute(Task& task, ComputeContext& ctx) {
     WallTimer build;
     ContextVertexSource source(&ctx);
     EgoBuilder builder(&ctx.ego_scratch());
+    builder.set_dense_threshold(config_.mining.dense_threshold);
     if (!builder.BuildEgoFirstHop(source, t.root(), k_)) {
       ctx.metrics().build_seconds += build.Seconds();
       return ComputeStatus::kDone;
@@ -148,6 +149,7 @@ bool QCApp::BuildEgoGraph(QCTask& t, ComputeContext& ctx) {
   // scratch across tasks.
   ContextVertexSource source(&ctx);
   EgoBuilder builder(&ctx.ego_scratch());
+  builder.set_dense_threshold(config_.mining.dense_threshold);
   LocalGraph g =
       builder.BuildEgo(source, t.root(), k_, config_.mining.min_size);
   return PromoteBuilt(t, std::move(g), ctx);
@@ -183,7 +185,7 @@ void QCApp::MineTask(QCTask& t, ComputeContext& ctx) {
   ext_local.reserve(t.ext().size());
   for (VertexId vid : t.ext()) ext_local.push_back(g.FindLocal(vid));
 
-  MiningContext mctx(&g, config_.mining, &ctx.sink());
+  MiningContext mctx(&g, config_.mining, &ctx.sink(), ctx.mining_scratch());
 
   // Decomposition policy (paper §6).
   const bool decompose =

@@ -18,6 +18,8 @@ namespace qcm {
 /// A vertex u qualifies only if dS(u) >= ceil(gamma |S|) and every
 /// v in S \ Gamma(u) has dS(v) >= ceil(gamma |S|) (paper §3.2 P7).
 /// Computes its own degree information; usable outside IterativeBounding.
+/// Element order of the returned set is unspecified (the dense and sparse
+/// kernels order it differently); callers use only membership and size.
 std::vector<LocalId> FindBestCoverSet(MiningContext& ctx,
                                       const std::vector<LocalId>& s,
                                       const std::vector<LocalId>& ext);

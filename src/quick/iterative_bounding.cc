@@ -18,17 +18,19 @@ class StateGuard {
       : ctx_(ctx) {
     dirty_.reserve(s.size() + ext.size());
     for (LocalId v : s) {
-      ctx_.state()[v] = static_cast<uint8_t>(VState::kInS);
+      ctx_.SetVState(v, VState::kInS);
       dirty_.push_back(v);
     }
     for (LocalId u : ext) {
-      ctx_.state()[u] = static_cast<uint8_t>(VState::kInExt);
+      ctx_.SetVState(u, VState::kInExt);
       dirty_.push_back(u);
     }
   }
   ~StateGuard() {
+    // SetVState also clears the dense membership bitsets bit by bit, so
+    // they end the task all-zero, ready for the next one.
     for (LocalId v : dirty_) {
-      ctx_.state()[v] = static_cast<uint8_t>(VState::kOut);
+      ctx_.SetVState(v, VState::kOut);
     }
   }
 
@@ -90,7 +92,7 @@ BoundingResult IterativeBounding(MiningContext& ctx, std::vector<LocalId>& s,
         size_t kept = 0;
         for (LocalId w : ctx.g().Neighbors(crit_vertex)) {
           if (state[w] == static_cast<uint8_t>(VState::kInExt)) {
-            state[w] = static_cast<uint8_t>(VState::kInS);
+            ctx.SetVState(w, VState::kInS);
             s.push_back(w);
           }
         }
@@ -164,7 +166,7 @@ BoundingResult IterativeBounding(MiningContext& ctx, std::vector<LocalId>& s,
         prune = true;
       }
       if (prune) {
-        state[u] = static_cast<uint8_t>(VState::kOut);
+        ctx.SetVState(u, VState::kOut);
       } else {
         ext[kept++] = u;
       }

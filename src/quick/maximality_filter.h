@@ -22,10 +22,26 @@ namespace qcm {
 std::vector<VertexSet> FilterMaximal(std::vector<VertexSet> sets,
                                      size_t* duplicates = nullptr);
 
+/// What CanonicalizeResults actually had to do. Every set reaching it is
+/// sorted at emission (ResultSink contract) and FilterMaximal returns a
+/// lexicographically sorted vector, so in the steady state canonicalization
+/// verifies invariants instead of re-sorting -- these counters prove it.
+struct CanonicalizeStats {
+  uint64_t sets_already_sorted = 0;  // per-set re-sorts skipped
+  uint64_t sets_resorted = 0;        // sink-contract violations (debug: assert)
+  uint64_t vector_sort_skipped = 0;  // 1 iff the whole-vector sort was skipped
+  uint64_t comparisons_saved = 0;    // ~n*ceil(log2 n) per skipped sort
+};
+
 /// Canonical form for comparing result sets across runs and deployments:
-/// sorts every set ascending, then sorts the sets lexicographically.
-/// FilterMaximal output is already canonical; raw candidate dumps are not.
-void CanonicalizeResults(std::vector<VertexSet>* sets);
+/// every set sorted ascending, the sets sorted lexicographically.
+/// Sets arrive sorted (emission invariant) and FilterMaximal output is
+/// already fully canonical, so this asserts/verifies instead of re-sorting
+/// wherever possible; `stats` (optional) reports the comparisons saved.
+/// A per-set violation asserts in debug builds and falls back to sorting
+/// in release builds.
+void CanonicalizeResults(std::vector<VertexSet>* sets,
+                         CanonicalizeStats* stats = nullptr);
 
 /// Order-sensitive FNV-1a digest over a canonical result set; two runs
 /// mined the same quasi-cliques iff their digests match (used by the
@@ -40,8 +56,11 @@ uint64_t ResultSetDigest(const std::vector<VertexSet>& sets);
 /// check_smoke.sh and the cluster e2e test compare these exact bytes
 /// across the two tools, so the format must never drift between them.
 /// Returns the digest, or IOError when the output file cannot be opened.
+/// `canon_stats` (optional) receives the CanonicalizeResults counters.
 StatusOr<uint64_t> EmitCanonicalResults(std::vector<VertexSet>* sets,
-                                        const std::string& output_path);
+                                        const std::string& output_path,
+                                        CanonicalizeStats* canon_stats =
+                                            nullptr);
 
 }  // namespace qcm
 

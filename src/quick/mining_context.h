@@ -3,14 +3,26 @@
 // state flags, epoch marks), statistics counters, the result sink, and the
 // time-delayed decomposition hook (deadline + subtask sink).
 //
-// One context is created per mining task (its scratch is sized to the
-// task's subgraph); it is not thread-safe and not shared across tasks.
+// One context is created per mining task; it is not thread-safe and not
+// shared across tasks. Its scratch arrays live in a MiningScratch that is
+// meant to be pooled per mining thread (per comper) and reused across
+// tasks, so the steady-state hot path allocates nothing.
+//
+// Hybrid dense/sparse kernels: when the task subgraph is small enough
+// (MiningOptions::dense_threshold) the context switches the four pruning
+// hot paths -- degree recomputation, two-hop filtering, cover-vertex
+// intersection, validity checking -- to word-parallel popcounts over
+// per-vertex adjacency bitmap rows, maintaining S/ext membership bitsets
+// incrementally via SetVState(). Every dense kernel is arithmetic-identical
+// to its scalar CSR twin, so emitted sets, pruning counters, and therefore
+// cluster digests are bit-identical in both modes.
 
 #ifndef QCM_QUICK_MINING_CONTEXT_H_
 #define QCM_QUICK_MINING_CONTEXT_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -46,6 +58,10 @@ struct MiningStats {
   uint64_t size_prunes = 0;          // Alg. 2 line 6
   uint64_t subtasks_spawned = 0;     // time-delayed decomposition wraps
 
+  uint64_t dense_tasks = 0;           // tasks mined with bitmap rows
+  uint64_t sparse_tasks = 0;          // tasks mined over CSR scans only
+  uint64_t bitset_words_touched = 0;  // uint64 words the dense kernels read
+
   void Add(const MiningStats& other);
 };
 
@@ -55,13 +71,52 @@ struct MiningStats {
 using SubtaskSink = std::function<void(const std::vector<LocalId>& s,
                                        const std::vector<LocalId>& ext)>;
 
+/// Reusable per-thread scratch backing MiningContext: per-vertex state and
+/// degree arrays, epoch-marked tag arrays, and the word buffers of the
+/// dense bitset kernels. Arrays grow monotonically to the largest task seen
+/// and epochs persist across tasks, so steady-state reuse allocates
+/// nothing. Owned by one mining thread (one comper); never shared.
+class MiningScratch {
+ public:
+  MiningScratch() = default;
+
+  /// Approximate heap footprint in bytes. Capacities, not sizes: several
+  /// arrays are assign()ed down for small tasks but their allocations
+  /// persist (that persistence is the point of pooling).
+  uint64_t MemoryBytes() const {
+    return state_.capacity() * sizeof(uint8_t) +
+           (ds_.capacity() + dext_.capacity() + mark1_.capacity() +
+            mark2_.capacity()) *
+               sizeof(uint32_t) +
+           (in_s_mask_.capacity() + in_ext_mask_.capacity() +
+            word_buf_.capacity() + rows_.capacity()) *
+               sizeof(uint64_t);
+  }
+
+ private:
+  friend class MiningContext;
+
+  std::vector<uint8_t> state_;
+  std::vector<uint32_t> ds_, dext_;
+  std::vector<uint32_t> mark1_, mark2_;
+  uint32_t epoch1_ = 0, epoch2_ = 0;
+
+  // ---- Dense-kernel buffers (sized in words = ceil(n/64)) ----
+  std::vector<uint64_t> in_s_mask_;    // bit v set iff state[v] == kInS
+  std::vector<uint64_t> in_ext_mask_;  // bit v set iff state[v] == kInExt
+  std::vector<uint64_t> word_buf_;     // kNumWordBufs task-local slots
+  std::vector<uint64_t> rows_;  // adjacency rows when the graph has none
+};
+
 class MiningContext {
  public:
-  /// `graph` and `sink` must outlive the context.
+  /// `graph` and `sink` must outlive the context. `scratch` (optional)
+  /// is the pooled per-thread arena; when null the context owns a private
+  /// one (convenience for tests/tools -- it then allocates per task).
   /// REQUIRES: options.Validate().ok() and gamma successfully created,
   /// enforced by the callers that construct contexts (miners/engine).
   MiningContext(const LocalGraph* graph, const MiningOptions& options,
-                ResultSink* sink);
+                ResultSink* sink, MiningScratch* scratch = nullptr);
 
   const LocalGraph& g() const { return *graph_; }
   const MiningOptions& opts() const { return options_; }
@@ -103,25 +158,83 @@ class MiningContext {
   // ---- scratch shared by the pruning machinery ----
   // state_/ds_/dext_ are owned by IterativeBounding while it runs; the
   // helpers outside it (cover vertex, two-hop filter, validity checks) use
-  // only the epoch marks.
+  // only the epoch marks and the dense word buffers.
 
-  std::vector<uint8_t>& state() { return state_; }
-  std::vector<uint32_t>& ds() { return ds_; }
-  std::vector<uint32_t>& dext() { return dext_; }
+  std::vector<uint8_t>& state() { return scratch_->state_; }
+  std::vector<uint32_t>& ds() { return scratch_->ds_; }
+  std::vector<uint32_t>& dext() { return scratch_->dext_; }
+
+  /// The one sanctioned writer of state(): updates the byte AND, on the
+  /// dense path, the incremental S/ext membership bitsets the word-parallel
+  /// degree kernel popcounts against. All state transitions (StateGuard
+  /// setup/restore, critical-vertex moves, Type-I prunes) go through here.
+  void SetVState(LocalId v, VState st) {
+    scratch_->state_[v] = static_cast<uint8_t>(st);
+    if (!dense_) return;
+    const size_t w = v >> 6;
+    const uint64_t bit = uint64_t{1} << (v & 63);
+    scratch_->in_s_mask_[w] &= ~bit;
+    scratch_->in_ext_mask_[w] &= ~bit;
+    if (st == VState::kInS) {
+      scratch_->in_s_mask_[w] |= bit;
+    } else if (st == VState::kInExt) {
+      scratch_->in_ext_mask_[w] |= bit;
+    }
+  }
 
   /// Starts a fresh epoch on mark array 1 and returns its tag.
-  uint32_t NewMark() { return ++epoch1_; }
-  void Mark(LocalId v, uint32_t tag) { mark1_[v] = tag; }
-  bool Marked(LocalId v, uint32_t tag) const { return mark1_[v] == tag; }
+  uint32_t NewMark() {
+    if (++scratch_->epoch1_ == 0) HandleMarkWrap(&scratch_->mark1_);
+    return scratch_->epoch1_;
+  }
+  void Mark(LocalId v, uint32_t tag) { scratch_->mark1_[v] = tag; }
+  bool Marked(LocalId v, uint32_t tag) const {
+    return scratch_->mark1_[v] == tag;
+  }
 
   /// Second, independent mark array (for nested set operations).
-  uint32_t NewMark2() { return ++epoch2_; }
-  void Mark2(LocalId v, uint32_t tag) { mark2_[v] = tag; }
-  bool Marked2(LocalId v, uint32_t tag) const { return mark2_[v] == tag; }
+  uint32_t NewMark2() {
+    if (++scratch_->epoch2_ == 0) HandleMarkWrap(&scratch_->mark2_);
+    return scratch_->epoch2_;
+  }
+  void Mark2(LocalId v, uint32_t tag) { scratch_->mark2_[v] = tag; }
+  bool Marked2(LocalId v, uint32_t tag) const {
+    return scratch_->mark2_[v] == tag;
+  }
+
+  // ---- dense bitset kernels ----
+
+  /// True iff this task runs the word-parallel kernels (subgraph within
+  /// dense_threshold; rows materialized).
+  bool dense() const { return dense_; }
+
+  /// Words per row/mask: ceil(n/64). 0 when sparse.
+  uint32_t words() const { return words_; }
+
+  /// Adjacency bitmap row of v (words() uint64s, bit w = edge v-w).
+  /// Only valid when dense().
+  const uint64_t* Row(LocalId v) const {
+    return rows_ + static_cast<size_t>(v) * words_;
+  }
+
+  /// Membership bitsets maintained by SetVState(). Only valid when dense().
+  const uint64_t* in_s_mask() const { return scratch_->in_s_mask_.data(); }
+  const uint64_t* in_ext_mask() const { return scratch_->in_ext_mask_.data(); }
+
+  /// Distinct task-local word buffers (words() words each) for the dense
+  /// kernels. Slot ownership: 0 = two-hop reach mask / union member mask
+  /// (never live simultaneously), 1-3 = cover-vertex (S mask, ext/working
+  /// cover, best cover). Only valid when dense().
+  static constexpr int kNumWordBufs = 4;
+  uint64_t* WordBuf(int slot) {
+    return scratch_->word_buf_.data() + static_cast<size_t>(slot) * words_;
+  }
 
   MiningStats stats;
 
  private:
+  void HandleMarkWrap(std::vector<uint32_t>* marks);
+
   const LocalGraph* graph_;
   MiningOptions options_;
   Gamma gamma_;
@@ -130,14 +243,17 @@ class MiningContext {
   int64_t deadline_micros_ = -1;
   SubtaskSink subtask_sink_;
 
-  std::vector<uint8_t> state_;
-  std::vector<uint32_t> ds_, dext_;
-  std::vector<uint32_t> mark1_, mark2_;
-  uint32_t epoch1_ = 0, epoch2_ = 0;
+  std::unique_ptr<MiningScratch> owned_scratch_;
+  MiningScratch* scratch_;
+
+  bool dense_ = false;
+  uint32_t words_ = 0;
+  const uint64_t* rows_ = nullptr;  // graph rows or scratch-built copy
 };
 
 /// Recomputes ds/dext for every vertex of S and ext. REQUIRES: state() set
-/// to kInS / kInExt for exactly the members of S / ext.
+/// (via SetVState) to kInS / kInExt for exactly the members of S / ext.
+/// Dense path: two masked popcounts per member over the row bitsets.
 void ComputeDegrees(MiningContext& ctx, const std::vector<LocalId>& s,
                     const std::vector<LocalId>& ext);
 

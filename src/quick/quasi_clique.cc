@@ -16,6 +16,12 @@ Status MiningOptions::Validate() const {
     return Status::InvalidArgument("min_size (tau_size) must be >= 2, got " +
                                    std::to_string(min_size));
   }
+  if (dense_threshold < 0) {
+    return Status::InvalidArgument(
+        "dense_threshold must be >= 0 (0 disables the dense bitset "
+        "kernels), got " +
+        std::to_string(dense_threshold));
+  }
   return Status::OK();
 }
 

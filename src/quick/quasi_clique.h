@@ -46,6 +46,17 @@ struct MiningOptions {
   /// (Alg. 2 lines 8-10).
   bool use_lookahead = true;
 
+  /// Hybrid dense/sparse kernel selection: a task whose subgraph has
+  /// n <= dense_threshold vertices additionally materializes per-vertex
+  /// adjacency bitmap rows (ceil(n/64) uint64 words each) and runs the
+  /// word-parallel pruning kernels (degree recomputation, two-hop
+  /// filtering, cover-vertex intersection, validity checking) over
+  /// popcounts instead of CSR scans. Larger tasks fall back to the scalar
+  /// CSR twins. Both paths emit bit-identical result sets and pruning
+  /// counters, so the knob is pure performance: 0 disables the dense path
+  /// entirely. Must be >= 0.
+  int64_t dense_threshold = 4096;
+
   /// Reproduces the original Quick algorithm's two missed result checks
   /// (the paper's remarks in §4 T5/T6): skips the G(S) examination before
   /// critical-vertex expansion and the G(S') check when ext(S') shrinks to

@@ -11,6 +11,38 @@ std::vector<LocalId> TwoHopFilter(MiningContext& ctx,
                                   std::span<const LocalId> candidates,
                                   LocalId v) {
   const LocalGraph& g = ctx.g();
+  if (ctx.dense()) {
+    // Word-parallel twin: reach = {v} ∪ Gamma(v) as one bitset; u is
+    // within 2 hops iff its own bit is in reach or its row intersects it.
+    const uint32_t words = ctx.words();
+    const uint64_t* row_v = ctx.Row(v);
+    uint64_t* reach = ctx.WordBuf(0);
+    std::copy(row_v, row_v + words, reach);
+    reach[v >> 6] |= uint64_t{1} << (v & 63);
+    uint64_t touched = words;
+    std::vector<LocalId> kept;
+    kept.reserve(candidates.size());
+    for (LocalId u : candidates) {
+      bool within = (reach[u >> 6] >> (u & 63)) & 1;
+      if (!within) {
+        const uint64_t* row_u = ctx.Row(u);
+        for (uint32_t w = 0; w < words; ++w) {
+          ++touched;
+          if (row_u[w] & reach[w]) {
+            within = true;
+            break;
+          }
+        }
+      }
+      if (within) {
+        kept.push_back(u);
+      } else {
+        ++ctx.stats.diameter_filtered;
+      }
+    }
+    ctx.stats.bitset_words_touched += touched;
+    return kept;
+  }
   // Mark {v} ∪ Gamma(v); u is within 2 hops iff u or one of its neighbors
   // is marked. Intermediate hops may pass through any vertex of the task
   // subgraph, exactly like B(v) in the paper (computed on t.g).

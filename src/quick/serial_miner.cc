@@ -24,6 +24,8 @@ StatusOr<SerialMineReport> SerialMiner::Run(const Graph& g, ResultSink* sink,
   scratch.Reset(g.NumVertices());
   GraphVertexSource source(&g, &alive);
   EgoBuilder builder(&scratch);
+  builder.set_dense_threshold(options_.dense_threshold);
+  MiningScratch mining_scratch;  // pooled across every root's task
 
   for (VertexId root = 0; root < g.NumVertices(); ++root) {
     if (!alive[root]) {
@@ -39,7 +41,7 @@ StatusOr<SerialMineReport> SerialMiner::Run(const Graph& g, ResultSink* sink,
     }
 
     WallTimer mine_timer;
-    MiningContext ctx(&ego, options_, sink);
+    MiningContext ctx(&ego, options_, sink, &mining_scratch);
     const LocalId local_root = ego.FindLocal(root);
     std::vector<LocalId> ext;
     ext.reserve(ego.n() - 1);

@@ -83,13 +83,14 @@ struct BoundsFixture {
 
   Bounds Compute(const std::vector<LocalId>& s,
                  const std::vector<LocalId>& ext) {
-    auto& state = ctx->state();
-    for (LocalId v : s) state[v] = static_cast<uint8_t>(VState::kInS);
-    for (LocalId u : ext) state[u] = static_cast<uint8_t>(VState::kInExt);
+    // SetVState (not raw state writes) so the dense kernels' membership
+    // bitsets stay in sync with the byte array.
+    for (LocalId v : s) ctx->SetVState(v, VState::kInS);
+    for (LocalId u : ext) ctx->SetVState(u, VState::kInExt);
     ComputeDegrees(*ctx, s, ext);
     Bounds b = ComputeBounds(*ctx, s, ext);
-    for (LocalId v : s) state[v] = static_cast<uint8_t>(VState::kOut);
-    for (LocalId u : ext) state[u] = static_cast<uint8_t>(VState::kOut);
+    for (LocalId v : s) ctx->SetVState(v, VState::kOut);
+    for (LocalId u : ext) ctx->SetVState(u, VState::kOut);
     return b;
   }
 };

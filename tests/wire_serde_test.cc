@@ -409,6 +409,7 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   spec.config.mining.min_size = 6;
   spec.config.mining.use_lookahead = false;
   spec.config.mining.quick_compat = true;
+  spec.config.mining.dense_threshold = 512;
 
   ClusterJobSpec out;
   ASSERT_TRUE(DecodeJobSpec(EncodeJobSpec(spec), &out).ok());
@@ -445,6 +446,7 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(out.config.mining.min_size, 6u);
   EXPECT_FALSE(out.config.mining.use_lookahead);
   EXPECT_TRUE(out.config.mining.quick_compat);
+  EXPECT_EQ(out.config.mining.dense_threshold, 512);
 }
 
 TEST(JobSpecTest, RejectsAmbiguousGraphSource) {

@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Dense-vs-sparse mining kernel bench (ISSUE 8 / ROADMAP "word-parallel
+# bitset kernels"): three sweeps, all digest-gated.
+#
+#   1. kernel_bitset_probe: per-kernel microbench rows (4 kernels x sizes
+#      64..4096), scalar CSR path vs word-parallel bitset path on the
+#      same inputs, with built-in answer parity checks.
+#   2. Single-machine end-to-end: qcm_mine on a mining-dominated planted
+#      workload (tau_time = 0.1, Table-6-style time-delayed runs) with
+#      --dense-threshold 0 ("before", scalar kernels everywhere) vs the
+#      default threshold ("after", dense bitmap rows on every task).
+#      Best-of-3 walls; every run's result digest must match.
+#   3. 3-process cluster (qcm_cluster over real loopback sockets): same
+#      workload, same before/after split; digests must match the
+#      single-machine baseline bit for bit.
+#
+# The run FAILS unless every parity/digest check passes AND the
+# single-machine end-to-end speedup is >= 2x.
+#
+# Usage: tools/bench_kernel_before_after.sh [build-dir] [out.json]
+set -u -o pipefail
+
+BUILD="${1:-./build}"
+OUT="${2:-bench/kernel_bitset_before_after.json}"
+PROBE="$BUILD/kernel_bitset_probe"
+MINE="$BUILD/qcm_mine"
+CLUSTER="$BUILD/qcm_cluster"
+for bin in "$PROBE" "$MINE" "$CLUSTER"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_kernel_before_after: FAIL -- missing binary $bin" >&2
+    exit 1
+  fi
+done
+
+# Dense planted communities, gamma 0.85: the bounding/cover/validity
+# kernels dominate, which is exactly the regime the bitset rows target.
+GRAPH="--gen-planted n=8000,communities=8,size=22..28,density=0.9"
+PARAMS="--gamma 0.85 --min-size 14 --tau-time 0.1"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "bench_kernel_before_after: probe sweep..."
+probe_json="$workdir/probe.json"
+if ! "$PROBE" --json "$probe_json"; then
+  echo "bench_kernel_before_after: FAIL -- kernel parity probe" >&2
+  exit 1
+fi
+
+baseline_digest=""
+rows=""
+for mode in before after; do
+  if [[ "$mode" == "before" ]]; then
+    extra="--dense-threshold 0"
+  else
+    extra=""  # ship default: dense kernels on tasks up to 4096 vertices
+  fi
+  json="$workdir/mine_${mode}.json"
+  wall=""
+  for rep in 1 2 3; do
+    out=$($MINE $GRAPH $PARAMS $extra --stats-json "$json" 2>&1)
+    status=$?
+    if [[ $status -ne 0 ]]; then
+      echo "bench_kernel_before_after: FAIL -- qcm_mine exited $status" \
+        "(mode=$mode rep=$rep)" >&2
+      printf '%s\n' "$out" >&2
+      exit 1
+    fi
+    digest=$(printf '%s\n' "$out" |
+      sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+    if [[ -z "$baseline_digest" ]]; then
+      baseline_digest="$digest"
+    elif [[ "$digest" != "$baseline_digest" ]]; then
+      echo "bench_kernel_before_after: FAIL -- digest $digest" \
+        "(mode=$mode rep=$rep) != baseline $baseline_digest" >&2
+      exit 1
+    fi
+    rep_wall=$(printf '%s\n' "$out" |
+      sed -n 's/^[0-9]* maximal quasi-cliques in \([0-9.]*\) s$/\1/p' |
+      tail -1)
+    if [[ -z "$wall" ]] || python3 -c \
+        "exit(0 if float('$rep_wall') < float('$wall') else 1)"; then
+      wall="$rep_wall"
+    fi
+  done
+  row=$(python3 - "$json" "$mode" "$baseline_digest" "$wall" <<'EOF'
+import json, sys
+path, mode, digest, wall = sys.argv[1:5]
+c = json.load(open(path))["counters"]
+print(json.dumps({
+    "mode": mode,
+    "wall_seconds": float(wall),
+    "digest": digest,
+    "dense_tasks": c["mining_dense_tasks"],
+    "sparse_tasks": c["mining_sparse_tasks"],
+    "bitset_words_touched": c["mining_bitset_words_touched"],
+}))
+EOF
+)
+  rows="$rows$row"$'\n'
+  echo "bench_kernel_before_after: single-machine $mode" \
+    "wall=${wall}s digest=$baseline_digest OK"
+done
+
+crows=""
+for mode in before after; do
+  if [[ "$mode" == "before" ]]; then
+    extra="--dense-threshold 0"
+  else
+    extra=""
+  fi
+  out=$($CLUSTER $GRAPH $PARAMS --workers 3 --threads 2 $extra \
+        --log-dir "$workdir/logs_$mode" 2>&1)
+  status=$?
+  if [[ $status -ne 0 ]]; then
+    echo "bench_kernel_before_after: FAIL -- qcm_cluster exited $status" \
+      "(mode=$mode)" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+  fi
+  digest=$(printf '%s\n' "$out" |
+    sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+  if [[ "$digest" != "$baseline_digest" ]]; then
+    echo "bench_kernel_before_after: FAIL -- cluster digest $digest" \
+      "(mode=$mode) != single-machine baseline $baseline_digest" >&2
+    exit 1
+  fi
+  wall=$(printf '%s\n' "$out" |
+    sed -n 's/^[0-9]* maximal quasi-cliques in \([0-9.]*\) s$/\1/p' |
+    tail -1)
+  crows="$crows{\"mode\": \"$mode\", \"wall_seconds\": $wall, \
+\"digest\": \"$digest\"}"$'\n'
+  echo "bench_kernel_before_after: cluster $mode wall=${wall}s" \
+    "digest=$digest OK"
+done
+
+rows_file="$workdir/rows.jsonl"
+crows_file="$workdir/crows.jsonl"
+printf '%s' "$rows" > "$rows_file"
+printf '%s' "$crows" > "$crows_file"
+python3 - "$OUT" "$probe_json" "$rows_file" "$crows_file" \
+    "$GRAPH $PARAMS" <<'EOF'
+import json, sys
+out_path, probe_path, rows_path, crows_path, workload = sys.argv[1:6]
+probe = json.load(open(probe_path))
+rows = [json.loads(l) for l in open(rows_path) if l.strip()]
+crows = [json.loads(l) for l in open(crows_path) if l.strip()]
+by_mode = {r["mode"]: r for r in rows}
+speedup = by_mode["before"]["wall_seconds"] / by_mode["after"]["wall_seconds"]
+cluster_by_mode = {r["mode"]: r for r in crows}
+cluster_speedup = (cluster_by_mode["before"]["wall_seconds"] /
+                   cluster_by_mode["after"]["wall_seconds"])
+doc = {
+    "bench": "kernel_bitset_before_after",
+    "description": (
+        "Scalar CSR mining kernels (--dense-threshold 0) vs the "
+        "word-parallel bitset kernels (default threshold) on a "
+        "mining-dominated planted workload, tau_time=0.1. Probe rows "
+        "microbench the four hybrid kernels with built-in answer parity "
+        "checks; end-to-end rows are best-of-3 qcm_mine walls plus one "
+        "3-process qcm_cluster run per mode. Every digest bit-identical."
+    ),
+    "workload": workload.strip(),
+    "kernel_probe": probe,
+    "single_machine": rows,
+    "single_machine_speedup": round(speedup, 2),
+    "cluster_3proc": crows,
+    "cluster_speedup": round(cluster_speedup, 2),
+    "digest": by_mode["after"]["digest"],
+}
+json.dump(doc, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+print(f"bench_kernel_before_after: wrote {out_path} "
+      f"(single-machine {speedup:.2f}x, cluster {cluster_speedup:.2f}x)")
+if not probe.get("all_parity", False):
+    print("bench_kernel_before_after: FAIL -- probe parity", file=sys.stderr)
+    sys.exit(1)
+if speedup < 2.0:
+    print(f"bench_kernel_before_after: FAIL -- end-to-end speedup "
+          f"{speedup:.2f}x < 2x", file=sys.stderr)
+    sys.exit(1)
+EOF
+status=$?
+if [[ $status -ne 0 ]]; then exit $status; fi
+echo "bench_kernel_before_after: PASS"

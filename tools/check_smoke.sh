@@ -94,6 +94,40 @@ if [[ "$staged" -eq 0 ]]; then
 fi
 echo "check_smoke: OK -- prefetch digest matches ($staged tasks staged)"
 
+# ---- Scalar-kernel phase -----------------------------------------------
+# --dense-threshold 0 forces the scalar CSR kernels everywhere; the
+# hybrid dense/sparse kernel split must not change results by a bit.
+# First make sure the default run actually exercised the dense path.
+dense_tasks=$(printf '%s\n' "$out" |
+  sed -n 's/^kernels: \([0-9][0-9]*\) dense .*/\1/p' | tail -1)
+if [[ -z "$dense_tasks" || "$dense_tasks" -eq 0 ]]; then
+  echo "check_smoke: FAIL -- default run mined 0 dense tasks (the" \
+    "word-parallel kernels silently stopped engaging)" >&2
+  exit 1
+fi
+scalar_out=$("$BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --machines 2 --threads 2 --stats \
+  --dense-threshold 0 "$@" 2>&1)
+scalar_status=$?
+echo "$scalar_out"
+
+if [[ $scalar_status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- qcm_mine --dense-threshold 0 exited with" \
+    "status $scalar_status" >&2
+  exit 1
+fi
+scalar_digest=$(printf '%s\n' "$scalar_out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ "$scalar_digest" != "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- scalar-kernel digest $scalar_digest !=" \
+    "default digest $single_digest (dense and sparse kernels must be" \
+    "bit-identical)" >&2
+  exit 1
+fi
+echo "check_smoke: OK -- scalar-kernel digest matches" \
+  "($dense_tasks dense tasks in the default run)"
+
 # ---- 3-process cluster phase -------------------------------------------
 # Same graph, same parameters: the multi-process deployment must mine the
 # bit-identical maximal set (compared via the canonical result digest both
@@ -132,6 +166,33 @@ if [[ "$cluster_digest" != "$single_digest" ]]; then
 fi
 
 echo "check_smoke: OK -- 3-process cluster digest matches ($cluster_digest)"
+
+# ---- Scalar-kernel cluster phase ---------------------------------------
+# The same 3-process run with the dense kernels disabled must also land on
+# the single-process digest: dense-default vs --dense-threshold 0 is the
+# cross-process version of the kernel parity contract.
+scalar_cluster_out=$("$CLUSTER_BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --workers 3 --threads 2 --stats \
+  --dense-threshold 0 --log-dir "$LOG_DIR" "$@" 2>&1)
+scalar_cluster_status=$?
+echo "$scalar_cluster_out"
+
+if [[ $scalar_cluster_status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- --dense-threshold 0 qcm_cluster exited with" \
+    "status $scalar_cluster_status (worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+scalar_cluster_digest=$(printf '%s\n' "$scalar_cluster_out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ "$scalar_cluster_digest" != "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- scalar-kernel cluster digest" \
+    "$scalar_cluster_digest != single-process digest $single_digest" \
+    "(worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+echo "check_smoke: OK -- scalar-kernel cluster digest matches" \
+  "($scalar_cluster_digest)"
 
 # ---- Coalescing-on cluster phase ---------------------------------------
 # Same 3-process run with transport send-aggregation enabled: coalescing

@@ -18,7 +18,7 @@
 //               [--pull-batch N] [--net-latency F] [--net-latency-ticks N]
 //               [--net-coalesce-bytes N] [--net-linger-usec N]
 //               [--prefetch] [--prefetch-limit N] [--steal-rtt-ref F]
-//               [--steal-batch-factor N]
+//               [--steal-batch-factor N] [--dense-threshold N]
 //               [--heartbeat-usec N] [--checkpoint-interval F]
 //               [--checkpoint-dir DIR] [--max-rank-restarts N]
 //               [--seed N] [--output PATH] [--no-filter] [--stats]
@@ -127,6 +127,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (a == "--min-size") {
       if ((v = next("--min-size")) == nullptr) return false;
       config.mining.min_size = static_cast<uint32_t>(std::atoi(v));
+    } else if (a == "--dense-threshold") {
+      if ((v = next("--dense-threshold")) == nullptr) return false;
+      const long long threshold = std::atoll(v);
+      if (threshold < 0) {
+        std::fprintf(stderr,
+                     "--dense-threshold must be >= 0 (0 disables the dense "
+                     "bitset kernels)\n");
+        return false;
+      }
+      config.mining.dense_threshold = threshold;
     } else if (a == "--tau-split") {
       if ((v = next("--tau-split")) == nullptr) return false;
       config.tau_split = static_cast<uint32_t>(std::atoi(v));

@@ -39,6 +39,11 @@
 //                         one extra batch of per-move cap   (default 1e-3)
 //   --steal-batch-factor N  hard cap multiplier for latency-scaled steal
 //                         batches                           (default 8)
+//   --dense-threshold N   task subgraphs with <= N vertices run the
+//                         word-parallel bitset kernels (adjacency bitmap
+//                         rows + popcount pruning); 0 forces the scalar
+//                         CSR path everywhere. Results are bit-identical
+//                         either way.                       (default 4096)
 //   --output PATH         write one result per line ("v1 v2 ..."), in
 //                         canonical order (sets sorted lexicographically)
 //   --no-filter           report raw candidates (skip maximality filter)
@@ -90,6 +95,7 @@ struct Args {
   size_t prefetch_limit = 64;
   double steal_rtt_ref = 1e-3;
   uint64_t steal_batch_factor = 8;
+  int64_t dense_threshold = MiningOptions{}.dense_threshold;
   std::string output;
   bool no_filter = false;
   bool stats = false;
@@ -208,6 +214,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->steal_batch_factor = static_cast<uint64_t>(factor);
+    } else if (a == "--dense-threshold") {
+      const char* v = next("--dense-threshold");
+      if (!v) return false;
+      const long long threshold = std::atoll(v);
+      if (threshold < 0) {
+        std::fprintf(stderr,
+                     "--dense-threshold must be >= 0 (0 disables the dense "
+                     "bitset kernels)\n");
+        return false;
+      }
+      args->dense_threshold = threshold;
     } else if (a == "--output") {
       const char* v = next("--output");
       if (!v) return false;
@@ -285,6 +302,7 @@ int main(int argc, char** argv) {
   MiningOptions mining;
   mining.gamma = args.gamma;
   mining.min_size = args.min_size;
+  mining.dense_threshold = args.dense_threshold;
 
   std::vector<VertexSet> candidates;
   std::string stats_json;
@@ -309,6 +327,13 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long>(report->stats.emitted),
                    static_cast<unsigned long>(report->kcore_size),
                    report->build_seconds, report->mine_seconds);
+      std::fprintf(
+          stderr,
+          "kernels: %lu dense / %lu sparse tasks, %lu bitset words "
+          "touched\n",
+          static_cast<unsigned long>(report->stats.dense_tasks),
+          static_cast<unsigned long>(report->stats.sparse_tasks),
+          static_cast<unsigned long>(report->stats.bitset_words_touched));
     }
   } else {
     EngineConfig config;
@@ -406,6 +431,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned long>(r.counters.msg_queue_depth_peak),
           1e-6 * static_cast<double>(r.counters.steal_idle_usec),
           1e-6 * static_cast<double>(r.counters.steal_active_usec));
+      std::fprintf(
+          stderr,
+          "kernels: %lu dense / %lu sparse tasks, %lu bitset words "
+          "touched\n",
+          static_cast<unsigned long>(r.mining.dense_tasks),
+          static_cast<unsigned long>(r.mining.sparse_tasks),
+          static_cast<unsigned long>(r.mining.bitset_words_touched));
     }
   }
 
@@ -416,10 +448,20 @@ int main(int argc, char** argv) {
                args.no_filter ? "candidate" : "maximal", seconds);
   // Canonical order + digest + output file, shared with qcm_cluster so
   // the two tools' bytes are comparable by construction.
-  auto digest = EmitCanonicalResults(&results, args.output);
+  CanonicalizeStats canon;
+  auto digest = EmitCanonicalResults(&results, args.output, &canon);
   if (!digest.ok()) {
     std::fprintf(stderr, "%s\n", digest.status().ToString().c_str());
     return 1;
+  }
+  if (args.stats) {
+    std::fprintf(stderr,
+                 "canonicalize: %lu sets already sorted, %lu re-sorted, "
+                 "vector sort %s, ~%lu comparisons saved\n",
+                 static_cast<unsigned long>(canon.sets_already_sorted),
+                 static_cast<unsigned long>(canon.sets_resorted),
+                 canon.vector_sort_skipped ? "skipped" : "needed",
+                 static_cast<unsigned long>(canon.comparisons_saved));
   }
 
   if (!args.stats_json.empty()) {

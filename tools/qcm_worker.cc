@@ -13,7 +13,11 @@
 //
 // Usage (normally via qcm_cluster):
 //   qcm_worker --coordinator-port P [--coordinator-host H]
-//              [--stats-json PATH]
+//              [--stats-json PATH] [--dense-threshold N]
+//
+// --dense-threshold overrides the job spec's mining.dense_threshold on
+// this rank only -- safe because the dense and sparse kernels emit
+// bit-identical results, so a mixed-mode cluster still digests clean.
 //
 // Exit status: 0 only for a clean run (connected, mined, reported);
 // anything else is a loud failure the launcher must surface.
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   std::string stats_json;
+  long long dense_threshold_override = -1;  // -1 = keep the job spec value
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--coordinator-port" && i + 1 < argc) {
@@ -73,10 +78,19 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (a == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
+    } else if (a == "--dense-threshold" && i + 1 < argc) {
+      dense_threshold_override = std::atoll(argv[++i]);
+      if (dense_threshold_override < 0) {
+        std::fprintf(stderr,
+                     "qcm_worker: --dense-threshold must be >= 0 (0 "
+                     "disables the dense bitset kernels)\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: qcm_worker --coordinator-port P "
-                   "[--coordinator-host H] [--stats-json PATH]\n");
+                   "[--coordinator-host H] [--stats-json PATH] "
+                   "[--dense-threshold N]\n");
       return 2;
     }
   }
@@ -105,6 +119,9 @@ int main(int argc, char** argv) {
   }
   if (spec.config.num_machines != transport->world_size()) {
     return Fail(transport.get(), "job spec world size mismatch");
+  }
+  if (dense_threshold_override >= 0) {
+    spec.config.mining.dense_threshold = dense_threshold_override;
   }
 
   // Rebuild the graph deterministically, then keep only this rank's
