@@ -8,6 +8,7 @@
 
 #include "util/serde.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qcm {
 
@@ -69,6 +70,7 @@ Status CheckpointLog::Open(const std::string& dir, uint32_t epoch,
     // unrelated earlier run and must not leak into this one.
     file_ = std::fopen(path.c_str(), "wb");
   } else {
+    QCM_TRACE_SPAN(trace::kCheckpoint, "ckpt_replay", epoch);
     std::FILE* in = std::fopen(path.c_str(), "rb");
     std::string bytes;
     if (in != nullptr) {
@@ -106,6 +108,7 @@ void CheckpointLog::AppendLocked(const std::string& record) {
   bytes_appended_ += record.size();
   const int64_t now = NowMicros();
   if (now - last_flush_usec_ >= flush_interval_usec_) {
+    QCM_TRACE_SPAN(trace::kCheckpoint, "ckpt_flush", bytes_appended_);
     std::fflush(file_);
     last_flush_usec_ = now;
     ++flushes_;
@@ -125,6 +128,7 @@ void CheckpointLog::AppendRootDone(VertexId root) {
 void CheckpointLog::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return;
+  QCM_TRACE_SPAN(trace::kCheckpoint, "ckpt_flush", bytes_appended_);
   std::fflush(file_);
   last_flush_usec_ = NowMicros();
   ++flushes_;

@@ -5,13 +5,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
+#include "net/wire.h"
 #include "quick/mining_context.h"
 #include "sched/steal_planner.h"
 #include "util/logging.h"
 #include "util/mem.h"
+#include "util/serde.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qcm {
 
@@ -58,6 +62,12 @@ class Engine::Comper : public ComputeContext {
   }
 
   void Run() {
+    if (trace::Enabled()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "comper%d.%d", metrics_.machine,
+                    metrics_.thread);
+      trace::SetThreadName(buf);
+    }
     Scheduler* sched = worker_->sched.get();
     while (!engine_->done_.load()) {
       sched->ServiceFabric(engine_->fabric_.get(), local_);
@@ -69,7 +79,11 @@ class Engine::Comper : public ComputeContext {
         active_task_first_round_ = first_round;
         const size_t sink_before = sink_.results().size();
         worker_->busy_compers.fetch_add(1, std::memory_order_relaxed);
-        ComputeStatus status = engine_->app_->Compute(*task, *this);
+        ComputeStatus status;
+        {
+          QCM_TRACE_SPAN(trace::kLifecycle, "compute", task->root());
+          status = engine_->app_->Compute(*task, *this);
+        }
         worker_->busy_compers.fetch_sub(1, std::memory_order_relaxed);
         active_task_ = nullptr;
         metrics_.busy_seconds += busy.Seconds();
@@ -187,6 +201,28 @@ std::string EncodeStealBatchPayload(const std::vector<TaskPtr>& tasks,
   return enc.Release();
 }
 
+/// Mirrors a telemetry sample into local trace counter tracks (the
+/// per-rank half of the kStats stream; the coordinator renders the
+/// cluster-wide half from the frames themselves).
+void RecordStatsCounters(const WireStatsSample& s) {
+  if (!trace::Enabled()) return;
+  trace::EmitCounter(QCM_TRACE_NAME("queue_depth"), trace::kStats,
+                     s.queue_depth);
+  trace::EmitCounter(QCM_TRACE_NAME("inflight_bytes"), trace::kStats,
+                     s.inflight_bytes);
+  trace::EmitCounter(QCM_TRACE_NAME("busy_compers"), trace::kStats,
+                     s.busy_compers);
+  trace::EmitCounter(QCM_TRACE_NAME("tasks_completed"), trace::kStats,
+                     s.tasks_completed);
+  trace::EmitCounter(QCM_TRACE_NAME("cache_hits"), trace::kStats,
+                     s.cache_hits);
+  trace::EmitCounter(QCM_TRACE_NAME("cache_misses"), trace::kStats,
+                     s.cache_misses);
+  trace::EmitCounter(
+      QCM_TRACE_NAME("pending_tasks"), trace::kStats,
+      static_cast<uint64_t>(s.pending < 0 ? 0 : s.pending));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -231,6 +267,40 @@ void Engine::MaybeFinish() {
   done_.store(true);
 }
 
+WireStatsSample Engine::SampleStats() const {
+  WireStatsSample s;
+  s.epoch = distributed() ? transport_->epoch() : 0;
+  s.ts_usec = static_cast<uint64_t>(NowMicros());
+  for (const auto& w : workers_) {
+    s.queue_depth += w->PendingBig();
+    s.busy_compers += static_cast<uint32_t>(
+        std::max(0, w->busy_compers.load(std::memory_order_relaxed)));
+  }
+  s.inflight_bytes =
+      counters_.msg_inflight_bytes.load(std::memory_order_relaxed);
+  s.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
+  s.tasks_completed =
+      counters_.tasks_completed.load(std::memory_order_relaxed);
+  s.pending = pending_.load();
+  return s;
+}
+
+void Engine::StatsSamplerLoop() {
+  trace::SetThreadName("stats_sampler");
+  const int64_t interval_usec = config_.stats_interval_ms * 1000;
+  while (!done_.load()) {
+    RecordStatsCounters(SampleStats());
+    // Sleep one interval in small slices so termination is not delayed.
+    int64_t slept = 0;
+    while (!done_.load() && slept < interval_usec) {
+      const int64_t slice = std::min<int64_t>(1000, interval_usec - slept);
+      std::this_thread::sleep_for(std::chrono::microseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
 void Engine::StatusLoop() {
   // Publish this rank's termination inputs until the coordinator declares
   // global quiescence. Read order mirrors MaybeFinish: spawn state first,
@@ -239,7 +309,13 @@ void Engine::StatusLoop() {
   // combined with the wire-boundary pending accounting this keeps
   // in-flight work visible in every snapshot the coordinator can
   // assemble.
+  trace::SetThreadName("status_loop");
   uint64_t last_manifest_usec = 0;
+  uint64_t last_stats_usec = 0;
+  const uint64_t stats_interval_usec =
+      config_.stats_interval_ms > 0
+          ? static_cast<uint64_t>(config_.stats_interval_ms) * 1000
+          : 0;
   for (;;) {
     RankStatus status;
     status.spawn_done = SpawnExhausted() && active_spawners_.load() == 0;
@@ -262,6 +338,16 @@ void Engine::StatusLoop() {
             : counters_.msg_latency_usec_sum.load(std::memory_order_relaxed) /
                   delivered;
     transport_->PublishStatus(status);
+    if (stats_interval_usec > 0) {
+      const uint64_t now = static_cast<uint64_t>(NowMicros());
+      if (now - last_stats_usec >= stats_interval_usec) {
+        last_stats_usec = now;
+        // The coordinator renders these into the merged trace's counter
+        // tracks (and the launcher ticker); recording them locally too
+        // would double every track in the merged timeline.
+        transport_->PublishStats(SampleStats());
+      }
+    }
     if (done_.load()) return;
     if (ckpt_log_ != nullptr) {
       const uint64_t now = static_cast<uint64_t>(NowMicros());
@@ -353,6 +439,13 @@ void Engine::OnWireData(int src, uint8_t type, std::string payload,
     QCM_CHECK(count.ok()) << "corrupt steal batch from rank " << src << ": "
                           << count.status().ToString();
     pending_.fetch_add(count.value());
+    // Close the cross-rank flow arrow the donor opened (id = payload
+    // fingerprint, so both ends agree without extra wire bytes).
+    if (trace::Enabled()) {
+      trace::EmitFlow(trace::EventType::kFlowEnd,
+                      QCM_TRACE_NAME("steal_flow"), trace::kLifecycle,
+                      Fingerprint(payload));
+    }
   }
   frames_processed_.fetch_add(1, std::memory_order_acq_rel);
   processed_from_[src].fetch_add(1, std::memory_order_acq_rel);
@@ -388,6 +481,11 @@ void Engine::OnStealCommand(int receiver, uint64_t want) {
   // then drop the tasks from this process's pending accounting: the
   // coordinator always sees the batch as either local work or an
   // unprocessed frame, never as nothing.
+  if (trace::Enabled()) {
+    trace::EmitFlow(trace::EventType::kFlowStart,
+                    QCM_TRACE_NAME("steal_flow"), trace::kLifecycle,
+                    Fingerprint(payload));
+  }
   fabric_->Send(MessageType::kStealBatch, first_machine(), receiver,
                 std::move(payload));
   pending_.fetch_sub(static_cast<int64_t>(tasks.size()));
@@ -402,6 +500,7 @@ void Engine::StealLoop() {
   // but keep the guard for direct callers).
   if (!config_.enable_stealing || workers_.size() < 2) return;
 
+  trace::SetThreadName("steal_loop");
   WallTimer lifetime;
   double active_seconds = 0.0;
   while (!done_.load()) {
@@ -628,8 +727,16 @@ StatusOr<EngineReport> Engine::Run() {
   } else if (config_.enable_stealing && workers_.size() >= 2) {
     control_thread = std::thread([this] { StealLoop(); });
   }
+  // Distributed mode samples from StatusLoop; simulated mode needs its
+  // own cadence thread, and only when the samples have somewhere to go
+  // (the trace).
+  std::thread stats_thread;
+  if (!distributed() && trace::Enabled() && config_.stats_interval_ms > 0) {
+    stats_thread = std::thread([this] { StatsSamplerLoop(); });
+  }
   for (std::thread& t : threads) t.join();
   if (control_thread.joinable()) control_thread.join();
+  if (stats_thread.joinable()) stats_thread.join();
 
   if (distributed() && !transport_->healthy()) {
     return Status::Aborted(

@@ -110,6 +110,13 @@ class Engine {
 
   void StealLoop();
   void StatusLoop();
+  /// One telemetry sample of this rank's live gauges (kStats payload /
+  /// trace counter tracks).
+  WireStatsSample SampleStats() const;
+  /// Simulated-mode twin of StatusLoop's kStats cadence: records counter
+  /// trace events locally (there is no coordinator to ship them to).
+  /// Spawned only when tracing is on and stats_interval_ms > 0.
+  void StatsSamplerLoop();
   void OnWireData(int src, uint8_t type, std::string payload,
                   uint64_t wire_transit_usec);
   void OnStealCommand(int receiver, uint64_t want);

@@ -133,6 +133,17 @@ Status EngineConfig::Validate() const {
         "kernels; a positive value is the max subgraph size that gets "
         "bitmap rows)");
   }
+  if (trace_buffer_kb < 1) {
+    return QCM_CONFIG_ERROR(
+        "trace_buffer_kb must be >= 1 (a zero-capacity trace ring would "
+        "drop every record; disable tracing by clearing trace_out "
+        "instead)");
+  }
+  if (stats_interval_ms < 0) {
+    return QCM_CONFIG_ERROR(
+        "stats_interval_ms must be >= 0 (0 disables the telemetry "
+        "sampler)");
+  }
   return mining.Validate();
 }
 
@@ -175,6 +186,9 @@ void EncodeEngineConfig(const EngineConfig& config, Encoder* enc) {
   enc->PutU8(config.mining.use_lookahead ? 1 : 0);
   enc->PutU8(config.mining.quick_compat ? 1 : 0);
   enc->PutI64(config.mining.dense_threshold);
+  enc->PutString(config.trace_out);
+  enc->PutI64(config.trace_buffer_kb);
+  enc->PutI64(config.stats_interval_ms);
 }
 
 Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
@@ -243,6 +257,9 @@ Status DecodeEngineConfig(Decoder* dec, EngineConfig* config) {
   QCM_RETURN_IF_ERROR(dec->GetU8(&u8));
   config->mining.quick_compat = u8 != 0;
   QCM_RETURN_IF_ERROR(dec->GetI64(&config->mining.dense_threshold));
+  QCM_RETURN_IF_ERROR(dec->GetString(&config->trace_out));
+  QCM_RETURN_IF_ERROR(dec->GetI64(&config->trace_buffer_kb));
+  QCM_RETURN_IF_ERROR(dec->GetI64(&config->stats_interval_ms));
   return Status::OK();
 }
 

@@ -160,6 +160,25 @@ struct EngineConfig {
   /// thread (single-process runs).
   int64_t heartbeat_usec = 100000;
 
+  /// Tracing + telemetry (util/trace.h). trace_out names the Chrome
+  /// trace-event JSON file to write: qcm_mine writes it directly, while
+  /// cluster workers write per-rank fragments (<trace_out>.rank<R>.jsonl)
+  /// the launcher merges into one timeline. Empty = tracing off (the
+  /// default; every event site then costs a couple of relaxed atomic
+  /// loads, keeping digests and kernel timings bit-identical to an
+  /// untraced build).
+  std::string trace_out;
+  /// Per-thread trace ring capacity in KiB (24-byte records). A full ring
+  /// drops further records and counts them -- never blocks a comper.
+  /// Must be >= 1.
+  int64_t trace_buffer_kb = 256;
+  /// Period of the engine's telemetry sampler in milliseconds: each tick
+  /// records queue depth / in-flight bytes / cache hit ratio / busy
+  /// compers as trace counters and, in distributed mode, ships them to
+  /// the coordinator as a kStats frame (the qcm_cluster ticker). 0 =
+  /// sampler off. Must be >= 0.
+  int64_t stats_interval_ms = 500;
+
   /// Quasi-clique parameters and pruning toggles.
   MiningOptions mining;
 

@@ -518,7 +518,10 @@ double EngineReport::BusyImbalance() const {
     min_busy = std::min(min_busy, t.busy_seconds);
     max_busy = std::max(max_busy, t.busy_seconds);
   }
-  if (min_busy <= 0.0) return max_busy > 0.0 ? 1e9 : 1.0;
+  // A thread that never ran makes the ratio undefined; report 0.0 (a
+  // clearly-invalid value for a max/min ratio) instead of a pseudo-inf
+  // that poisons downstream aggregation and JSON consumers.
+  if (min_busy <= 0.0) return max_busy > 0.0 ? 0.0 : 1.0;
   return max_busy / min_busy;
 }
 

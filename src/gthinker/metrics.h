@@ -303,7 +303,8 @@ struct EngineReport {
   double total_busy_seconds = 0.0;
   double total_idle_seconds = 0.0;
 
-  /// Max/min per-thread busy time ratio; 1.0 = perfectly balanced.
+  /// Max/min per-thread busy time ratio; 1.0 = perfectly balanced, 0.0
+  /// when some thread never ran (the ratio is undefined -- never NaN/inf).
   double BusyImbalance() const;
 };
 

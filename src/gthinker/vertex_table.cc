@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/trace.h"
 
 namespace qcm {
 
@@ -78,6 +79,7 @@ AdjRef DataService::Fetch(VertexId v) {
       << "synchronous remote fetch of vertex " << v << " on rank "
       << table_->local_rank()
       << ": vertex was never Request()ed/pinned (pull-protocol violation)";
+  QCM_TRACE_INSTANT(trace::kPull, "cache_miss", static_cast<uint32_t>(v));
   auto adj = table_->Adjacency(v);
   auto copy =
       std::make_shared<const std::vector<VertexId>>(adj.begin(), adj.end());
@@ -125,6 +127,10 @@ void PullBroker::Park(TaskPtr task) {
     ready_.push_back(std::move(parked.task));
     return;
   }
+  // A park is a cache-miss stall: the task now waits on `remaining`
+  // uncached remote adjacencies.
+  QCM_TRACE_INSTANT(trace::kPull, "pull_park",
+                    static_cast<uint32_t>(parked.remaining));
   parked_.emplace(id, std::move(parked));
 }
 
@@ -137,6 +143,10 @@ std::vector<TaskPtr> PullBroker::PumpRequests(CommFabric* fabric) {
 
   std::vector<VertexId> pending = std::move(pending_);
   pending_.clear();
+  // Emitted retroactively below only when a batch actually goes out --
+  // PumpRequests is polled from idle compers and must not flood the ring.
+  const uint64_t round_begin_usec =
+      trace::Enabled() ? trace::TraceNowMicros() : 0;
 
   // Recheck the cache: ids cached since they were queued (by another
   // task's pull round or a fallback fetch) are served without a message.
@@ -183,6 +193,12 @@ std::vector<TaskPtr> PullBroker::PumpRequests(CommFabric* fabric) {
                                       std::memory_order_relaxed);
     counters_->pull_rounds.fetch_add(1, std::memory_order_relaxed);
   }
+  if (batches_sent > 0 && trace::Enabled()) {
+    trace::EmitSpan(QCM_TRACE_NAME("pull_round"), trace::kPull,
+                    round_begin_usec,
+                    trace::TraceNowMicros() - round_begin_usec,
+                    static_cast<uint32_t>(batches_sent));
+  }
   return ready;
 }
 
@@ -192,6 +208,8 @@ std::string PullBroker::ServeRequest(const std::string& request_payload)
   std::vector<VertexId> ids;
   Status s = dec.GetU32Vector(&ids);
   QCM_CHECK(s.ok()) << "corrupt pull request: " << s.ToString();
+  QCM_TRACE_SPAN(trace::kPull, "pull_serve",
+                 static_cast<uint32_t>(ids.size()));
 
   const VertexTable& table = data_->table();
   Encoder enc;
@@ -217,6 +235,8 @@ std::vector<TaskPtr> PullBroker::AcceptResponse(
   Status s = dec.GetU32Vector(&ids);
   QCM_CHECK(s.ok()) << "corrupt pull response: " << s.ToString();
 
+  QCM_TRACE_SPAN(trace::kPull, "pull_accept",
+                 static_cast<uint32_t>(ids.size()));
   std::vector<TaskPtr> ready;
   std::lock_guard<std::mutex> lock(mu_);
   for (VertexId v : ids) {

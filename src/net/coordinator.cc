@@ -9,6 +9,7 @@
 #include "util/logging.h"
 #include "util/serde.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qcm {
 
@@ -100,6 +101,10 @@ void Coordinator::SetRecoveryCallbacks(std::function<void(int)> kill,
                                        std::function<Status(int)> relaunch) {
   kill_cb_ = std::move(kill);
   relaunch_cb_ = std::move(relaunch);
+}
+
+void Coordinator::SetStatsCallback(StatsCallback cb) {
+  stats_cb_ = std::move(cb);
 }
 
 Status Coordinator::RunHandshake() {
@@ -245,6 +250,18 @@ void Coordinator::RecvLoop(int rank) {
         // sequence is not otherwise needed.
         break;
       }
+      case FrameKind::kStats: {
+        WireStatsSample sample;
+        if (!DecodeStatsSample(frame.payload, &sample).ok()) {
+          Fail("corrupt stats from rank " + std::to_string(rank));
+          return;
+        }
+        // Telemetry only: never touches termination or steal state.
+        // stats_cb_ is installed before RunHandshake, so reading it
+        // without mu_ is race-free.
+        if (stats_cb_) stats_cb_(rank, sample);
+        break;
+      }
       case FrameKind::kReport: {
         std::lock_guard<std::mutex> lock(mu_);
         slot.report = std::move(frame.payload);
@@ -292,6 +309,7 @@ void Coordinator::RequestRecovery(int rank, const char* method) {
           liveness_->SilenceSec(rank, NowSec()) * 1e6);
       workers_[rank].superseded = true;
       liveness_->MarkDead(rank);
+      QCM_TRACE_INSTANT(trace::kRecovery, "rank_declared_dead", rank);
       QCM_WLOG << "rank " << rank << " declared dead (" << method
                << ", silent "
                << death.detection_latency_usec / 1000 << " ms); queueing "
@@ -315,34 +333,41 @@ Status Coordinator::RecoverRank(const PendingRecovery& death) {
   const int rank = death.rank;
   const int world = config_.world_size;
   WallTimer recovery_timer;
+  QCM_TRACE_SPAN(trace::kRecovery, "recover_rank", rank);
   uint32_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     epoch = ++rank_epoch_[rank];
   }
 
-  // 1. Make sure the old incarnation is actually dead before telling the
-  // survivors so: a half-alive process must not keep writing to peers
-  // that have already reset its counters.
-  if (kill_cb_) kill_cb_(rank);
+  {
+    QCM_TRACE_SPAN(trace::kRecovery, "recover_kill", rank);
+    // 1. Make sure the old incarnation is actually dead before telling
+    // the survivors so: a half-alive process must not keep writing to
+    // peers that have already reset its counters.
+    if (kill_cb_) kill_cb_(rank);
 
-  // 2. Tear down the old control connection (its RecvLoop sees
-  // superseded and exits quietly).
-  WorkerSlot& slot = workers_[rank];
-  ShutdownSocket(slot.fd);
-  if (slot.recv_thread.joinable()) slot.recv_thread.join();
-  CloseSocket(slot.fd);
-  slot.fd = -1;
+    // 2. Tear down the old control connection (its RecvLoop sees
+    // superseded and exits quietly).
+    WorkerSlot& slot0 = workers_[rank];
+    ShutdownSocket(slot0.fd);
+    if (slot0.recv_thread.joinable()) slot0.recv_thread.join();
+    CloseSocket(slot0.fd);
+    slot0.fd = -1;
 
-  // 3. Survivors quiesce the dead pair: their transports drop the
-  // connection, reset sent_to[rank], and re-inject retained steal
-  // batches (engine OnPeerDown).
-  const std::string down = EncodePeerEvent(static_cast<uint32_t>(rank), epoch);
-  for (int r = 0; r < world; ++r) {
-    if (r == rank) continue;
-    QCM_RETURN_IF_ERROR(SendTo(r, FrameKind::kPeerDown, down));
+    // 3. Survivors quiesce the dead pair: their transports drop the
+    // connection, reset sent_to[rank], and re-inject retained steal
+    // batches (engine OnPeerDown).
+    const std::string down =
+        EncodePeerEvent(static_cast<uint32_t>(rank), epoch);
+    for (int r = 0; r < world; ++r) {
+      if (r == rank) continue;
+      QCM_RETURN_IF_ERROR(SendTo(r, FrameKind::kPeerDown, down));
+    }
   }
+  WorkerSlot& slot = workers_[rank];
 
+  QCM_TRACE_SPAN(trace::kRecovery, "recover_relaunch", rank);
   // 4. Launch the replacement and walk it through the same handshake the
   // original got, with the bumped epoch (its transport then dials every
   // survivor instead of accepting).

@@ -164,6 +164,14 @@ class Coordinator {
   void SetRecoveryCallbacks(std::function<void(int)> kill,
                             std::function<Status(int)> relaunch);
 
+  /// Installs the kStats telemetry consumer (the qcm_cluster ticker /
+  /// merged-trace counter tracks). Invoked from per-rank receiver
+  /// threads; the callback must be thread-safe. Call before
+  /// RunHandshake.
+  using StatsCallback =
+      std::function<void(int rank, const WireStatsSample& sample)>;
+  void SetStatsCallback(StatsCallback cb);
+
   /// Accepts every worker, assigns ranks in connection order, exchanges
   /// peer listener ports, and releases the start barrier. Blocks.
   Status RunHandshake();
@@ -258,6 +266,7 @@ class Coordinator {
 
   std::function<void(int)> kill_cb_;
   std::function<Status(int)> relaunch_cb_;
+  StatsCallback stats_cb_;
 
   std::atomic<bool> terminate_sent_{false};
   std::atomic<bool> failed_{false};

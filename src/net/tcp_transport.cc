@@ -9,6 +9,7 @@
 #include "util/logging.h"
 #include "util/serde.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qcm {
 
@@ -323,7 +324,12 @@ Status TcpTransport::FlushPeerLocked(int dst, FlushCause cause) {
     slices.push_back({f.trailer.data(), f.trailer.size()});
   }
   uint64_t syscalls = 0;
-  Status s = WriteFrameSlices(fd, slices, &syscalls);
+  Status s;
+  {
+    // Span covers the writev syscall(s) of this flush; arg = frame bytes.
+    QCM_TRACE_SPAN(trace::kNet, "flush_writev", st.pending_bytes);
+    s = WriteFrameSlices(fd, slices, &syscalls);
+  }
   const uint64_t now = static_cast<uint64_t>(NowMicros());
   {
     std::lock_guard<std::mutex> lock(flush_stats_mu_);
@@ -419,6 +425,14 @@ void TcpTransport::PublishStatus(const RankStatus& status) {
   (void)WriteTo(coord_fd_, coord_mu_,
                 Frame{FrameKind::kStatus, static_cast<uint32_t>(rank_),
                       EncodeRankStatus(wire)});
+}
+
+void TcpTransport::PublishStats(const WireStatsSample& sample) {
+  // Best effort, same policy as PublishStatus: telemetry never fails a
+  // run, and a lost sample only leaves a gap in the ticker.
+  (void)WriteTo(coord_fd_, coord_mu_,
+                Frame{FrameKind::kStats, static_cast<uint32_t>(rank_),
+                      EncodeStatsSample(sample)});
 }
 
 Status TcpTransport::SendReport(const std::string& payload) {

@@ -89,6 +89,7 @@ class TcpTransport : public Transport {
   void ConfigureCoalescing(const CoalesceConfig& config) override;
   TransportFlushStats FlushStats() const override;
   void PublishStatus(const RankStatus& status) override;
+  void PublishStats(const WireStatsSample& sample) override;
   bool healthy() const override { return !failed(); }
   bool PeerAlive(int peer) const override {
     return !peer_down_flags_[peer].load(std::memory_order_acquire);

@@ -41,6 +41,8 @@
 
 namespace qcm {
 
+struct WireStatsSample;  // net/wire.h
+
 /// One rank's termination-detection inputs (see file comment).
 struct RankStatus {
   /// Tasks alive in this process (queued, running, parked, spilled).
@@ -205,6 +207,11 @@ class Transport {
   /// Publishes this rank's termination-detection inputs to whoever runs
   /// detection (the cluster coordinator).
   virtual void PublishStatus(const RankStatus& status) = 0;
+
+  /// Ships one periodic telemetry sample (engine stats sampler) to the
+  /// coordinator as a kStats frame. Best-effort: transports without a
+  /// coordinator connection ignore it.
+  virtual void PublishStats(const WireStatsSample& sample) { (void)sample; }
 
   /// False once a connection failed before clean termination; the engine
   /// then reports an error instead of pretending its partial state is a

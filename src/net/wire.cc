@@ -45,6 +45,8 @@ const char* FrameKindName(FrameKind kind) {
       return "peer-down";
     case FrameKind::kPeerUp:
       return "peer-up";
+    case FrameKind::kStats:
+      return "stats";
   }
   return "?";
 }
@@ -141,7 +143,7 @@ Status DecodeFrame(const std::string& buf, size_t* pos, Frame* frame) {
     return Status::Corruption("bad frame magic");
   }
   const uint8_t kind = static_cast<uint8_t>(p[4]);
-  if (kind > static_cast<uint8_t>(FrameKind::kPeerUp)) {
+  if (kind > static_cast<uint8_t>(FrameKind::kStats)) {
     return Status::Corruption("unknown frame kind " + std::to_string(kind));
   }
   uint32_t src = 0;
@@ -430,6 +432,36 @@ Status DecodePeerEvent(const std::string& payload, uint32_t* rank,
   QCM_RETURN_IF_ERROR(dec.GetU32(rank));
   QCM_RETURN_IF_ERROR(dec.GetU32(epoch));
   if (!dec.Done()) return Status::Corruption("trailing bytes in peer event");
+  return Status::OK();
+}
+
+std::string EncodeStatsSample(const WireStatsSample& sample) {
+  Encoder enc;
+  enc.PutU32(sample.epoch);
+  enc.PutU64(sample.ts_usec);
+  enc.PutU64(sample.queue_depth);
+  enc.PutU64(sample.inflight_bytes);
+  enc.PutU64(sample.cache_hits);
+  enc.PutU64(sample.cache_misses);
+  enc.PutU32(sample.busy_compers);
+  enc.PutU64(sample.tasks_completed);
+  enc.PutI64(sample.pending);
+  return enc.Release();
+}
+
+Status DecodeStatsSample(const std::string& payload,
+                         WireStatsSample* sample) {
+  Decoder dec(payload);
+  QCM_RETURN_IF_ERROR(dec.GetU32(&sample->epoch));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&sample->ts_usec));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&sample->queue_depth));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&sample->inflight_bytes));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&sample->cache_hits));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&sample->cache_misses));
+  QCM_RETURN_IF_ERROR(dec.GetU32(&sample->busy_compers));
+  QCM_RETURN_IF_ERROR(dec.GetU64(&sample->tasks_completed));
+  QCM_RETURN_IF_ERROR(dec.GetI64(&sample->pending));
+  if (!dec.Done()) return Status::Corruption("trailing bytes in stats");
   return Status::OK();
 }
 

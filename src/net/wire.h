@@ -81,7 +81,12 @@ inline constexpr char kWireMagic[4] = {'Q', 'C', 'M', 'W'};
 // (sent_to / processed_from vectors) so the drain invariant survives a
 // rank being replaced mid-run; EngineConfig grew the checkpoint and
 // heartbeat knobs.
-inline constexpr uint32_t kWireProtocolVersion = 4;
+// v5: observability. New frame kind kStats (epoch-tagged periodic
+// telemetry sample: queue depth, in-flight bytes, cache hits/misses,
+// busy compers) for the qcm_cluster live ticker and merged-trace counter
+// tracks; EngineConfig grew the tracing knobs (trace_out,
+// trace_buffer_kb, stats_interval_ms).
+inline constexpr uint32_t kWireProtocolVersion = 5;
 /// Frame header bytes before the payload (magic + kind + src + length).
 inline constexpr size_t kWireHeaderBytes = 13;
 /// Trailing checksum bytes after the payload.
@@ -116,6 +121,7 @@ enum class FrameKind : uint8_t {
   kHeartbeat = 13,  // worker -> coordinator: {seq u64} liveness beacon
   kPeerDown = 14,   // coordinator -> worker: {rank u32, epoch u32}
   kPeerUp = 15,     // coordinator -> worker: {rank u32, epoch u32}
+  kStats = 16,      // worker -> coordinator: WireStatsSample telemetry
 };
 
 const char* FrameKindName(FrameKind kind);
@@ -250,6 +256,26 @@ Status DecodeHeartbeat(const std::string& payload, uint64_t* seq);
 std::string EncodePeerEvent(uint32_t rank, uint32_t epoch);
 Status DecodePeerEvent(const std::string& payload, uint32_t* rank,
                        uint32_t* epoch);
+
+/// kStats payload: one periodic telemetry sample from a rank. Timestamps
+/// are the sender's monotonic clock (comparable across loopback ranks);
+/// `epoch` is the sending incarnation so samples from a dead incarnation
+/// can be told apart from its successor's.
+struct WireStatsSample {
+  uint32_t epoch = 0;
+  uint64_t ts_usec = 0;
+  uint64_t queue_depth = 0;     // tasks waiting in the global queue
+  uint64_t inflight_bytes = 0;  // fabric bytes sent but not yet processed
+  uint64_t cache_hits = 0;      // cumulative vertex-cache hits
+  uint64_t cache_misses = 0;    // cumulative vertex-cache misses
+  uint32_t busy_compers = 0;    // compers inside Compute right now
+  uint64_t tasks_completed = 0; // cumulative tasks finished
+  int64_t pending = 0;          // local termination-detector pending count
+};
+
+std::string EncodeStatsSample(const WireStatsSample& sample);
+Status DecodeStatsSample(const std::string& payload,
+                         WireStatsSample* sample);
 
 }  // namespace qcm
 

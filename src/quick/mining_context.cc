@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace qcm {
 
@@ -73,8 +74,10 @@ MiningContext::MiningContext(const LocalGraph* graph,
       rows_ = sc.rows_.data();
     }
     ++stats.dense_tasks;
+    QCM_TRACE_INSTANT(trace::kKernel, "kernel_dense", n);
   } else {
     ++stats.sparse_tasks;
+    QCM_TRACE_INSTANT(trace::kKernel, "kernel_sparse", n);
   }
 }
 

@@ -2,8 +2,25 @@
 
 #include "gthinker/task.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace qcm {
+
+namespace {
+
+/// Trace name id per transition target, interned once (indexed by the
+/// TaskState value; order matches the enum).
+uint16_t LifecycleTraceName(TaskState to) {
+  static const uint16_t ids[] = {
+      trace::InternName("to_spawned"),   trace::InternName("to_prefetching"),
+      trace::InternName("to_ready"),     trace::InternName("to_running"),
+      trace::InternName("to_suspended"), trace::InternName("to_spilled"),
+      trace::InternName("to_stolen"),    trace::InternName("to_done"),
+  };
+  return ids[static_cast<int>(to)];
+}
+
+}  // namespace
 
 const char* TaskStateName(TaskState state) {
   switch (state) {
@@ -63,6 +80,10 @@ void AdvanceTaskState(Task& task, TaskState to,
       << " -> " << TaskStateName(to) << " (root " << task.root() << ")";
   task.sched_info().state = to;
   if (counters != nullptr) counters->Count(from, to);
+  if (trace::Enabled()) {
+    trace::EmitInstant(LifecycleTraceName(to), trace::kLifecycle,
+                       static_cast<uint32_t>(task.root()));
+  }
 }
 
 void RehydrateTaskState(Task& task, TaskState origin,

@@ -2,6 +2,7 @@
 
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/trace.h"
 
 namespace qcm {
 
@@ -223,6 +224,8 @@ bool Scheduler::AdmitSpawned(TaskPtr task, LocalQueue& local) {
 void Scheduler::PushLocal(LocalQueue& local, TaskPtr task) {
   local.q_.push_back(std::move(task));
   if (local.q_.size() > deps_.config->local_queue_capacity) {
+    QCM_TRACE_SPAN(trace::kLifecycle, "spill_batch",
+                   deps_.config->batch_size);
     // Spill a batch of C tasks from the tail of the queue.
     std::vector<std::string> blobs;
     blobs.reserve(deps_.config->batch_size);
@@ -254,6 +257,9 @@ void Scheduler::RefillLocal(LocalQueue& local, ComputeContext& ctx) {
   QCM_CHECK(blobs.ok()) << "L_small refill failed: "
                         << blobs.status().ToString();
   if (!blobs->empty()) {
+    // Traced only when a batch actually rehydrates: an idle comper polls
+    // this path constantly and must not flood the ring.
+    QCM_TRACE_SPAN(trace::kLifecycle, "refill_spill", blobs->size());
     for (const std::string& blob : blobs.value()) {
       Decoder dec(blob);
       auto task = deps_.app->DecodeTask(&dec);
@@ -264,7 +270,12 @@ void Scheduler::RefillLocal(LocalQueue& local, ComputeContext& ctx) {
     }
     return;
   }
-  // Spawn from the machine's unspawned vertices.
+  // Spawn from the machine's unspawned vertices. The span is emitted
+  // retroactively so an exhausted spawn cursor (the common idle case)
+  // records nothing.
+  const uint64_t spawn_begin_usec =
+      trace::Enabled() ? trace::TraceNowMicros() : 0;
+  size_t admitted = 0;
   const std::vector<VertexId>& owned =
       deps_.table->OwnedVertices(deps_.machine);
   deps_.active_spawners->fetch_add(1);
@@ -288,10 +299,17 @@ void Scheduler::RefillLocal(LocalQueue& local, ComputeContext& ctx) {
     }
     ++ctx.metrics().tasks_spawned;
     const bool big = AdmitSpawned(std::move(task), local);
+    ++admitted;
     if (big) break;  // avoid generating many big tasks out of one refill
     ++spawned_small;
   }
   deps_.active_spawners->fetch_sub(1);
+  if (admitted > 0 && trace::Enabled()) {
+    trace::EmitSpan(QCM_TRACE_NAME("spawn_batch"), trace::kLifecycle,
+                    spawn_begin_usec,
+                    trace::TraceNowMicros() - spawn_begin_usec,
+                    static_cast<uint32_t>(admitted));
+  }
 }
 
 }  // namespace qcm

@@ -10,8 +10,20 @@
 namespace qcm {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Startup level: kInfo unless QCM_LOG_LEVEL names something else.
+int InitialLevel() {
+  LogLevel level = LogLevel::kInfo;
+  const char* env = std::getenv("QCM_LOG_LEVEL");
+  if (env != nullptr) ParseLogLevel(env, &level);  // bad value: keep kInfo
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 std::mutex g_log_mutex;
+/// Cluster identity prefix; rank < 0 = untagged (single-process tools).
+std::atomic<int> g_log_rank{-1};
+std::atomic<uint32_t> g_log_epoch{0};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -38,6 +50,28 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogContext(int rank, uint32_t epoch) {
+  g_log_rank.store(rank, std::memory_order_relaxed);
+  g_log_epoch.store(epoch, std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
@@ -46,7 +80,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelTag(level_);
+  const int rank = g_log_rank.load(std::memory_order_relaxed);
+  if (rank >= 0) {
+    stream_ << " r" << rank << " e"
+            << g_log_epoch.load(std::memory_order_relaxed);
+  }
+  stream_ << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

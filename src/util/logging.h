@@ -18,10 +18,22 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
-/// Sets the process-wide minimum level that is emitted. Default: kInfo.
+/// Sets the process-wide minimum level that is emitted. Default: kInfo,
+/// overridable at startup by the QCM_LOG_LEVEL environment variable
+/// (same spellings as ParseLogLevel).
 void SetLogLevel(LogLevel level);
 /// Returns the current minimum emitted level.
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "info", "warning"/"warn", "error",
+/// "off"; case-sensitive). Returns false (and leaves *out untouched) on
+/// anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Tags every subsequent log line with this process's cluster identity
+/// ("[I r2 e1 file:line]"). Workers call it once their rank/incarnation
+/// epoch are known; single-process tools never do (no tag).
+void SetLogContext(int rank, uint32_t epoch);
 
 namespace internal {
 

@@ -266,7 +266,7 @@ TEST(WireFrameTest, CoalescedFlushDecodesToIdenticalFrameSequence) {
 }
 
 TEST(WireFrameTest, RoundTripAllKinds) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(FrameKind::kPeerUp); ++k) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(FrameKind::kStats); ++k) {
     Frame in;
     in.kind = static_cast<FrameKind>(k);
     in.src = 7;
@@ -370,6 +370,38 @@ TEST(WireFrameTest, FaultTolerancePayloadsRoundTrip) {
   EXPECT_FALSE(DecodeHeartbeat("", &seq).ok());
 }
 
+TEST(WireFrameTest, StatsSampleRoundTrip) {
+  WireStatsSample in;
+  in.epoch = 2;
+  in.ts_usec = 123456789;
+  in.queue_depth = 17;
+  in.inflight_bytes = 65536;
+  in.cache_hits = 1000;
+  in.cache_misses = 50;
+  in.busy_compers = 3;
+  in.tasks_completed = 4242;
+  in.pending = -7;  // the detector's pending count can go negative
+
+  WireStatsSample out;
+  ASSERT_TRUE(DecodeStatsSample(EncodeStatsSample(in), &out).ok());
+  EXPECT_EQ(out.epoch, 2u);
+  EXPECT_EQ(out.ts_usec, 123456789u);
+  EXPECT_EQ(out.queue_depth, 17u);
+  EXPECT_EQ(out.inflight_bytes, 65536u);
+  EXPECT_EQ(out.cache_hits, 1000u);
+  EXPECT_EQ(out.cache_misses, 50u);
+  EXPECT_EQ(out.busy_compers, 3u);
+  EXPECT_EQ(out.tasks_completed, 4242u);
+  EXPECT_EQ(out.pending, -7);
+
+  // Truncation and trailing garbage are corruption, never a silent
+  // partial decode.
+  const std::string bytes = EncodeStatsSample(in);
+  EXPECT_FALSE(
+      DecodeStatsSample(bytes.substr(0, bytes.size() - 1), &out).ok());
+  EXPECT_FALSE(DecodeStatsSample(bytes + "x", &out).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Job spec / engine config / engine report round trips (the other blobs
 // that cross process boundaries).
@@ -410,6 +442,9 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   spec.config.mining.use_lookahead = false;
   spec.config.mining.quick_compat = true;
   spec.config.mining.dense_threshold = 512;
+  spec.config.trace_out = "/tmp/run_trace.json";
+  spec.config.trace_buffer_kb = 128;
+  spec.config.stats_interval_ms = 250;
 
   ClusterJobSpec out;
   ASSERT_TRUE(DecodeJobSpec(EncodeJobSpec(spec), &out).ok());
@@ -447,6 +482,9 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   EXPECT_FALSE(out.config.mining.use_lookahead);
   EXPECT_TRUE(out.config.mining.quick_compat);
   EXPECT_EQ(out.config.mining.dense_threshold, 512);
+  EXPECT_EQ(out.config.trace_out, "/tmp/run_trace.json");
+  EXPECT_EQ(out.config.trace_buffer_kb, 128);
+  EXPECT_EQ(out.config.stats_interval_ms, 250);
 }
 
 TEST(JobSpecTest, RejectsAmbiguousGraphSource) {

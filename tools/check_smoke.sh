@@ -224,6 +224,75 @@ fi
 echo "check_smoke: OK -- coalescing-on cluster digest matches" \
   "($coalesce_digest)"
 
+# ---- Tracing-on cluster phase ------------------------------------------
+# Same 3-process run with --trace-out: tracing must be invisible in the
+# results (bit-identical digest) while producing ONE merged Perfetto-
+# loadable timeline containing events from every rank plus the kStats
+# counter tracks. The merged trace lands in $LOG_DIR for CI to upload.
+TRACE_OUT="$LOG_DIR/smoke_trace.json"
+trace_cluster_out=$("$CLUSTER_BIN" \
+  --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+  --gamma 0.85 --min-size 8 --workers 3 --threads 2 --stats \
+  --trace-out "$TRACE_OUT" --stats-interval-ms 100 \
+  --log-dir "$LOG_DIR" "$@" 2>&1)
+trace_cluster_status=$?
+echo "$trace_cluster_out"
+
+if [[ $trace_cluster_status -ne 0 ]]; then
+  echo "check_smoke: FAIL -- tracing-on qcm_cluster exited with status" \
+    "$trace_cluster_status (worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+trace_digest=$(printf '%s\n' "$trace_cluster_out" |
+  sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+if [[ "$trace_digest" != "$single_digest" ]]; then
+  echo "check_smoke: FAIL -- tracing-on digest $trace_digest !=" \
+    "single-process digest $single_digest (tracing must not change" \
+    "results; worker logs in $LOG_DIR)" >&2
+  exit 1
+fi
+if [[ ! -s "$TRACE_OUT" ]]; then
+  echo "check_smoke: FAIL -- tracing-on run produced no merged trace at" \
+    "$TRACE_OUT" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  if ! python3 - "$TRACE_OUT" <<'PYEOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+pids = {e["pid"] for e in events}
+missing = [r for r in range(3) if r not in pids]
+if missing:
+    sys.exit(f"no trace events from ranks {missing}")
+if not any(e["ph"] == "C" for e in events):
+    sys.exit("no kStats counter tracks in the merged trace")
+ts = [e["ts"] for e in events]
+if ts != sorted(ts):
+    sys.exit("merged trace timestamps are not monotone")
+print(f"merged trace valid: {len(events)} events from pids {sorted(pids)}")
+PYEOF
+  then
+    echo "check_smoke: FAIL -- merged trace $TRACE_OUT is invalid" >&2
+    exit 1
+  fi
+else
+  # No python3: at least require the envelope and per-rank events.
+  for r in 0 1 2; do
+    if ! grep -q "\"pid\":$r," "$TRACE_OUT"; then
+      echo "check_smoke: FAIL -- merged trace has no events from rank $r" >&2
+      exit 1
+    fi
+  done
+fi
+ranks_left=$(ls "$TRACE_OUT".rank*.jsonl 2>/dev/null | wc -l)
+if [[ "$ranks_left" -ne 0 ]]; then
+  echo "check_smoke: FAIL -- $ranks_left trace fragments left behind" \
+    "after the merge" >&2
+  exit 1
+fi
+echo "check_smoke: OK -- tracing-on cluster digest matches, merged trace" \
+  "at $TRACE_OUT"
+
 # ---- Fault-injection phase ---------------------------------------------
 # Same 3-process run, but the launcher SIGKILLs rank 1 once it is mid-
 # mining (QCM_SMOKE_KILL_RANK env hook). The coordinator must detect the

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate: tracing compiled in but DISABLED must not slow the mining kernels.
+
+Reads bench/trace_overhead_before_after.json -- kernel_bitset_probe cell
+timings from the pre-tracing build ("before") and from the current build
+with util/trace compiled in but switched off ("after") -- and fails if the
+geometric mean of the after/before ratios exceeds the budget (default 5%).
+
+The geometric mean is the gated statistic because the probe's smallest
+cells are sub-microsecond and individually jitter by 20% on a shared CI
+host; a uniform slowdown (what an always-armed trace hook would cause)
+moves the geomean, single-cell noise does not. Each cell still gets a
+loose individual ceiling so one severely-regressed kernel cannot hide
+behind fifteen clean ones.
+
+Usage: tools/check_trace_overhead.py [evidence.json] [--budget 1.05]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("evidence", nargs="?",
+                        default="bench/trace_overhead_before_after.json")
+    parser.add_argument("--budget", type=float, default=1.05,
+                        help="max allowed geomean after/before ratio")
+    parser.add_argument("--cell-budget", type=float, default=1.50,
+                        help="max allowed single-cell ratio (noise ceiling)")
+    args = parser.parse_args()
+
+    with open(args.evidence) as f:
+        evidence = json.load(f)
+    before, after = evidence["before"], evidence["after"]
+
+    for name, run in (("before", before), ("after", after)):
+        if not run.get("all_parity", False):
+            print(f"FAIL: {name} probe run reports a dense/sparse parity "
+                  "violation", file=sys.stderr)
+            return 1
+
+    before_cells = {(c["kernel"], c["n"]): c for c in before["cells"]}
+    ratios = []
+    for cell in after["cells"]:
+        key = (cell["kernel"], cell["n"])
+        if key not in before_cells:
+            print(f"FAIL: cell {key} missing from the before run",
+                  file=sys.stderr)
+            return 1
+        base = before_cells[key]
+        for field in ("dense_ns", "sparse_ns"):
+            if base[field] <= 0:
+                print(f"FAIL: non-positive {field} in before cell {key}",
+                      file=sys.stderr)
+                return 1
+            ratio = cell[field] / base[field]
+            ratios.append(ratio)
+            if ratio > args.cell_budget:
+                print(f"FAIL: {key} {field} regressed {ratio:.3f}x "
+                      f"({base[field]} -> {cell[field]} ns), over the "
+                      f"{args.cell_budget:.2f}x single-cell ceiling",
+                      file=sys.stderr)
+                return 1
+
+    if not ratios:
+        print("FAIL: no comparable cells in the evidence file",
+              file=sys.stderr)
+        return 1
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    verdict = "OK" if geomean <= args.budget else "FAIL"
+    print(f"{verdict}: tracing-off kernel overhead geomean {geomean:.4f} "
+          f"over {len(ratios)} measurements (budget {args.budget:.2f}, "
+          f"max cell {max(ratios):.3f})")
+    return 0 if geomean <= args.budget else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

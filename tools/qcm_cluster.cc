@@ -23,6 +23,17 @@
 //               [--checkpoint-dir DIR] [--max-rank-restarts N]
 //               [--seed N] [--output PATH] [--no-filter] [--stats]
 //               [--stats-json PATH] [--worker-bin PATH] [--log-dir DIR]
+//               [--trace-out PATH] [--trace-buffer-kb N]
+//               [--stats-interval-ms N] [--log-level L]
+//
+// --trace-out records one MERGED Chrome trace-event timeline of the whole
+// cluster (launcher recovery phases + every rank's spans + kStats counter
+// tracks; pid = rank). Workers write <path>.rank<R>.jsonl fragments which
+// the launcher stitches into <path> after the run and deletes. While the
+// run is live, the kStats stream also drives a one-line telemetry ticker
+// on stderr (cadence --stats-interval-ms; 0 disables both).
+// --log-level sets the launcher's level; workers inherit QCM_LOG_LEVEL
+// from the environment.
 //
 // Worker stdout/stderr are redirected to <log-dir>/worker<rank>.log
 // (a replacement incarnation logs to worker<rank>.r<restart>.log so the
@@ -60,7 +71,9 @@
 #include "net/coordinator.h"
 #include "net/job_spec.h"
 #include "quick/maximality_filter.h"
+#include "util/logging.h"
 #include "util/serde.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -239,6 +252,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (a == "--stats-json") {
       if ((v = next("--stats-json")) == nullptr) return false;
       args->stats_json = v;
+    } else if (a == "--trace-out") {
+      if ((v = next("--trace-out")) == nullptr) return false;
+      config.trace_out = v;
+    } else if (a == "--trace-buffer-kb") {
+      if ((v = next("--trace-buffer-kb")) == nullptr) return false;
+      config.trace_buffer_kb = std::atoll(v);
+    } else if (a == "--stats-interval-ms") {
+      if ((v = next("--stats-interval-ms")) == nullptr) return false;
+      config.stats_interval_ms = std::atoll(v);
+    } else if (a == "--log-level") {
+      if ((v = next("--log-level")) == nullptr) return false;
+      LogLevel level;
+      if (!ParseLogLevel(v, &level)) {
+        std::fprintf(stderr, "unknown --log-level %s\n", v);
+        return false;
+      }
+      SetLogLevel(level);
     } else if (a == "--worker-bin") {
       if ((v = next("--worker-bin")) == nullptr) return false;
       args->worker_bin = v;
@@ -390,6 +420,15 @@ int main(int argc, char** argv) {
   }
   args.spec.config.checkpoint_dir = ckpt_dir;
 
+  // Launcher-side tracing must be live before the coordinator runs so
+  // recovery spans (rank_declared_dead, recover_*) land in a ring. The
+  // workers start their own rings from the job spec.
+  const std::string trace_out = args.spec.config.trace_out;
+  if (!trace_out.empty()) {
+    trace::Start(static_cast<size_t>(args.spec.config.trace_buffer_kb));
+    trace::SetThreadName("launcher");
+  }
+
   // Bind the control-plane listener before spawning anyone.
   CoordinatorConfig coord_config;
   coord_config.world_size = args.workers;
@@ -518,6 +557,45 @@ int main(int argc, char** argv) {
         return Status::OK();
       });
 
+  // Live telemetry: every kStats frame updates the per-rank snapshot the
+  // ticker prints from and, when tracing, appends pre-formatted counter
+  // event lines ("ph":"C", pid = rank) for the merged timeline. The
+  // callback runs on per-rank receiver threads.
+  std::mutex stats_mu;
+  std::vector<WireStatsSample> latest_stats(args.workers);
+  std::vector<bool> stats_seen(args.workers, false);
+  std::vector<std::string> stats_events;
+  coordinator->SetStatsCallback(
+      [&](int rank, const WireStatsSample& sample) {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        latest_stats[rank] = sample;
+        stats_seen[rank] = true;
+        if (trace_out.empty()) return;
+        // ~7 small lines per sample per rank; a day-long run at the
+        // default 500 ms cadence stays well under typical trace sizes,
+        // but cap the buffer so a pathological cadence cannot eat RAM.
+        if (stats_events.size() > 2'000'000) return;
+        auto counter = [&](const char* name, uint64_t value) {
+          stats_events.push_back(
+              "{\"name\":\"" + std::string(name) +
+              "\",\"cat\":\"stats\",\"ph\":\"C\",\"ts\":" +
+              std::to_string(sample.ts_usec) +
+              ",\"pid\":" + std::to_string(rank) +
+              ",\"tid\":0,\"args\":{\"value\":" + std::to_string(value) +
+              "}}");
+        };
+        counter("queue_depth", sample.queue_depth);
+        counter("inflight_bytes", sample.inflight_bytes);
+        counter("busy_compers", sample.busy_compers);
+        counter("tasks_completed", sample.tasks_completed);
+        counter("cache_hits", sample.cache_hits);
+        counter("cache_misses", sample.cache_misses);
+        counter("pending_tasks",
+                sample.pending < 0
+                    ? 0
+                    : static_cast<uint64_t>(sample.pending));
+      });
+
   // Child watchdog: a worker that dies mid-run is routed into the
   // coordinator's recovery path (before the handshake completes there is
   // nothing to recover into, so it still fails the run promptly).
@@ -619,6 +697,53 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Live one-line ticker: a cross-rank rollup of the latest kStats
+  // samples, printed at the sampling cadence once the first sample lands.
+  std::thread ticker;
+  if (args.spec.config.stats_interval_ms > 0) {
+    ticker = std::thread([&] {
+      const int64_t interval_ms =
+          std::max<int64_t>(args.spec.config.stats_interval_ms, 250);
+      int64_t slept_ms = 0;
+      while (!run_done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        slept_ms += 20;
+        if (slept_ms < interval_ms) continue;
+        slept_ms = 0;
+        unsigned long long pending = 0, queue = 0, busy = 0, inflight = 0,
+                           hits = 0, misses = 0, tasks = 0;
+        int seen = 0;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          for (int r = 0; r < args.workers; ++r) {
+            if (!stats_seen[r]) continue;
+            ++seen;
+            const WireStatsSample& s = latest_stats[r];
+            if (s.pending > 0) pending += s.pending;
+            queue += s.queue_depth;
+            busy += s.busy_compers;
+            inflight += s.inflight_bytes;
+            hits += s.cache_hits;
+            misses += s.cache_misses;
+            tasks += s.tasks_completed;
+          }
+        }
+        if (seen == 0) continue;
+        const double hit_pct =
+            hits + misses == 0
+                ? 100.0
+                : 100.0 * static_cast<double>(hits) /
+                      static_cast<double>(hits + misses);
+        std::fprintf(stderr,
+                     "telemetry: %d/%d ranks | pending %llu | big-queue "
+                     "%llu | busy %llu compers | in-flight %llu B | "
+                     "cache-hit %.1f%% | %llu tasks done\n",
+                     seen, args.workers, pending, queue, busy, inflight,
+                     hit_pct, tasks);
+      }
+    });
+  }
+
   // Handshake, then drive the run to global termination.
   Status run_status = coordinator->RunHandshake();
   if (run_status.ok()) {
@@ -647,6 +772,7 @@ int main(int argc, char** argv) {
   run_done.store(true);
   watchdog.join();
   if (killer.joinable()) killer.join();
+  if (ticker.joinable()) ticker.join();
   coordinator->Close();
 
   // Reap every live worker; a nonzero exit of a CURRENT incarnation fails
@@ -738,6 +864,50 @@ int main(int argc, char** argv) {
                  "recovery: %zu duplicate candidates suppressed by the "
                  "maximality filter\n",
                  duplicates_suppressed);
+  }
+
+  // Stitch the per-rank fragments, the launcher's own events (recovery
+  // spans, under a pid past every rank), the kStats counter tracks, and
+  // rank-naming metadata into ONE Perfetto-loadable timeline.
+  if (!trace_out.empty()) {
+    std::vector<std::string> fragments;
+    for (int r = 0; r < args.workers; ++r) {
+      fragments.push_back(trace_out + ".rank" + std::to_string(r) +
+                          ".jsonl");
+    }
+    std::vector<std::string> extra;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      extra = std::move(stats_events);
+    }
+    const int launcher_pid = args.workers;
+    const std::string drained = trace::DrainJsonLines(launcher_pid);
+    for (size_t start = 0; start < drained.size();) {
+      size_t end = drained.find('\n', start);
+      if (end == std::string::npos) end = drained.size();
+      if (end > start) extra.push_back(drained.substr(start, end - start));
+      start = end + 1;
+    }
+    for (int r = 0; r <= args.workers; ++r) {
+      const std::string label =
+          r == args.workers ? "launcher" : "rank" + std::to_string(r);
+      extra.push_back(
+          "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" +
+          std::to_string(r) + ",\"tid\":0,\"args\":{\"name\":\"" + label +
+          "\"}}");
+    }
+    Status merge_status = trace::MergeFragments(fragments, extra, trace_out);
+    if (merge_status.ok()) {
+      for (const std::string& f : fragments) ::remove(f.c_str());
+      std::fprintf(stderr,
+                   "trace: %s (%d rank fragments merged, %llu launcher "
+                   "records dropped)\n",
+                   trace_out.c_str(), args.workers,
+                   static_cast<unsigned long long>(trace::DroppedRecords()));
+    } else {
+      std::fprintf(stderr, "trace merge failed: %s\n",
+                   merge_status.ToString().c_str());
+    }
   }
 
   if (!args.stats_json.empty()) {

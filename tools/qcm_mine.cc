@@ -49,6 +49,15 @@
 //   --no-filter           report raw candidates (skip maximality filter)
 //   --stats               print engine/pruning statistics
 //   --stats-json PATH     write the EngineReport as JSON ("-" = stdout)
+//   --trace-out PATH      record a Chrome trace-event timeline of the run
+//                         (load in Perfetto / chrome://tracing); tracing
+//                         is off without this flag and results are
+//                         bit-identical either way
+//   --trace-buffer-kb N   per-thread trace ring size        (default 256)
+//   --stats-interval-ms N telemetry sampling cadence; 0 disables
+//                                                           (default 500)
+//   --log-level L         debug|info|warning|error|off (also settable via
+//                         the QCM_LOG_LEVEL env var)        (default info)
 //   --seed N              generator seed                    (default 1)
 //
 // The stderr summary always includes "result-digest: <16 hex>" -- the
@@ -69,7 +78,9 @@
 #include "mining/parallel_miner.h"
 #include "quick/maximality_filter.h"
 #include "quick/serial_miner.h"
+#include "util/logging.h"
 #include "util/mem.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -100,6 +111,10 @@ struct Args {
   bool no_filter = false;
   bool stats = false;
   std::string stats_json;
+  std::string trace_out;
+  int64_t trace_buffer_kb = EngineConfig{}.trace_buffer_kb;
+  int64_t stats_interval_ms = EngineConfig{}.stats_interval_ms;
+  std::string log_level;
   uint64_t seed = 1;
 };
 
@@ -237,6 +252,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--stats-json");
       if (!v) return false;
       args->stats_json = v;
+    } else if (a == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (!v) return false;
+      args->trace_out = v;
+    } else if (a == "--trace-buffer-kb") {
+      const char* v = next("--trace-buffer-kb");
+      if (!v) return false;
+      args->trace_buffer_kb = std::atoll(v);
+      if (args->trace_buffer_kb < 1) {
+        std::fprintf(stderr, "--trace-buffer-kb must be >= 1\n");
+        return false;
+      }
+    } else if (a == "--stats-interval-ms") {
+      const char* v = next("--stats-interval-ms");
+      if (!v) return false;
+      args->stats_interval_ms = std::atoll(v);
+      if (args->stats_interval_ms < 0) {
+        std::fprintf(stderr, "--stats-interval-ms must be >= 0\n");
+        return false;
+      }
+    } else if (a == "--log-level") {
+      const char* v = next("--log-level");
+      if (!v) return false;
+      args->log_level = v;
     } else if (a == "--seed") {
       const char* v = next("--seed");
       if (!v) return false;
@@ -269,6 +308,19 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     Usage();
     return 2;
+  }
+  if (!args.log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(args.log_level, &level)) {
+      std::fprintf(stderr, "unknown --log-level %s\n",
+                   args.log_level.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+  if (!args.trace_out.empty()) {
+    trace::Start(static_cast<size_t>(args.trace_buffer_kb));
+    trace::SetThreadName("main");
   }
 
   // ---- Load or generate the graph. ----
@@ -350,6 +402,9 @@ int main(int argc, char** argv) {
     config.prefetch_limit = args.prefetch_limit;
     config.steal_rtt_reference_sec = args.steal_rtt_ref;
     config.steal_max_batch_factor = args.steal_batch_factor;
+    config.trace_out = args.trace_out;
+    config.trace_buffer_kb = args.trace_buffer_kb;
+    config.stats_interval_ms = args.stats_interval_ms;
     Status policy = ParseCachePolicy(args.cache_policy, &config.cache_policy);
     if (!policy.ok()) {
       std::fprintf(stderr, "--cache-policy: %s\n",
@@ -475,6 +530,29 @@ int main(int argc, char** argv) {
     }
     std::fputs(stats_json.c_str(), f);
     if (f != stdout) std::fclose(f);
+  }
+
+  // Single-process run: the whole timeline is local, so merge straight
+  // from the in-memory rings (no fragment files).
+  if (!args.trace_out.empty()) {
+    std::vector<std::string> events;
+    const std::string drained = trace::DrainJsonLines(/*pid=*/0);
+    size_t start = 0;
+    while (start < drained.size()) {
+      size_t end = drained.find('\n', start);
+      if (end == std::string::npos) end = drained.size();
+      if (end > start) events.push_back(drained.substr(start, end - start));
+      start = end + 1;
+    }
+    Status ts = trace::MergeFragments({}, events, args.trace_out);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   ts.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %s (%zu events, %lu dropped)\n",
+                 args.trace_out.c_str(), events.size(),
+                 static_cast<unsigned long>(trace::DroppedRecords()));
   }
   return 0;
 }

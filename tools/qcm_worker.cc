@@ -39,7 +39,9 @@
 #include "mining/qc_app.h"
 #include "net/job_spec.h"
 #include "net/tcp_transport.h"
+#include "util/logging.h"
 #include "util/serde.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -78,6 +80,14 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (a == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
+    } else if (a == "--log-level" && i + 1 < argc) {
+      LogLevel level;
+      if (!ParseLogLevel(argv[++i], &level)) {
+        std::fprintf(stderr, "qcm_worker: unknown --log-level %s\n",
+                     argv[i]);
+        return 2;
+      }
+      SetLogLevel(level);
     } else if (a == "--dense-threshold" && i + 1 < argc) {
       dense_threshold_override = std::atoll(argv[++i]);
       if (dense_threshold_override < 0) {
@@ -90,7 +100,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: qcm_worker --coordinator-port P "
                    "[--coordinator-host H] [--stats-json PATH] "
-                   "[--dense-threshold N]\n");
+                   "[--log-level L] [--dense-threshold N]\n");
       return 2;
     }
   }
@@ -122,6 +132,19 @@ int main(int argc, char** argv) {
   }
   if (dense_threshold_override >= 0) {
     spec.config.mining.dense_threshold = dense_threshold_override;
+  }
+  SetLogContext(rank, transport->epoch());
+  // Tracing rides the job spec: every rank writes its own fragment file
+  // beside the launcher's --trace-out path; qcm_cluster merges them into
+  // one timeline after the run.
+  const std::string trace_fragment =
+      spec.config.trace_out.empty()
+          ? ""
+          : spec.config.trace_out + ".rank" + std::to_string(rank) +
+                ".jsonl";
+  if (!trace_fragment.empty()) {
+    trace::Start(static_cast<size_t>(spec.config.trace_buffer_kb));
+    trace::SetThreadName("worker_main");
   }
 
   // Rebuild the graph deterministically, then keep only this rank's
@@ -183,6 +206,14 @@ int main(int argc, char** argv) {
     if (!s.ok()) {
       return Fail(transport.get(),
                   "report send failed: " + s.ToString());
+    }
+  }
+
+  if (!trace_fragment.empty()) {
+    Status ts = trace::WriteFragment(trace_fragment, rank);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "qcm_worker rank %d: trace fragment failed: %s\n",
+                   rank, ts.ToString().c_str());
     }
   }
 
