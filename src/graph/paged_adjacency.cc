@@ -1,0 +1,197 @@
+#include "graph/paged_adjacency.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace qcm {
+
+PagedAdjacencyStore::PagedAdjacencyStore(
+    std::shared_ptr<CsrSnapshot> snapshot, const PagedStoreConfig& config)
+    : snapshot_(std::move(snapshot)), config_(config) {
+  QCM_CHECK(snapshot_ != nullptr);
+  page_size_ = snapshot_->page_size();
+  adj_file_offset_ =
+      snapshot_->header().sections[kCsrAdjacency].file_offset;
+  if (!paging_enabled()) return;
+
+  QCM_CHECK(config_.memory_budget_bytes >= page_size_)
+      << "graph memory budget " << config_.memory_budget_bytes
+      << " is smaller than one " << page_size_ << "-byte page";
+  frame_capacity_ =
+      static_cast<size_t>(config_.memory_budget_bytes / page_size_);
+  frames_.reserve(frame_capacity_);
+
+  // Demand paging wants no readahead: a miner's access pattern over the
+  // adjacency section is the task spawn order, not sequential.
+  uint8_t* map = const_cast<uint8_t*>(snapshot_->map_base());
+  const uint64_t adj_bytes =
+      snapshot_->header().sections[kCsrAdjacency].bytes;
+  if (adj_bytes != 0) {
+    ::madvise(map + adj_file_offset_, adj_bytes, MADV_RANDOM);
+  }
+
+  // Build the inline arena for this partition's small lists. This is the
+  // only pass that reads adjacency eagerly; the faulted pages are dropped
+  // right after so mining starts with an empty frame pool.
+  const uint32_t n = snapshot_->NumVertices();
+  arena_offsets_.assign(uint64_t{n} + 1, 0);
+  uint64_t entries = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    arena_offsets_[v] = entries;
+    const uint32_t deg = snapshot_->Degree(v);
+    if (deg != 0 && deg <= config_.inline_degree && Owned(v)) {
+      entries += deg;
+    }
+  }
+  arena_offsets_[n] = entries;
+  arena_.reserve(entries);
+  for (VertexId v = 0; v < n; ++v) {
+    if (arena_offsets_[v + 1] != arena_offsets_[v]) {
+      auto adj = snapshot_->Neighbors(v);
+      arena_.insert(arena_.end(), adj.begin(), adj.end());
+    }
+  }
+  QCM_CHECK(arena_.size() == entries);
+  if (adj_bytes != 0) {
+    ::madvise(map + adj_file_offset_, adj_bytes, MADV_DONTNEED);
+  }
+}
+
+bool PagedAdjacencyStore::PinPage(uint32_t page) {
+  auto it = slot_of_page_.find(page);
+  if (it != slot_of_page_.end()) {
+    frames_[it->second].ref = 1;
+    return false;
+  }
+  size_t slot;
+  if (frames_.size() < frame_capacity_) {
+    slot = frames_.size();
+    frames_.emplace_back();
+  } else {
+    // CLOCK second-chance sweep: clear reference bits until an
+    // unreferenced, unpinned frame comes around. Two full revolutions
+    // guarantee a victim unless every frame is pinned by a concurrent
+    // fault-in, in which case we transiently overflow the pool (bounded
+    // by the number of mining threads) rather than deadlock.
+    size_t victim = frames_.size();
+    for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+      Frame& f = frames_[clock_hand_];
+      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+      if (f.pins != 0) continue;
+      if (f.ref != 0) {
+        f.ref = 0;
+        continue;
+      }
+      victim = (clock_hand_ + frames_.size() - 1) % frames_.size();
+      break;
+    }
+    if (victim == frames_.size()) {
+      slot = frames_.size();
+      frames_.emplace_back();
+    } else {
+      slot = victim;
+      const uint32_t old_page = frames_[slot].page;
+      slot_of_page_.erase(old_page);
+      uint8_t* addr = const_cast<uint8_t*>(snapshot_->map_base()) +
+                      uint64_t{old_page} * page_size_;
+      const uint64_t len = std::min<uint64_t>(
+          page_size_,
+          snapshot_->MappedBytes() - uint64_t{old_page} * page_size_);
+      ::madvise(addr, len, MADV_DONTNEED);
+      page_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  frames_[slot] = Frame{page, /*ref=*/1, /*pins=*/1};
+  slot_of_page_[page] = slot;
+  page_ins_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PagedAdjacencyStore::UnpinPage(uint32_t page) {
+  auto it = slot_of_page_.find(page);
+  QCM_CHECK(it != slot_of_page_.end() && frames_[it->second].pins > 0)
+      << "unpin of page " << page << " that is not pinned";
+  --frames_[it->second].pins;
+}
+
+std::span<const VertexId> PagedAdjacencyStore::Adjacency(VertexId v) {
+  auto span = snapshot_->Neighbors(v);
+  if (!paging_enabled() || span.empty()) return span;
+  if (arena_offsets_[v + 1] != arena_offsets_[v]) {
+    inline_served_.fetch_add(1, std::memory_order_relaxed);
+    return {arena_.data() + arena_offsets_[v],
+            arena_.data() + arena_offsets_[v + 1]};
+  }
+
+  // Pin every file page the list touches, fault in the non-resident
+  // ones, and release the pins: a later eviction only drops physical
+  // pages, so the span stays readable after return.
+  const uint64_t byte_begin =
+      adj_file_offset_ + snapshot_->AdjOffset(v) * sizeof(VertexId);
+  const uint64_t byte_end = byte_begin + span.size() * sizeof(VertexId);
+  const uint32_t first_page = static_cast<uint32_t>(byte_begin / page_size_);
+  const uint32_t last_page =
+      static_cast<uint32_t>((byte_end - 1) / page_size_);
+
+  uint32_t faulted[2];
+  size_t num_faulted = 0;
+  std::vector<uint32_t> faulted_overflow;  // lists spanning many pages
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t p = first_page; p <= last_page; ++p) {
+      if (PinPage(p)) {
+        if (num_faulted < 2) {
+          faulted[num_faulted++] = p;
+        } else {
+          faulted_overflow.push_back(p);
+        }
+      }
+    }
+    page_pins_.fetch_add(last_page - first_page + 1,
+                         std::memory_order_relaxed);
+  }
+  if (num_faulted != 0 || !faulted_overflow.empty()) {
+    const uint8_t* base = snapshot_->map_base();
+    WallTimer stall;
+    {
+      QCM_TRACE_SPAN(trace::kPage, "page_in",
+                     static_cast<uint32_t>(num_faulted +
+                                           faulted_overflow.size()));
+      auto touch = [&](uint32_t p) {
+        volatile uint8_t sink = base[uint64_t{p} * page_size_];
+        (void)sink;
+      };
+      for (size_t i = 0; i < num_faulted; ++i) touch(faulted[i]);
+      for (uint32_t p : faulted_overflow) touch(p);
+    }
+    fault_stall_usec_.fetch_add(static_cast<uint64_t>(stall.Micros()),
+                                std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < num_faulted; ++i) UnpinPage(faulted[i]);
+    for (uint32_t p : faulted_overflow) UnpinPage(p);
+  }
+  return span;
+}
+
+PagedStoreStatsSnapshot PagedAdjacencyStore::stats() const {
+  PagedStoreStatsSnapshot out;
+  out.page_pins = page_pins_.load(std::memory_order_relaxed);
+  out.page_ins = page_ins_.load(std::memory_order_relaxed);
+  out.page_evictions = page_evictions_.load(std::memory_order_relaxed);
+  out.fault_stall_usec = fault_stall_usec_.load(std::memory_order_relaxed);
+  out.inline_served = inline_served_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.resident_pages = slot_of_page_.size();
+  }
+  out.frame_capacity = frame_capacity_;
+  out.inline_bytes = inline_arena_bytes();
+  return out;
+}
+
+}  // namespace qcm

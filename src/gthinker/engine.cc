@@ -777,6 +777,9 @@ StatusOr<EngineReport> Engine::Run() {
     // already empty and the stats are final.
     report.counters.AddFlushStats(transport_->FlushStats());
   }
+  if (table_ != nullptr && table_->paged_store() != nullptr) {
+    report.counters.AddPagedStoreStats(table_->paged_store()->stats());
+  }
   report.peak_rss_bytes = PeakRssBytes();
 
   std::unordered_map<VertexId, RootTaskAgg> root_aggs;

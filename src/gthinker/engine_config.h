@@ -179,6 +179,22 @@ struct EngineConfig {
   /// sampler off. Must be >= 0.
   int64_t stats_interval_ms = 500;
 
+  /// Out-of-core graph storage (graph/csr_snapshot.h). graph_snapshot
+  /// names a packed .qcsr file: workers mmap it and serve their partition
+  /// straight from the mapping instead of re-parsing / re-generating the
+  /// full graph per rank (qcm_cluster packs once and fills this in).
+  /// Empty = legacy resident load from the job's input / generator spec.
+  std::string graph_snapshot;
+  /// Page size (bytes) qcm_pack stamps into new snapshots and the
+  /// residency granularity of the paged store. Power of two, >= 4096.
+  int64_t graph_page_size = 1 << 16;
+  /// Resident-adjacency budget (bytes) of the PagedAdjacencyStore: a rank
+  /// whose partition exceeds it mines anyway, faulting pages in on demand
+  /// and evicting under CLOCK. 0 = unbounded (fully resident on use).
+  /// Requires graph_snapshot -- a budget with no snapshot to page against
+  /// is a contradiction Validate() rejects.
+  int64_t graph_memory_budget = 0;
+
   /// Quasi-clique parameters and pruning toggles.
   MiningOptions mining;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "graph/paged_adjacency.h"
 #include "util/serde.h"
 
 namespace qcm {
@@ -114,6 +115,15 @@ double EngineCountersSnapshot::MeanDeliveryLatencySeconds() const {
          static_cast<double>(delivered);
 }
 
+void EngineCountersSnapshot::AddPagedStoreStats(
+    const PagedStoreStatsSnapshot& ps) {
+  graph_page_pins += ps.page_pins;
+  graph_page_ins += ps.page_ins;
+  graph_page_evictions += ps.page_evictions;
+  graph_fault_stall_usec += ps.fault_stall_usec;
+  graph_inline_served += ps.inline_served;
+}
+
 void EngineCountersSnapshot::AddFlushStats(const TransportFlushStats& fs) {
   net_flushes += fs.flushes;
   net_flush_frames += fs.flushed_frames;
@@ -213,6 +223,14 @@ constexpr CounterField kCounterFields[] = {
     {"net_flush_forced", &EngineCountersSnapshot::net_flush_forced, false},
     {"net_flush_direct", &EngineCountersSnapshot::net_flush_direct, false},
     {"net_flush_park_usec", &EngineCountersSnapshot::net_flush_park_usec,
+     false},
+    {"graph_page_pins", &EngineCountersSnapshot::graph_page_pins, false},
+    {"graph_page_ins", &EngineCountersSnapshot::graph_page_ins, false},
+    {"graph_page_evictions", &EngineCountersSnapshot::graph_page_evictions,
+     false},
+    {"graph_fault_stall_usec",
+     &EngineCountersSnapshot::graph_fault_stall_usec, false},
+    {"graph_inline_served", &EngineCountersSnapshot::graph_inline_served,
      false},
 };
 

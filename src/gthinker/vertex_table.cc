@@ -44,8 +44,37 @@ VertexTable::VertexTable(const Graph& full, int num_machines,
   local_offsets_[n] = local_adj_.size();
 }
 
+VertexTable::VertexTable(std::shared_ptr<CsrSnapshot> snapshot,
+                         int num_machines, int local_rank,
+                         uint64_t graph_memory_budget)
+    : graph_(nullptr),
+      num_machines_(num_machines),
+      local_rank_(local_rank),
+      owned_(num_machines),
+      snapshot_(std::move(snapshot)) {
+  QCM_CHECK(snapshot_ != nullptr);
+  QCM_CHECK(local_rank >= -1 && local_rank < num_machines)
+      << "bad local rank " << local_rank << "/" << num_machines;
+  const uint32_t n = snapshot_->NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    owned_[Owner(v)].push_back(v);
+  }
+  PagedStoreConfig store_config;
+  store_config.memory_budget_bytes = graph_memory_budget;
+  store_config.num_machines = num_machines;
+  store_config.local_rank = local_rank;
+  paged_ = std::make_unique<PagedAdjacencyStore>(snapshot_, store_config);
+}
+
 std::span<const VertexId> VertexTable::Adjacency(VertexId v) const {
   if (graph_ != nullptr) return graph_->Neighbors(v);
+  if (snapshot_ != nullptr) {
+    QCM_CHECK(local_rank_ < 0 || Owner(v) == local_rank_)
+        << "adjacency of vertex " << v << " (owner " << Owner(v)
+        << ") read on rank " << local_rank_
+        << ": remote adjacency does not exist in a partitioned table";
+    return paged_->Adjacency(v);
+  }
   QCM_CHECK(Owner(v) == local_rank_)
       << "adjacency of vertex " << v << " (owner " << Owner(v)
       << ") read on rank " << local_rank_

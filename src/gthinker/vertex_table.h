@@ -27,7 +27,9 @@
 #include "gthinker/metrics.h"
 #include "gthinker/task.h"
 #include "gthinker/vertex_cache.h"
+#include "graph/csr_snapshot.h"
 #include "graph/graph.h"
+#include "graph/paged_adjacency.h"
 
 namespace qcm {
 
@@ -55,14 +57,26 @@ class VertexTable {
   /// leaving this process with its partition only.
   VertexTable(const Graph& full, int num_machines, int local_rank);
 
+  /// Snapshot mode: serves degrees and adjacency straight out of a
+  /// mmap'd .qcsr snapshot -- no transient full Graph is ever built, so
+  /// startup peak RSS is the owned slice plus replicated metadata.
+  /// `local_rank` >= 0 behaves like partitioned mode (owned adjacency
+  /// only, remote reads fail loudly); -1 serves every vertex.
+  /// `graph_memory_budget` > 0 bounds resident adjacency bytes via the
+  /// PagedAdjacencyStore; 0 keeps the partition's pages resident on use.
+  VertexTable(std::shared_ptr<CsrSnapshot> snapshot, int num_machines,
+              int local_rank, uint64_t graph_memory_budget);
+
   int Owner(VertexId v) const {
     return static_cast<int>(v % static_cast<uint32_t>(num_machines_));
   }
 
   int NumMachines() const { return num_machines_; }
 
-  /// True in process-per-machine mode.
-  bool partitioned() const { return graph_ == nullptr; }
+  /// True in process-per-machine mode (only the local rank's adjacency
+  /// is readable). Simulated and single-process snapshot tables serve
+  /// every vertex and report false.
+  bool partitioned() const { return local_rank_ >= 0; }
 
   /// The rank whose adjacency this partition holds (-1 when simulated).
   int local_rank() const { return local_rank_; }
@@ -72,18 +86,28 @@ class VertexTable {
   std::span<const VertexId> Adjacency(VertexId v) const;
 
   uint32_t Degree(VertexId v) const {
-    return graph_ != nullptr ? graph_->Degree(v) : degrees_[v];
+    if (graph_ != nullptr) return graph_->Degree(v);
+    if (snapshot_ != nullptr) return snapshot_->Degree(v);
+    return degrees_[v];
   }
 
   uint32_t NumVertices() const {
-    return graph_ != nullptr ? graph_->NumVertices()
-                             : static_cast<uint32_t>(degrees_.size());
+    if (graph_ != nullptr) return graph_->NumVertices();
+    if (snapshot_ != nullptr) return snapshot_->NumVertices();
+    return static_cast<uint32_t>(degrees_.size());
   }
 
   /// Vertices owned by `machine`, ascending.
   const std::vector<VertexId>& OwnedVertices(int machine) const {
     return owned_[machine];
   }
+
+  /// Non-null in snapshot mode.
+  const CsrSnapshot* snapshot() const { return snapshot_.get(); }
+
+  /// Non-null in snapshot mode: the paged local store (paging may be
+  /// disabled inside it when the budget is 0).
+  PagedAdjacencyStore* paged_store() const { return paged_.get(); }
 
  private:
   const Graph* graph_;  // simulated mode; null when partitioned
@@ -96,6 +120,11 @@ class VertexTable {
   std::vector<uint32_t> degrees_;
   std::vector<uint64_t> local_offsets_;  // size NumVertices()+1
   std::vector<VertexId> local_adj_;
+
+  // Snapshot-mode storage: degrees/adjacency live in the mapping; the
+  // paged store manages adjacency residency under the budget.
+  std::shared_ptr<CsrSnapshot> snapshot_;
+  std::unique_ptr<PagedAdjacencyStore> paged_;
 };
 
 /// Per-machine data access facade.

@@ -86,7 +86,12 @@ inline constexpr char kWireMagic[4] = {'Q', 'C', 'M', 'W'};
 // busy compers) for the qcm_cluster live ticker and merged-trace counter
 // tracks; EngineConfig grew the tracing knobs (trace_out,
 // trace_buffer_kb, stats_interval_ms).
-inline constexpr uint32_t kWireProtocolVersion = 5;
+// v6: out-of-core graph storage. EngineConfig grew the snapshot knobs
+// (graph_snapshot path, graph_page_size, graph_memory_budget) so the
+// launcher packs the graph once and ships the .qcsr path to every rank;
+// EngineReport grew the paged-store counters (page pins / page-ins /
+// evictions / fault-stall time).
+inline constexpr uint32_t kWireProtocolVersion = 6;
 /// Frame header bytes before the payload (magic + kind + src + length).
 inline constexpr size_t kWireHeaderBytes = 13;
 /// Trailing checksum bytes after the payload.

@@ -16,6 +16,7 @@ namespace {
 
 const char* const kCategoryNames[kNumCategories] = {
     "lifecycle", "pull", "net", "checkpoint", "recovery", "kernel", "stats",
+    "page",
 };
 
 // One per emitting thread. Records are written by the owner thread only;

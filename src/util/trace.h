@@ -33,7 +33,8 @@ enum Category : uint8_t {
   kRecovery = 4,   // coordinator detect/kill/relaunch phases
   kKernel = 5,     // dense vs sparse kernel selection
   kStats = 6,      // periodic counter samples
-  kNumCategories = 7,
+  kPage = 7,       // paged adjacency store page-in stalls
+  kNumCategories = 8,
 };
 
 enum class EventType : uint8_t {

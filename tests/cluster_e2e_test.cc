@@ -96,6 +96,109 @@ TEST(ClusterE2ETest, ThreeProcessClusterBitIdenticalToSimulatedMode) {
   std::remove(cluster_out.c_str());
 }
 
+/// Pulls the integer after `"key": ` out of a stats-json blob (first
+/// occurrence -- pass a search start to skip to the "merged" object).
+long long JsonCounter(const std::string& json, const std::string& key,
+                      size_t from = 0) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(json.c_str() + pos + needle.size());
+}
+
+// Out-of-core acceptance: pack once with qcm_pack, hand the snapshot to a
+// 3-process cluster whose per-rank adjacency budget is a tiny fraction of
+// the partition (two 4 KiB frames), and require the digest to stay
+// bit-identical to resident qcm_mine while the pager demonstrably churns
+// (evictions > 0 in the merged report).
+TEST(ClusterE2ETest, BudgetedSnapshotClusterBitIdenticalUnderEviction) {
+  const std::string snap_path = ::testing::TempDir() + "/qcm_e2e.qcsr";
+  const std::string json_path = ::testing::TempDir() + "/qcm_oocsr.json";
+  const std::string log_dir = ::testing::TempDir() + "/qcm_oocsr_logs";
+
+  const RunResult packed = RunCommand(
+      BinDir() + "/qcm_pack --gen-planted " + kGraphSpec +
+      " --seed 3 --page-size 4096 --verify --output " + snap_path);
+  ASSERT_EQ(packed.exit_code, 0) << packed.output;
+
+  const RunResult single = RunCommand(
+      BinDir() + "/qcm_mine --gen-planted " + kGraphSpec + " " +
+      kMiningFlags + " --machines 3 --threads 2");
+  ASSERT_EQ(single.exit_code, 0) << single.output;
+
+  const RunResult cluster = RunCommand(
+      BinDir() + "/qcm_cluster --gen-planted " + kGraphSpec + " " +
+      kMiningFlags + " --workers 3 --threads 2 --snapshot " + snap_path +
+      " --graph-page-size 4096 --graph-memory-budget 8192 --log-dir " +
+      log_dir + " --stats-json " + json_path);
+  ASSERT_EQ(cluster.exit_code, 0) << cluster.output;
+
+  const std::string single_digest = Digest(single.output);
+  ASSERT_EQ(single_digest.size(), 16u) << single.output;
+  EXPECT_EQ(single_digest, Digest(cluster.output))
+      << "single:\n" << single.output << "\ncluster:\n" << cluster.output;
+
+  // The merged report must show real paging activity under the budget.
+  const std::string json = ReadFile(json_path);
+  const size_t merged_at = json.find("\"merged\"");
+  ASSERT_NE(merged_at, std::string::npos) << json;
+  EXPECT_GT(JsonCounter(json, "graph_page_ins", merged_at), 0) << json;
+  EXPECT_GT(JsonCounter(json, "graph_page_evictions", merged_at), 0)
+      << json;
+
+  // Workers mapped the snapshot instead of materializing the graph.
+  const std::string worker_log = ReadFile(log_dir + "/worker0.log");
+  EXPECT_NE(worker_log.find("snapshot"), std::string::npos) << worker_log;
+  EXPECT_NE(worker_log.find("mapped"), std::string::npos) << worker_log;
+
+  std::remove(snap_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+// Same budgeted snapshot machinery, single-worker topology: the pager
+// must not depend on partitioning to stay bit-identical.
+TEST(ClusterE2ETest, SingleWorkerBudgetedClusterMatchesResident) {
+  const RunResult single = RunCommand(
+      BinDir() + "/qcm_mine --gen-planted " + kGraphSpec + " " +
+      kMiningFlags + " --machines 1 --threads 2");
+  ASSERT_EQ(single.exit_code, 0) << single.output;
+
+  const RunResult cluster = RunCommand(
+      BinDir() + "/qcm_cluster --gen-planted " + kGraphSpec + " " +
+      kMiningFlags + " --workers 1 --threads 2 --graph-page-size 4096 "
+      "--graph-memory-budget 8192 --stats");
+  ASSERT_EQ(cluster.exit_code, 0) << cluster.output;
+  // The launcher packed the graph itself (no --snapshot given).
+  EXPECT_NE(cluster.output.find("packed"), std::string::npos)
+      << cluster.output;
+
+  const std::string single_digest = Digest(single.output);
+  ASSERT_EQ(single_digest.size(), 16u) << single.output;
+  EXPECT_EQ(single_digest, Digest(cluster.output))
+      << "single:\n" << single.output << "\ncluster:\n" << cluster.output;
+}
+
+// The legacy per-rank rebuild path (--no-snapshot) must stay alive and
+// bit-identical as the fallback when no snapshot can be shipped.
+TEST(ClusterE2ETest, LegacyNoSnapshotPathStillMatches) {
+  const RunResult single = RunCommand(
+      BinDir() + "/qcm_mine --gen-planted " + kGraphSpec + " " +
+      kMiningFlags + " --machines 3 --threads 2");
+  ASSERT_EQ(single.exit_code, 0) << single.output;
+
+  const RunResult cluster = RunCommand(
+      BinDir() + "/qcm_cluster --gen-planted " + kGraphSpec + " " +
+      kMiningFlags + " --workers 3 --threads 2 --no-snapshot");
+  ASSERT_EQ(cluster.exit_code, 0) << cluster.output;
+  EXPECT_EQ(cluster.output.find("packed"), std::string::npos)
+      << cluster.output;
+
+  const std::string single_digest = Digest(single.output);
+  ASSERT_EQ(single_digest.size(), 16u) << single.output;
+  EXPECT_EQ(single_digest, Digest(cluster.output))
+      << "single:\n" << single.output << "\ncluster:\n" << cluster.output;
+}
+
 TEST(ClusterE2ETest, StatsJsonIsEmittedAndMergesRanks) {
   const std::string json_path = ::testing::TempDir() + "/qcm_stats.json";
   const RunResult cluster = RunCommand(

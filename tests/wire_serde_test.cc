@@ -445,6 +445,9 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   spec.config.trace_out = "/tmp/run_trace.json";
   spec.config.trace_buffer_kb = 128;
   spec.config.stats_interval_ms = 250;
+  spec.config.graph_snapshot = "/tmp/graph.qcsr";
+  spec.config.graph_page_size = 4096;
+  spec.config.graph_memory_budget = 1 << 20;
 
   ClusterJobSpec out;
   ASSERT_TRUE(DecodeJobSpec(EncodeJobSpec(spec), &out).ok());
@@ -485,6 +488,9 @@ TEST(JobSpecTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(out.config.trace_out, "/tmp/run_trace.json");
   EXPECT_EQ(out.config.trace_buffer_kb, 128);
   EXPECT_EQ(out.config.stats_interval_ms, 250);
+  EXPECT_EQ(out.config.graph_snapshot, "/tmp/graph.qcsr");
+  EXPECT_EQ(out.config.graph_page_size, 4096);
+  EXPECT_EQ(out.config.graph_memory_budget, 1 << 20);
 }
 
 TEST(JobSpecTest, RejectsAmbiguousGraphSource) {

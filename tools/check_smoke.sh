@@ -194,6 +194,61 @@ fi
 echo "check_smoke: OK -- scalar-kernel cluster digest matches" \
   "($scalar_cluster_digest)"
 
+# ---- Out-of-core snapshot phase ----------------------------------------
+# Pack the same graph into a checksummed .qcsr snapshot (qcm_pack
+# --verify re-reads every section), then mine it with a per-rank
+# adjacency budget of two 4 KiB pages -- a small fraction of any rank's
+# partition. The digest must stay bit-identical to the resident run while
+# the pager demonstrably evicts, and the --stats rollup must report the
+# bounded aggregate peak RSS.
+PACK_BIN="$(dirname "$BIN")/qcm_pack"
+if [[ -x "$PACK_BIN" ]]; then
+  SNAP="$LOG_DIR/smoke_graph.qcsr"
+  pack_out=$("$PACK_BIN" \
+    --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+    --seed 1 --page-size 4096 --verify --output "$SNAP" 2>&1)
+  pack_status=$?
+  echo "$pack_out"
+  if [[ $pack_status -ne 0 ]]; then
+    echo "check_smoke: FAIL -- qcm_pack exited with status $pack_status" >&2
+    exit 1
+  fi
+
+  oocsr_out=$("$CLUSTER_BIN" \
+    --gen-planted n=2000,communities=5,size=10..14,density=0.95 \
+    --gamma 0.85 --min-size 8 --workers 3 --threads 2 --stats \
+    --snapshot "$SNAP" --graph-page-size 4096 --graph-memory-budget 8192 \
+    --log-dir "$LOG_DIR" "$@" 2>&1)
+  oocsr_status=$?
+  echo "$oocsr_out"
+  if [[ $oocsr_status -ne 0 ]]; then
+    echo "check_smoke: FAIL -- snapshot+budget qcm_cluster exited with" \
+      "status $oocsr_status (worker logs in $LOG_DIR)" >&2
+    exit 1
+  fi
+  oocsr_digest=$(printf '%s\n' "$oocsr_out" |
+    sed -n 's/^result-digest: \([0-9a-f]\{16\}\)$/\1/p' | tail -1)
+  if [[ "$oocsr_digest" != "$single_digest" ]]; then
+    echo "check_smoke: FAIL -- snapshot+budget digest $oocsr_digest !=" \
+      "single-process digest $single_digest (out-of-core paging must not" \
+      "change results; worker logs in $LOG_DIR)" >&2
+    exit 1
+  fi
+  evictions=$(printf '%s\n' "$oocsr_out" |
+    sed -n 's/^graph: .* \([0-9][0-9]*\) evictions.*/\1/p' | tail -1)
+  if [[ -z "$evictions" || "$evictions" -eq 0 ]]; then
+    echo "check_smoke: FAIL -- budgeted run reported no page evictions" \
+      "(the paged adjacency store silently stopped engaging)" >&2
+    exit 1
+  fi
+  peak_rss=$(printf '%s\n' "$oocsr_out" |
+    sed -n 's/^graph: .*aggregate peak rss \(.*\)$/\1/p' | tail -1)
+  echo "check_smoke: OK -- snapshot+budget cluster digest matches" \
+    "($evictions evictions, aggregate peak rss ${peak_rss:-unknown})"
+else
+  echo "check_smoke: NOTE -- $PACK_BIN not built, skipping snapshot phase"
+fi
+
 # ---- Coalescing-on cluster phase ---------------------------------------
 # Same 3-process run with transport send-aggregation enabled: coalescing
 # only changes how data frames share syscalls, never what arrives, so the

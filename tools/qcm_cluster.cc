@@ -25,6 +25,16 @@
 //               [--stats-json PATH] [--worker-bin PATH] [--log-dir DIR]
 //               [--trace-out PATH] [--trace-buffer-kb N]
 //               [--stats-interval-ms N] [--log-level L]
+//               [--snapshot PATH.qcsr] [--no-snapshot]
+//               [--graph-memory-budget BYTES] [--graph-page-size BYTES]
+//
+// Graph distribution: by default the launcher packs the input into a
+// .qcsr snapshot ONCE (<log-dir>/graph.qcsr) and ships only the path;
+// workers mmap it and fault in just their partition's pages, so no rank
+// ever materializes the full graph. --snapshot reuses a qcm_pack output,
+// --no-snapshot restores the legacy per-rank rebuild, and
+// --graph-memory-budget caps each rank's resident adjacency bytes
+// (evicted pages refault on demand -- out-of-core mining).
 //
 // --trace-out records one MERGED Chrome trace-event timeline of the whole
 // cluster (launcher recovery phases + every rank's spans + kStats counter
@@ -67,12 +77,17 @@
 #include <thread>
 #include <vector>
 
+#include "graph/csr_snapshot.h"
+#include "graph/edge_io.h"
+#include "graph/generators.h"
 #include "gthinker/metrics.h"
 #include "net/coordinator.h"
 #include "net/job_spec.h"
 #include "quick/maximality_filter.h"
 #include "util/logging.h"
+#include "util/mem.h"
 #include "util/serde.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace {
@@ -83,6 +98,10 @@ struct Args {
   ClusterJobSpec spec;
   int workers = 3;
   std::string output;
+  /// Pre-packed .qcsr to ship to workers (skips the launcher pack step).
+  std::string snapshot;
+  /// Legacy bring-up: every rank re-parses / regenerates the full graph.
+  bool no_snapshot = false;
   bool no_filter = false;
   bool stats = false;
   std::string stats_json;
@@ -107,7 +126,10 @@ void Usage() {
                "                   [--heartbeat-usec N] "
                "[--checkpoint-interval F] [--checkpoint-dir DIR]\n"
                "                   [--max-rank-restarts N] "
-               "[--worker-bin PATH] [--log-dir DIR]\n");
+               "[--worker-bin PATH] [--log-dir DIR]\n"
+               "                   [--snapshot PATH.qcsr] [--no-snapshot] "
+               "[--graph-memory-budget BYTES]\n"
+               "                   [--graph-page-size BYTES]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -239,6 +261,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::fprintf(stderr, "--max-rank-restarts must be >= 0\n");
         return false;
       }
+    } else if (a == "--snapshot") {
+      if ((v = next("--snapshot")) == nullptr) return false;
+      args->snapshot = v;
+    } else if (a == "--no-snapshot") {
+      args->no_snapshot = true;
+    } else if (a == "--graph-memory-budget") {
+      if ((v = next("--graph-memory-budget")) == nullptr) return false;
+      config.graph_memory_budget = std::atoll(v);
+    } else if (a == "--graph-page-size") {
+      if ((v = next("--graph-page-size")) == nullptr) return false;
+      config.graph_page_size = std::atoll(v);
     } else if (a == "--seed") {
       if ((v = next("--seed")) == nullptr) return false;
       args->spec.seed = static_cast<uint64_t>(std::atoll(v));
@@ -301,14 +334,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (args->linger_defaulted && config.net_coalesce_bytes > 0) {
     config.net_linger_usec = 100;
   }
-  // Surface contradictory settings here with the validator's file:line
-  // message instead of shipping them to every worker first.
-  Status valid = config.Validate();
-  if (!valid.ok()) {
-    std::fprintf(stderr, "invalid configuration: %s\n",
-                 valid.ToString().c_str());
+  if (!args->snapshot.empty() && args->no_snapshot) {
+    std::fprintf(stderr, "--snapshot and --no-snapshot are contradictory\n");
     return false;
   }
+  if (args->no_snapshot && config.graph_memory_budget > 0) {
+    std::fprintf(stderr,
+                 "--graph-memory-budget needs a snapshot-backed run; drop "
+                 "--no-snapshot\n");
+    return false;
+  }
+  // NOTE: config.Validate() runs in main() AFTER the launcher pack step
+  // fills in config.graph_snapshot -- validating here would flag the
+  // budget-without-snapshot contradiction on every budgeted run.
   if (args->mode == "none") {
     config.mode = DecomposeMode::kNone;
   } else if (args->mode == "size") {
@@ -399,6 +437,92 @@ int main(int argc, char** argv) {
     log_dir = dir;
   } else {
     ::mkdir(log_dir.c_str(), 0755);
+  }
+
+  // Pack the graph ONCE in the launcher and ship only the snapshot path:
+  // workers mmap <log-dir>/graph.qcsr instead of each re-parsing /
+  // regenerating and transiently materializing the full graph.
+  // --snapshot reuses a pre-packed file; --no-snapshot keeps the legacy
+  // per-rank rebuild path alive as a fallback.
+  EngineConfig& config = args.spec.config;
+  if (!args.no_snapshot) {
+    if (!args.snapshot.empty()) {
+      config.graph_snapshot = args.snapshot;
+    } else {
+      WallTimer pack_timer;
+      Graph full;
+      if (!args.spec.input.empty()) {
+        auto loaded = LoadEdgeList(args.spec.input);
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "graph load failed: %s\n",
+                       loaded.status().ToString().c_str());
+          return 1;
+        }
+        full = std::move(loaded->graph);
+        CsrWriteOptions opts;
+        opts.page_size = static_cast<uint32_t>(config.graph_page_size);
+        Status packed = WriteCsrSnapshot(full, loaded->original_ids,
+                                         log_dir + "/graph.qcsr", opts);
+        if (!packed.ok()) {
+          std::fprintf(stderr, "snapshot pack failed: %s\n",
+                       packed.ToString().c_str());
+          return 1;
+        }
+      } else {
+        auto parsed = ParsePlantedSpec(args.spec.gen_planted, args.spec.seed);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "bad planted spec: %s\n",
+                       parsed.status().ToString().c_str());
+          return 1;
+        }
+        auto generated = GenPlantedCommunities(parsed.value());
+        if (!generated.ok()) {
+          std::fprintf(stderr, "graph generation failed: %s\n",
+                       generated.status().ToString().c_str());
+          return 1;
+        }
+        full = std::move(generated).value();
+        CsrWriteOptions opts;
+        opts.page_size = static_cast<uint32_t>(config.graph_page_size);
+        opts.build_seed = args.spec.seed;
+        Status packed = WriteCsrSnapshot(full, {}, log_dir + "/graph.qcsr",
+                                         opts);
+        if (!packed.ok()) {
+          std::fprintf(stderr, "snapshot pack failed: %s\n",
+                       packed.ToString().c_str());
+          return 1;
+        }
+      }
+      config.graph_snapshot = log_dir + "/graph.qcsr";
+      std::fprintf(stderr,
+                   "qcm_cluster: packed %s (%u vertices, %llu edges) in "
+                   "%.3f s\n",
+                   config.graph_snapshot.c_str(), full.NumVertices(),
+                   static_cast<unsigned long long>(full.NumEdges()),
+                   pack_timer.Seconds());
+      // `full` is dropped here -- the launcher, like the workers, does
+      // not hold a resident graph during the run.
+    }
+    // Early, launcher-side sanity check (metadata checksums only) so a
+    // bad --snapshot path fails before N workers are forked. The file's
+    // actual page size wins over the flag: a pre-packed --snapshot may
+    // have been built with a different --page-size, and the budget
+    // validation below must check against what the workers will map.
+    auto snap = CsrSnapshot::Open(config.graph_snapshot);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "snapshot open failed: %s\n",
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    config.graph_page_size = (*snap)->page_size();
+  }
+  // Surface contradictory settings with the validator's file:line message
+  // instead of shipping them to every worker first. Runs after the pack
+  // step so graph_snapshot / graph_memory_budget are seen together.
+  if (Status valid = config.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 valid.ToString().c_str());
+    return 2;
   }
 
   // Checkpoint root shared by every rank (each keeps rank<R>/log under
@@ -849,6 +973,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(steal_commands),
         static_cast<unsigned long long>(merged.counters.pulled_vertices),
         static_cast<unsigned long long>(raw_candidates));
+    std::fprintf(
+        stderr,
+        "graph: %llu page pins, %llu page-ins, %llu evictions, "
+        "%llu inline-served, fault stall %.1f ms; aggregate peak rss %s\n",
+        static_cast<unsigned long long>(merged.counters.graph_page_pins),
+        static_cast<unsigned long long>(merged.counters.graph_page_ins),
+        static_cast<unsigned long long>(
+            merged.counters.graph_page_evictions),
+        static_cast<unsigned long long>(
+            merged.counters.graph_inline_served),
+        static_cast<double>(merged.counters.graph_fault_stall_usec) / 1e3,
+        HumanBytes(merged.peak_rss_bytes).c_str());
   }
   if (!recoveries.empty()) {
     for (const auto& e : recoveries) {

@@ -11,6 +11,8 @@
 //
 // Options:
 //   --input PATH          SNAP edge list ('#' comments, "u v" lines)
+//   --input-snapshot PATH qcm_pack .qcsr snapshot (checksummed binary
+//                         CSR; loads without text parsing)
 //   --gen-planted SPEC    synthetic planted-community graph (see below)
 //   --gamma F             degree threshold in [0.5, 1]      (default 0.9)
 //   --min-size N          minimum result size tau_size      (default 10)
@@ -73,6 +75,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "graph/edge_io.h"
 #include "graph/generators.h"
 #include "mining/parallel_miner.h"
@@ -88,6 +91,7 @@ using namespace qcm;
 
 struct Args {
   std::string input;
+  std::string input_snapshot;
   std::string gen_planted;
   double gamma = 0.9;
   uint32_t min_size = 10;
@@ -120,8 +124,9 @@ struct Args {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: qcm_mine (--input PATH | --gen-planted SPEC) "
-               "[--gamma F] [--min-size N]\n"
+               "usage: qcm_mine (--input PATH | --input-snapshot PATH | "
+               "--gen-planted SPEC)\n"
+               "                [--gamma F] [--min-size N]\n"
                "                [--serial | --machines N --threads N] "
                "[--tau-split N] [--tau-time F]\n"
                "                [--mode none|size|time] [--output PATH] "
@@ -142,6 +147,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--input");
       if (!v) return false;
       args->input = v;
+    } else if (a == "--input-snapshot") {
+      const char* v = next("--input-snapshot");
+      if (!v) return false;
+      args->input_snapshot = v;
     } else if (a == "--gen-planted") {
       const char* v = next("--gen-planted");
       if (!v) return false;
@@ -288,9 +297,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->input.empty() == args->gen_planted.empty()) {
+  const int sources = (args->input.empty() ? 0 : 1) +
+                      (args->input_snapshot.empty() ? 0 : 1) +
+                      (args->gen_planted.empty() ? 0 : 1);
+  if (sources != 1) {
     std::fprintf(stderr,
-                 "exactly one of --input / --gen-planted is required\n");
+                 "exactly one of --input / --input-snapshot / "
+                 "--gen-planted is required\n");
     return false;
   }
   if (args->serial && !args->stats_json.empty()) {
@@ -333,6 +346,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     graph = std::move(loaded->graph);
+  } else if (!args.input_snapshot.empty()) {
+    // Resident load from a qcm_pack .qcsr: no text parsing, checksummed.
+    auto snap = CsrSnapshot::Open(args.input_snapshot);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "snapshot open failed: %s\n",
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    auto materialized = (*snap)->ToGraph();
+    if (!materialized.ok()) {
+      std::fprintf(stderr, "snapshot load failed: %s\n",
+                   materialized.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(materialized).value();
   } else {
     auto spec = ParsePlantedSpec(args.gen_planted, args.seed);
     if (!spec.ok()) {

@@ -33,6 +33,7 @@
 #include <memory>
 #include <string>
 
+#include "graph/csr_snapshot.h"
 #include "graph/edge_io.h"
 #include "graph/generators.h"
 #include "gthinker/engine.h"
@@ -40,7 +41,9 @@
 #include "net/job_spec.h"
 #include "net/tcp_transport.h"
 #include "util/logging.h"
+#include "util/mem.h"
 #include "util/serde.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace {
@@ -147,10 +150,39 @@ int main(int argc, char** argv) {
     trace::SetThreadName("worker_main");
   }
 
-  // Rebuild the graph deterministically, then keep only this rank's
-  // partition (the full graph is dropped before mining starts).
+  // Graph load. Preferred path: mmap the launcher-packed .qcsr snapshot
+  // (metadata checksums verified, adjacency pages faulted lazily) --
+  // startup never materializes the full graph in this process. Legacy
+  // fallback: rebuild deterministically from the edge list / planted
+  // spec, then keep only this rank's partition.
   std::unique_ptr<VertexTable> table;
-  {
+  WallTimer graph_timer;
+  if (!spec.config.graph_snapshot.empty()) {
+    auto snap = CsrSnapshot::Open(spec.config.graph_snapshot);
+    if (!snap.ok()) {
+      return Fail(transport.get(),
+                  "snapshot open failed: " + snap.status().ToString());
+    }
+    table = std::make_unique<VertexTable>(
+        std::move(snap).value(), transport->world_size(), rank,
+        static_cast<uint64_t>(spec.config.graph_memory_budget));
+    const PagedAdjacencyStore* store = table->paged_store();
+    std::fprintf(
+        stderr,
+        "qcm_worker rank %d/%d epoch %u: snapshot %s, %u vertices "
+        "total, %zu owned, mapped %s vs resident %s%s%s\n",
+        rank, transport->world_size(), transport->epoch(),
+        spec.config.graph_snapshot.c_str(), table->NumVertices(),
+        table->OwnedVertices(rank).size(),
+        HumanBytes(table->snapshot()->MappedBytes()).c_str(),
+        HumanBytes(CurrentRssBytes()).c_str(),
+        store != nullptr && store->paging_enabled()
+            ? (", adjacency budget " + HumanBytes(store->budget_bytes()))
+                  .c_str()
+            : "",
+        transport->epoch() > 0 ? " (replacement; replaying checkpoint)"
+                               : "");
+  } else {
     Graph full;
     if (!spec.input.empty()) {
       auto loaded = LoadEdgeList(spec.input);
@@ -185,6 +217,8 @@ int main(int argc, char** argv) {
                      ? " (replacement; replaying checkpoint)"
                      : "");
   }
+  std::fprintf(stderr, "qcm_worker rank %d: graph ready in %.3f s\n", rank,
+               graph_timer.Seconds());
 
   // Liveness beacons must flow before the engine starts the transport:
   // the coordinator's deadline for this rank is already armed.
